@@ -1,0 +1,142 @@
+//! Criterion micro-benchmarks for the hot paths behind the experiment
+//! harnesses: parsing, equivalence analysis, execution, rewriting, the
+//! Wide-Deep forward pass, one IterView iteration, and the exact per-query
+//! ILP.
+
+use av_cost::{CostEstimator, FeatureInput, WideDeep, WideDeepConfig};
+use av_engine::{Executor, Pricing};
+use av_equiv::{analyze_workload, canonicalize};
+use av_ilp::MvsInstance;
+use av_plan::parse_query;
+use av_select::{IterView, IterViewConfig};
+use av_workload::cloud::mini;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_parse(c: &mut Criterion) {
+    let sql = "select t1.user_id, count(*) as cnt from ( \
+                 select t1.user_id, t1.memo from user_memo t1 \
+                 where t1.dt = '1010' and t1.memo_type = 'pen' ) t1 \
+               inner join ( \
+                 select t2.user_id, t2.action from user_action t2 \
+                 where t2.type = 1 and t2.dt = '1010' ) t2 \
+               on t1.user_id = t2.user_id group by t1.user_id";
+    c.bench_function("parse_fig2_query", |b| {
+        b.iter(|| parse_query(black_box(sql)).expect("parses"))
+    });
+}
+
+fn bench_canonicalize(c: &mut Criterion) {
+    let plan = parse_query(
+        "select a.x from t1 a join t2 b on a.id = b.id \
+         where a.k = 1 and b.j = 2 and a.z > 5",
+    )
+    .expect("parses");
+    c.bench_function("canonicalize_join_plan", |b| {
+        b.iter(|| canonicalize(black_box(&plan)))
+    });
+}
+
+fn bench_analyze_workload(c: &mut Criterion) {
+    let w = mini(77);
+    let plans = w.plans();
+    c.bench_function("analyze_40_query_workload", |b| {
+        b.iter(|| analyze_workload(black_box(&plans)))
+    });
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let w = mini(78);
+    let exec = Executor::new(&w.catalog, Pricing::paper_defaults());
+    let plan = w.queries[0].plan.clone();
+    c.bench_function("execute_generated_query", |b| {
+        b.iter(|| exec.run(black_box(&plan)).expect("runs"))
+    });
+}
+
+fn bench_widedeep_forward(c: &mut Criterion) {
+    let w = mini(79);
+    let plan = w.queries[0].plan.clone();
+    let view = av_plan::enumerate_subqueries(&plan)
+        .into_iter()
+        .next_back()
+        .expect("has subqueries")
+        .plan;
+    let input = FeatureInput {
+        query: plan,
+        view,
+        tables: vec![],
+    };
+    let model = WideDeep::fit(
+        &[(input.clone(), 1.0)],
+        WideDeepConfig {
+            epochs: 1,
+            embed_dim: 8,
+            lstm1_hidden: 8,
+            lstm2_hidden: 8,
+            ..WideDeepConfig::default()
+        },
+    );
+    c.bench_function("widedeep_estimate", |b| {
+        b.iter(|| model.estimate(black_box(&input)))
+    });
+}
+
+fn random_instance(nq: usize, nc: usize) -> MvsInstance {
+    use rand::Rng;
+    use rand_chacha::rand_core::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+    MvsInstance {
+        benefits: (0..nq)
+            .map(|_| {
+                (0..nc)
+                    .map(|_| {
+                        if rng.gen_bool(0.3) {
+                            rng.gen_range(0.1..5.0)
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect(),
+        overheads: (0..nc).map(|_| rng.gen_range(0.5..4.0)).collect(),
+        overlaps: (0..nc / 2).map(|j| (j, j + nc / 2)).collect(),
+    }
+}
+
+fn bench_iterview_iteration(c: &mut Criterion) {
+    let m = random_instance(50, 30);
+    c.bench_function("iterview_20_iterations_50q_30c", |b| {
+        b.iter(|| {
+            IterView::new(
+                black_box(&m),
+                IterViewConfig {
+                    iterations: 20,
+                    ..IterViewConfig::default()
+                },
+            )
+            .run()
+        })
+    });
+}
+
+fn bench_y_opt(c: &mut Criterion) {
+    let m = random_instance(1, 40);
+    let z = vec![true; 40];
+    c.bench_function("y_opt_exact_40_candidates", |b| {
+        b.iter(|| m.solve_y_for_query(0, black_box(&z)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_canonicalize,
+    bench_analyze_workload,
+    bench_execute,
+    bench_widedeep_forward,
+    bench_iterview_iteration,
+    bench_y_opt,
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Table I — workload statistics (projects, tables, queries, subqueries,
+//! equivalent pairs, candidates |Z|, associated queries |Q|, overlaps).
+
+use av_bench::{build_workload, render_table, BenchConfig};
+use av_workload::workload_stats;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!(
+        "== Table I: workload datasets (JOB scale {}, WK1 {}, WK2 {}) ==\n",
+        cfg.job_scale, cfg.wk1_scale, cfg.wk2_scale
+    );
+    let mut rows = Vec::new();
+    for which in ["job", "wk1", "wk2"] {
+        let w = build_workload(which, &cfg);
+        let s = workload_stats(&w);
+        rows.push(vec![
+            s.name.clone(),
+            format!("{}/{}", s.projects, s.tables),
+            format!("{}/{}", s.queries, s.subqueries),
+            s.equivalent_pairs.to_string(),
+            s.candidate_subqueries.to_string(),
+            s.associated_queries.to_string(),
+            s.overlapping_pairs.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "workload",
+                "#proj/#table",
+                "#query/#subq",
+                "#equiv pairs",
+                "|Z|",
+                "|Q|",
+                "#overlap",
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,138 @@
+//! Default hyper-parameters — the single source of truth for the paper's
+//! Table II.
+
+use av_cost::WideDeepConfig;
+use av_engine::Pricing;
+use av_select::RlViewConfig;
+
+/// Which of the paper's three workloads a configuration targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    Job,
+    Wk1,
+    Wk2,
+}
+
+/// The Table II defaults for one workload.
+#[derive(Debug, Clone)]
+pub struct Table2Defaults {
+    /// Pricing constants (α, β, γ) — shared by all workloads.
+    pub pricing: Pricing,
+    /// Wide-Deep training epochs `I`.
+    pub epochs: usize,
+    /// Wide-Deep learning rate `lr`.
+    pub lr: f64,
+    /// Wide-Deep batch size `b_s`.
+    pub batch_size: usize,
+    /// RLView warm-start iterations `n₁`.
+    pub n1: usize,
+    /// RLView epochs `n₂`.
+    pub n2: usize,
+    /// RLView replay-memory threshold `n_m`.
+    pub memory_size: usize,
+    /// Reward decay rate γ.
+    pub gamma: f64,
+}
+
+/// Table II, verbatim.
+pub fn table2_defaults(kind: WorkloadKind) -> Table2Defaults {
+    let pricing = Pricing::paper_defaults();
+    match kind {
+        WorkloadKind::Job => Table2Defaults {
+            pricing,
+            epochs: 50,
+            lr: 0.01,
+            batch_size: 8,
+            n1: 10,
+            n2: 90,
+            memory_size: 20,
+            gamma: 0.9,
+        },
+        WorkloadKind::Wk1 => Table2Defaults {
+            pricing,
+            epochs: 20,
+            lr: 0.005,
+            batch_size: 128,
+            n1: 10,
+            n2: 990,
+            memory_size: 3000,
+            gamma: 0.9,
+        },
+        WorkloadKind::Wk2 => Table2Defaults {
+            pricing,
+            epochs: 20,
+            lr: 0.005,
+            batch_size: 128,
+            n1: 10,
+            n2: 490,
+            memory_size: 3000,
+            gamma: 0.9,
+        },
+    }
+}
+
+impl Table2Defaults {
+    /// Wide-Deep configuration with these defaults. `scale` shrinks the
+    /// epoch count for scaled-down benchmark runs (1.0 = paper values).
+    pub fn widedeep(&self, seed: u64, scale: f64) -> WideDeepConfig {
+        WideDeepConfig {
+            epochs: ((self.epochs as f64 * scale) as usize).max(2),
+            lr: self.lr as f32,
+            batch_size: self.batch_size,
+            seed,
+            ..WideDeepConfig::default()
+        }
+    }
+
+    /// RLView configuration with these defaults. `scale` shrinks the
+    /// epoch count and memory threshold for scaled-down runs.
+    pub fn rlview(&self, seed: u64, scale: f64) -> RlViewConfig {
+        RlViewConfig {
+            n1: self.n1,
+            n2: ((self.n2 as f64 * scale) as usize).max(5),
+            memory_size: ((self.memory_size as f64 * scale) as usize).max(10),
+            gamma: self.gamma,
+            // Amortize DQN fine-tuning: one minibatch every other step keeps
+            // wall-clock linear in |Z| on the WK-scale instances.
+            train_every: 2,
+            seed,
+            ..RlViewConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_matches_table_ii() {
+        let d = table2_defaults(WorkloadKind::Job);
+        assert_eq!(d.epochs, 50);
+        assert_eq!(d.lr, 0.01);
+        assert_eq!(d.batch_size, 8);
+        assert_eq!((d.n1, d.n2, d.memory_size), (10, 90, 20));
+        assert_eq!(d.gamma, 0.9);
+        assert_eq!(d.pricing.alpha, 1.67e-5);
+    }
+
+    #[test]
+    fn wk_presets_match_table_ii() {
+        let w1 = table2_defaults(WorkloadKind::Wk1);
+        let w2 = table2_defaults(WorkloadKind::Wk2);
+        assert_eq!((w1.epochs, w1.batch_size), (20, 128));
+        assert_eq!(w1.n2, 990);
+        assert_eq!(w2.n2, 490);
+        assert_eq!(w1.memory_size, 3000);
+    }
+
+    #[test]
+    fn scaling_respects_floors() {
+        let d = table2_defaults(WorkloadKind::Job);
+        let wd = d.widedeep(1, 0.0);
+        assert_eq!(wd.epochs, 2);
+        let rl = d.rlview(1, 0.0);
+        assert_eq!(rl.n2, 5);
+        assert_eq!(rl.memory_size, 10);
+    }
+}

@@ -1,0 +1,123 @@
+//! The metadata database (paper Fig. 3, offline-training side): measured
+//! costs, training pairs and experiment outputs, persisted as JSON.
+
+use av_cost::PairSample;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Persistent store of everything the offline trainers consume.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetadataDb {
+    /// Measured raw query costs `A(q_i)` in query order.
+    pub query_costs: Vec<f64>,
+    /// Measured raw query latencies (seconds).
+    pub query_latencies: Vec<f64>,
+    /// Candidate overheads `O_j` in candidate order.
+    pub candidate_overheads: Vec<f64>,
+    /// Labelled `(q, v)` pairs with measured rewritten costs.
+    pub pair_samples: Vec<PairSample>,
+    /// `(query, candidate)` index of each pair sample.
+    pub pair_index: Vec<(usize, usize)>,
+}
+
+impl MetadataDb {
+    /// Empty store.
+    pub fn new() -> MetadataDb {
+        MetadataDb::default()
+    }
+
+    /// Number of stored training pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.pair_samples.len()
+    }
+
+    /// Total raw workload cost `Σ A(q)`.
+    pub fn total_query_cost(&self) -> f64 {
+        self.query_costs.iter().sum()
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metadata serializes")
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Read back from a file.
+    pub fn load(path: &Path) -> io::Result<MetadataDb> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_cost::{FeatureInput, TableMeta};
+    use av_plan::{Expr, PlanBuilder};
+
+    fn sample_db() -> MetadataDb {
+        let view = PlanBuilder::scan("t", "a")
+            .filter(Expr::col("a.k").eq(Expr::int(1)))
+            .project(&[("a.v", "v")])
+            .build();
+        let query = PlanBuilder::from_plan(view.clone())
+            .count_star(&["v"], "n")
+            .build();
+        MetadataDb {
+            query_costs: vec![0.5, 0.7],
+            query_latencies: vec![1.0, 1.4],
+            candidate_overheads: vec![0.1],
+            pair_samples: vec![PairSample {
+                input: FeatureInput {
+                    query,
+                    view,
+                    tables: vec![TableMeta {
+                        name: "t".into(),
+                        rows: 10.0,
+                        columns: 2.0,
+                        bytes: 160.0,
+                        avg_distinct_ratio: 1.0,
+                        column_names: vec!["k".into(), "v".into()],
+                        column_types: vec!["Int".into(), "Int".into()],
+                    }],
+                },
+                cost_qv: 0.3,
+                cost_q: 0.5,
+                cost_s: 0.2,
+                cost_vscan: 0.05,
+            }],
+            pair_index: vec![(0, 0)],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let db = sample_db();
+        let json = db.to_json();
+        let back: MetadataDb = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.num_pairs(), 1);
+        assert_eq!(back.query_costs, db.query_costs);
+        assert_eq!(back.pair_samples[0].cost_qv, 0.3);
+        assert_eq!(
+            av_plan::Fingerprint::of(&back.pair_samples[0].input.query),
+            av_plan::Fingerprint::of(&db.pair_samples[0].input.query)
+        );
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let db = sample_db();
+        let dir = std::env::temp_dir().join("av_core_meta_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("meta.json");
+        db.save(&path).expect("saves");
+        let back = MetadataDb::load(&path).expect("loads");
+        assert_eq!(back.total_query_cost(), 1.2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,294 @@
+//! Ground-truth collection: measure raw costs, materialize candidates,
+//! execute rewritten queries (paper Fig. 3 offline-training data path).
+
+use av_cost::{FeatureInput, PairSample, TableMeta};
+use av_engine::{
+    rewrite_subtree_with_view, Catalog, EngineError, Executor, Pricing, ViewStore,
+};
+use av_equiv::{Analyzer, WorkloadAnalysis};
+use av_plan::PlanRef;
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeSet;
+
+/// Output of the pre-process + measurement stage.
+pub struct Preprocessed {
+    /// Equivalence clustering, candidates and overlaps.
+    pub analysis: WorkloadAnalysis,
+    /// Every candidate materialized (table `__view_j` in the catalog).
+    pub views: ViewStore,
+    /// `O_j` for each candidate (Definition 3).
+    pub overheads: Vec<f64>,
+    /// Measured `A(q_i)` per query.
+    pub query_costs: Vec<f64>,
+    /// Measured latency (seconds) per query.
+    pub query_latencies: Vec<f64>,
+    /// Measured cost of scanning each candidate's materialized table.
+    pub view_scan_costs: Vec<f64>,
+}
+
+/// Run the pre-process pipeline and measure everything the later stages
+/// need. Materializes every candidate into `catalog` (their overhead is the
+/// measured materialization cost — Definition 3's `A_α(v) + A_{β,γ}(s)`).
+pub fn preprocess_and_measure(
+    catalog: &mut Catalog,
+    queries: &[PlanRef],
+    pricing: Pricing,
+) -> Result<Preprocessed, EngineError> {
+    let mut analyzer = Analyzer::new();
+    analyzer.min_query_frequency = 2;
+    let analysis = analyzer.analyze(queries);
+
+    let mut query_costs = Vec::with_capacity(queries.len());
+    let mut query_latencies = Vec::with_capacity(queries.len());
+    {
+        let exec = Executor::new(catalog, pricing);
+        for q in queries {
+            let r = exec.run(q)?;
+            query_costs.push(r.report.cost_dollars);
+            query_latencies.push(r.report.usage.latency_seconds);
+        }
+    }
+
+    let mut views = ViewStore::new();
+    let mut overheads = Vec::with_capacity(analysis.candidates.len());
+    let mut view_scan_costs = Vec::with_capacity(analysis.candidates.len());
+    for cand in &analysis.candidates {
+        let id = views.materialize(catalog, cand.plan.clone(), pricing)?;
+        let view = views.view(id).expect("just materialized");
+        overheads.push(view.total_overhead());
+        let scan_plan = av_plan::PlanNode::TableScan {
+            table: view.table_name.clone(),
+            alias: String::new(),
+        }
+        .into_ref();
+        let scan_cost = Executor::new(catalog, pricing).cost(&scan_plan)?;
+        view_scan_costs.push(scan_cost);
+    }
+
+    Ok(Preprocessed {
+        analysis,
+        views,
+        overheads,
+        query_costs,
+        query_latencies,
+        view_scan_costs,
+    })
+}
+
+/// One measured (query, candidate) pair.
+pub struct PairTruth {
+    pub query: usize,
+    pub candidate: usize,
+    /// The labelled sample for estimator training/evaluation.
+    pub sample: PairSample,
+    /// Actual benefit `B = A(q) − A(q|v)` (may be negative).
+    pub actual_benefit: f64,
+}
+
+/// Rewrite one query with one candidate's view, returning the rewritten
+/// plan (None if the match no longer applies).
+pub fn rewrite_pair(
+    catalog: &Catalog,
+    pre: &Preprocessed,
+    query_plan: &PlanRef,
+    query: usize,
+    candidate: usize,
+) -> Option<PlanRef> {
+    let m = pre.analysis.query_matches[query]
+        .iter()
+        .find(|m| m.candidate == candidate)?;
+    let view = pre.views.view(av_engine::ViewId(candidate))?;
+    // The matched subtree's output names (query-local aliases).
+    let subtree = find_subtree(query_plan, m.subtree_fp)?;
+    let cat_cols = |t: &str| catalog.table_columns(t);
+    let subtree_cols = subtree.output_columns(&cat_cols);
+    let view_cols = catalog.table(&view.table_name)?.column_names.clone();
+    if subtree_cols.len() != view_cols.len() {
+        return None; // defensive: arity mismatch means the match is stale
+    }
+    let (rewritten, n) =
+        rewrite_subtree_with_view(query_plan, m.subtree_fp, view, &subtree_cols, &view_cols);
+    (n > 0).then_some(rewritten)
+}
+
+fn find_subtree(plan: &PlanRef, fp: av_plan::Fingerprint) -> Option<PlanRef> {
+    if av_plan::Fingerprint::of(plan) == fp {
+        return Some(plan.clone());
+    }
+    for c in plan.children() {
+        if let Some(found) = find_subtree(c, fp) {
+            return Some(found);
+        }
+    }
+    None
+}
+
+/// Table metadata for every base table a pair touches (the paper's
+/// "associated tables" features).
+pub fn tables_meta(catalog: &Catalog, query: &PlanRef, view: &PlanRef) -> Vec<TableMeta> {
+    let mut names: BTreeSet<String> = query.base_tables().into_iter().collect();
+    names.extend(view.base_tables());
+    names
+        .into_iter()
+        .filter_map(|n| {
+            let t = catalog.table(&n)?;
+            Some(TableMeta {
+                name: t.name.clone(),
+                rows: t.stats.row_count as f64,
+                columns: t.stats.column_count as f64,
+                bytes: t.stats.total_bytes as f64,
+                avg_distinct_ratio: t.stats.avg_distinct_ratio,
+                column_names: t.column_names.clone(),
+                column_types: t
+                    .column_types
+                    .iter()
+                    .map(|c| c.keyword().to_string())
+                    .collect(),
+            })
+        })
+        .collect()
+}
+
+/// Execute rewritten queries for (up to `limit`) usable (query, candidate)
+/// pairs, producing labelled samples and actual benefits. Pairs are
+/// subsampled deterministically when the workload exceeds the limit.
+pub fn collect_pair_truth(
+    catalog: &Catalog,
+    pre: &Preprocessed,
+    queries: &[PlanRef],
+    pricing: Pricing,
+    limit: usize,
+    seed: u64,
+) -> Result<Vec<PairTruth>, EngineError> {
+    let mut all_pairs: Vec<(usize, usize)> = Vec::new();
+    for (i, ms) in pre.analysis.query_matches.iter().enumerate() {
+        for m in ms {
+            all_pairs.push((i, m.candidate));
+        }
+    }
+    if all_pairs.len() > limit {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        all_pairs.shuffle(&mut rng);
+        all_pairs.truncate(limit);
+        all_pairs.sort_unstable();
+    }
+
+    let exec = Executor::new(catalog, pricing);
+    let mut out = Vec::with_capacity(all_pairs.len());
+    for (i, j) in all_pairs {
+        let Some(rewritten) = rewrite_pair(catalog, pre, &queries[i], i, j) else {
+            continue;
+        };
+        let cost_qv = exec.cost(&rewritten)?;
+        let cand = &pre.analysis.candidates[j];
+        let view = pre.views.view(av_engine::ViewId(j)).expect("materialized");
+        let sample = PairSample {
+            input: FeatureInput {
+                query: queries[i].clone(),
+                view: cand.plan.clone(),
+                tables: tables_meta(catalog, &queries[i], &cand.plan),
+            },
+            cost_qv,
+            cost_q: pre.query_costs[i],
+            cost_s: view.compute_overhead,
+            cost_vscan: pre.view_scan_costs[j],
+        };
+        out.push(PairTruth {
+            query: i,
+            candidate: j,
+            actual_benefit: pre.query_costs[i] - cost_qv,
+            sample,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_workload::cloud::mini;
+
+    #[test]
+    fn preprocess_measures_everything() {
+        let w = mini(40);
+        let mut catalog = w.catalog.clone();
+        let plans = w.plans();
+        let pre = preprocess_and_measure(&mut catalog, &plans, Pricing::paper_defaults())
+            .expect("preprocess");
+        assert_eq!(pre.query_costs.len(), plans.len());
+        assert!(pre.query_costs.iter().all(|&c| c > 0.0));
+        assert_eq!(pre.overheads.len(), pre.analysis.candidates.len());
+        assert!(pre.overheads.iter().all(|&o| o > 0.0));
+        assert_eq!(pre.views.len(), pre.analysis.candidates.len());
+        // Scanning a view is cheaper than computing its subquery.
+        for (j, &scan) in pre.view_scan_costs.iter().enumerate() {
+            assert!(
+                scan <= pre.views.views()[j].compute_overhead + 1e-12,
+                "view {j}: scan {scan} vs compute {}",
+                pre.views.views()[j].compute_overhead
+            );
+        }
+    }
+
+    #[test]
+    fn pair_truth_samples_are_consistent() {
+        let w = mini(41);
+        let mut catalog = w.catalog.clone();
+        let plans = w.plans();
+        let pre = preprocess_and_measure(&mut catalog, &plans, Pricing::paper_defaults())
+            .expect("preprocess");
+        let pairs = collect_pair_truth(&catalog, &pre, &plans, Pricing::paper_defaults(), 50, 1)
+            .expect("pairs");
+        assert!(!pairs.is_empty(), "mini workload must have usable pairs");
+        for p in &pairs {
+            // A rewrite can reduce a query to a bare scan of an empty view,
+            // which costs exactly zero — but never negative.
+            assert!(p.sample.cost_qv >= 0.0);
+            assert!(
+                (p.actual_benefit - (p.sample.cost_q - p.sample.cost_qv)).abs() < 1e-12,
+                "benefit must equal cost delta"
+            );
+            assert!(!p.sample.input.tables.is_empty());
+        }
+    }
+
+    #[test]
+    fn rewritten_pair_preserves_results() {
+        let w = mini(42);
+        let mut catalog = w.catalog.clone();
+        let plans = w.plans();
+        let pre = preprocess_and_measure(&mut catalog, &plans, Pricing::paper_defaults())
+            .expect("preprocess");
+        let exec = Executor::new(&catalog, Pricing::paper_defaults());
+        let mut checked = 0;
+        for (i, ms) in pre.analysis.query_matches.iter().enumerate() {
+            for m in ms.iter().take(1) {
+                let Some(rw) = rewrite_pair(&catalog, &pre, &plans[i], i, m.candidate) else {
+                    continue;
+                };
+                let orig = exec.run(&plans[i]).expect("runs");
+                let new = exec.run(&rw).expect("rewritten runs");
+                assert_eq!(orig.batch, new.batch, "query {i} view {}", m.candidate);
+                checked += 1;
+                if checked >= 5 {
+                    return;
+                }
+            }
+        }
+        assert!(checked > 0, "at least one rewrite must be validated");
+    }
+
+    #[test]
+    fn limit_caps_pair_collection() {
+        let w = mini(43);
+        let mut catalog = w.catalog.clone();
+        let plans = w.plans();
+        let pre = preprocess_and_measure(&mut catalog, &plans, Pricing::paper_defaults())
+            .expect("preprocess");
+        let pairs = collect_pair_truth(&catalog, &pre, &plans, Pricing::paper_defaults(), 3, 1)
+            .expect("pairs");
+        assert!(pairs.len() <= 3);
+    }
+}

@@ -1,0 +1,47 @@
+//! # av-cost — cost/utility estimation (paper Section IV)
+//!
+//! Estimates `A_{β,γ}(q|v)` — the cost of query `q` rewritten with
+//! materialized view `v` — from features of the two plans and their input
+//! tables, without executing the rewritten query.
+//!
+//! The headline model is the paper's **Wide-Deep** network
+//! ([`widedeep::WideDeep`]): a wide linear part over normalized numerical
+//! features joined with a deep part that encodes plans (keyword embeddings,
+//! char-CNN string encoding, two-level LSTM) and table schemas (embedding +
+//! average pooling) through two ResNet blocks into a regressor.
+//!
+//! The baselines of the paper's Table III are implemented alongside:
+//! - [`baselines::OptimizerEstimator`] — analytical cost algebra
+//!   `A(q) − A(s) + A(v_scan)` over an optimizer-style cost model;
+//! - [`baselines::DeepLearnEstimator`] — a learned *single-plan* cost model
+//!   combined the same way (the [36]-style baseline);
+//! - [`baselines::LinearRegression`] — ridge regression on numerical
+//!   features;
+//! - [`gbm::Gbm`] — gradient-boosted regression trees (the XGBoost stand-in);
+//! - Wide-Deep ablations **N-Kw**, **N-Str**, **N-Exp**
+//!   ([`widedeep::Ablation`]).
+
+pub mod baselines;
+pub mod features;
+pub mod gbm;
+pub mod linalg;
+pub mod metrics;
+pub mod vocab;
+pub mod widedeep;
+
+pub use baselines::{DeepLearnEstimator, LinearRegression, OptimizerEstimator};
+pub use features::{FeatureInput, PairSample, TableMeta};
+pub use gbm::{Gbm, GbmConfig};
+pub use metrics::{mae, mape};
+pub use vocab::Vocab;
+pub use widedeep::{Ablation, WideDeep, WideDeepConfig};
+
+/// A trained model that predicts the rewritten-query cost for a
+/// (query, view, tables) input.
+pub trait CostEstimator {
+    /// Predicted `A_{β,γ}(q|v)` in dollars.
+    fn estimate(&self, input: &FeatureInput) -> f64;
+
+    /// Display name for experiment tables.
+    fn name(&self) -> &'static str;
+}

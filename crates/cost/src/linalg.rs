@@ -1,0 +1,122 @@
+//! Small dense linear algebra: ridge regression via Gaussian elimination.
+
+/// Solve the ridge-regression normal equations
+/// `(XᵀX + λI)·w = Xᵀy` for `w`, where `rows` are the feature vectors
+/// (a column of ones should be appended by the caller for an intercept).
+///
+/// Returns `None` if the system is singular beyond repair (λ = 0 and
+/// degenerate features).
+pub fn ridge_fit(rows: &[Vec<f64>], y: &[f64], lambda: f64) -> Option<Vec<f64>> {
+    assert_eq!(rows.len(), y.len(), "row/target count mismatch");
+    let n = rows.first().map(|r| r.len()).unwrap_or(0);
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    // XᵀX + λI
+    let mut a = vec![vec![0.0f64; n]; n];
+    let mut b = vec![0.0f64; n];
+    for (row, &target) in rows.iter().zip(y) {
+        assert_eq!(row.len(), n, "ragged feature rows");
+        for i in 0..n {
+            b[i] += row[i] * target;
+            for j in 0..n {
+                a[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for (i, row) in a.iter_mut().enumerate() {
+        row[i] += lambda;
+    }
+    solve_linear(a, b)
+}
+
+/// Solve `A·x = b` by Gaussian elimination with partial pivoting.
+pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        // 2x + y = 5; x − y = 1 → x = 2, y = 1
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let x = solve_linear(a, vec![5.0, 1.0]).expect("solvable");
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_system_returns_none() {
+        let a = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        assert!(solve_linear(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn ridge_recovers_linear_relationship() {
+        // y = 3a − 2b + 1
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let a = (i % 7) as f64;
+                let b = (i % 5) as f64;
+                vec![a, b, 1.0]
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 1.0).collect();
+        let w = ridge_fit(&rows, &y, 1e-9).expect("fits");
+        assert!((w[0] - 3.0).abs() < 1e-6);
+        assert!((w[1] + 2.0).abs() < 1e-6);
+        assert!((w[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ridge_shrinks_with_large_lambda() {
+        let rows = vec![vec![1.0], vec![1.0]];
+        let y = vec![10.0, 10.0];
+        let w = ridge_fit(&rows, &y, 1e6).expect("fits");
+        assert!(w[0].abs() < 0.1, "strong regularization shrinks weights");
+    }
+
+    #[test]
+    fn empty_features_fit_trivially() {
+        let w = ridge_fit(&[], &[], 1.0).expect("empty ok");
+        assert!(w.is_empty());
+    }
+}

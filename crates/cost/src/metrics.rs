@@ -1,0 +1,107 @@
+//! Evaluation metrics for cost estimators (paper Section VI-A).
+
+/// Mean Absolute Error.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+pub fn mae(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    assert!(!truth.is_empty(), "empty evaluation set");
+    truth
+        .iter()
+        .zip(pred)
+        .map(|(y, yh)| (y - yh).abs())
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+/// Mean Absolute Percentage Error, in percent. Zero-valued truths are
+/// guarded with a small epsilon denominator.
+pub fn mape(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    assert!(!truth.is_empty(), "empty evaluation set");
+    truth
+        .iter()
+        .zip(pred)
+        .map(|(y, yh)| ((y - yh) / y.abs().max(1e-12)).abs())
+        .sum::<f64>()
+        / truth.len() as f64
+        * 100.0
+}
+
+/// MAPE restricted to targets with `|truth| ≥ floor`. Rewritten-query costs
+/// can be legitimately ~0 (a query collapsing to an empty view scan), and a
+/// percentage error against ~0 is meaningless; the Table III harness floors
+/// at a small fraction of the mean cost. Returns `NaN` when nothing
+/// survives the floor.
+pub fn mape_floored(truth: &[f64], pred: &[f64], floor: f64) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    let kept: Vec<(f64, f64)> = truth
+        .iter()
+        .zip(pred)
+        .filter(|(y, _)| y.abs() >= floor)
+        .map(|(y, yh)| (*y, *yh))
+        .collect();
+    if kept.is_empty() {
+        return f64::NAN;
+    }
+    kept.iter()
+        .map(|(y, yh)| ((y - yh) / y.abs()).abs())
+        .sum::<f64>()
+        / kept.len() as f64
+        * 100.0
+}
+
+/// Split indices into train/validation/test with the paper's 7:1:2 ratio,
+/// deterministically shuffled by seed.
+pub fn split_7_1_2(n: usize, seed: u64) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    use rand::seq::SliceRandom;
+    use rand_chacha::rand_core::SeedableRng;
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n_train = n * 7 / 10;
+    let n_val = n / 10;
+    let train = idx[..n_train].to_vec();
+    let val = idx[n_train..n_train + n_val].to_vec();
+    let test = idx[n_train + n_val..].to_vec();
+    (train, val, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_of_perfect_prediction_is_zero() {
+        assert_eq!(mae(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn mae_known_value() {
+        assert!((mae(&[1.0, 3.0], &[2.0, 1.0]) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_known_value() {
+        // errors: 50% and 25% → mean 37.5%
+        assert!((mape(&[2.0, 4.0], &[1.0, 3.0]) - 37.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_covers_everything_disjointly() {
+        let (tr, va, te) = split_7_1_2(100, 9);
+        assert_eq!(tr.len(), 70);
+        assert_eq!(va.len(), 10);
+        assert_eq!(te.len(), 20);
+        let mut all: Vec<usize> = tr.iter().chain(&va).chain(&te).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        assert_eq!(split_7_1_2(50, 1), split_7_1_2(50, 1));
+        assert_ne!(split_7_1_2(50, 1).0, split_7_1_2(50, 2).0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Keyword vocabulary shared by the embedding models.
+//!
+//! The paper shares one Keyword Embedding matrix across plan tokens and
+//! schema tokens "as their keywords belong to the same database". The vocab
+//! is built from the training split; unseen keywords map to a reserved UNK
+//! slot.
+
+use std::collections::HashMap;
+
+/// Reserved index for unknown keywords.
+pub const UNK: usize = 0;
+
+/// A frozen keyword → index mapping.
+#[derive(Debug, Clone, Default)]
+pub struct Vocab {
+    map: HashMap<String, usize>,
+}
+
+impl Vocab {
+    /// Empty vocabulary (only UNK).
+    pub fn new() -> Vocab {
+        Vocab::default()
+    }
+
+    /// Add a keyword (idempotent), returning its index.
+    pub fn add(&mut self, kw: &str) -> usize {
+        if let Some(&i) = self.map.get(kw) {
+            return i;
+        }
+        let i = self.map.len() + 1; // 0 is UNK
+        self.map.insert(kw.to_string(), i);
+        i
+    }
+
+    /// Look up a keyword, UNK when absent.
+    pub fn index(&self, kw: &str) -> usize {
+        self.map.get(kw).copied().unwrap_or(UNK)
+    }
+
+    /// Vocabulary size including UNK.
+    pub fn len(&self) -> usize {
+        self.map.len() + 1
+    }
+
+    /// Always false: UNK is always present.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.add("Scan");
+        let b = v.add("Scan");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn unknown_maps_to_unk() {
+        let mut v = Vocab::new();
+        v.add("known");
+        assert_eq!(v.index("unknown"), UNK);
+        assert_ne!(v.index("known"), UNK);
+    }
+
+    #[test]
+    fn indices_are_dense_and_start_after_unk() {
+        let mut v = Vocab::new();
+        let ids: Vec<usize> = ["a", "b", "c"].iter().map(|k| v.add(k)).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert_eq!(v.len(), 4);
+    }
+}

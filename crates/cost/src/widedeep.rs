@@ -1,0 +1,538 @@
+//! The Wide-Deep cost model (paper Section IV-B) and its ablations.
+//!
+//! Architecture, following Fig. 5:
+//!
+//! ```text
+//! numerical features ──normalize──► Dc ──affine (Mw)──► Dw ─┐
+//!                                   │                       ├─► FC5 → ReLU → FC6 → Ŷ
+//! table schema ──keyword-embed──► avg pool ──► Dm ─┐        │
+//! query plan  ──token encode ► LSTM1 ► LSTM2 ─► De_q ├─► Dr ─► ResNet×2 ─► Z2 ┘
+//! view plan   ──token encode ► LSTM1 ► LSTM2 ─► De_v ┘
+//! ```
+//!
+//! Token encoding: keywords through a shared Keyword Embedding; literal
+//! strings through the String Encoding model (char embedding → two
+//! `Conv3×1 → BatchNorm → ReLU` blocks → average pooling, Fig. 6).
+//!
+//! Ablations (paper Section VI-A):
+//! - **N-Kw** — one-hot vectors replace keyword embeddings;
+//! - **N-Str** — one-hot char histograms replace char embeddings and the CNN;
+//! - **N-Exp** — average pooling replaces both LSTMs.
+
+use crate::baselines::{normalization_stats, normalize, scalar_stats};
+use crate::features::{numerical_features, plan_tokens, schema_keywords, FeatureInput, NUM_FEATURES};
+use crate::vocab::Vocab;
+use crate::CostEstimator;
+use av_nn::{Adam, BatchNorm, Conv3x1, Embedding, Graph, Linear, Lstm, NodeId, ParamStore, Tensor};
+use av_plan::Token;
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Which part of the model is ablated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ablation {
+    /// Full Wide-Deep (`W-D`).
+    None,
+    /// One-hot keywords (`N-Kw`).
+    NKw,
+    /// One-hot chars, no CNN (`N-Str`).
+    NStr,
+    /// Average pooling instead of the LSTMs (`N-Exp`).
+    NExp,
+}
+
+impl Ablation {
+    /// Display name matching the paper's Table III columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            Ablation::None => "W-D",
+            Ablation::NKw => "N-Kw",
+            Ablation::NStr => "N-Str",
+            Ablation::NExp => "N-Exp",
+        }
+    }
+}
+
+/// Hyper-parameters (paper Table II supplies `epochs`, `lr`, `bs`).
+#[derive(Debug, Clone)]
+pub struct WideDeepConfig {
+    /// Dense embedding width `n_d`.
+    pub embed_dim: usize,
+    /// Hidden width of the per-operator LSTM₁.
+    pub lstm1_hidden: usize,
+    /// Hidden width of the plan-level LSTM₂.
+    pub lstm2_hidden: usize,
+    /// Output width of the wide affine transform.
+    pub wide_dim: usize,
+    /// Training epochs `I`.
+    pub epochs: usize,
+    /// Adam learning rate `lr`.
+    pub lr: f32,
+    /// Batch size `b_s` (gradient-accumulation granularity).
+    pub batch_size: usize,
+    /// Truncation cap on operator rows per plan (speed guard).
+    pub max_operators: usize,
+    /// Truncation cap on chars per string literal.
+    pub max_string_len: usize,
+    pub seed: u64,
+    pub ablation: Ablation,
+}
+
+impl Default for WideDeepConfig {
+    fn default() -> Self {
+        WideDeepConfig {
+            embed_dim: 12,
+            lstm1_hidden: 16,
+            lstm2_hidden: 16,
+            wide_dim: 8,
+            epochs: 25,
+            lr: 5e-3,
+            batch_size: 16,
+            max_operators: 16,
+            max_string_len: 16,
+            seed: 17,
+            ablation: Ablation::None,
+        }
+    }
+}
+
+/// A trained Wide-Deep cost model.
+pub struct WideDeep {
+    config: WideDeepConfig,
+    vocab: Vocab,
+    store: ParamStore,
+    /// Width of one encoded token (depends on the ablation).
+    token_dim: usize,
+    kw_embed: Embedding,
+    char_embed: Embedding,
+    conv1: Conv3x1,
+    bn1: BatchNorm,
+    conv2: Conv3x1,
+    bn2: BatchNorm,
+    lstm1: Lstm,
+    lstm2: Lstm,
+    wide: Linear,
+    fc1: Linear,
+    fc2: Linear,
+    fc3: Linear,
+    fc4: Linear,
+    fc5: Linear,
+    fc6: Linear,
+    x_mean: Vec<f64>,
+    x_std: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl WideDeep {
+    /// Train on labelled `(input, A(q|v))` pairs (paper Algorithm 1).
+    pub fn fit(samples: &[(FeatureInput, f64)], config: WideDeepConfig) -> WideDeep {
+        Self::fit_traced(samples, config).0
+    }
+
+    /// Train, also returning the per-epoch training loss trace.
+    pub fn fit_traced(
+        samples: &[(FeatureInput, f64)],
+        config: WideDeepConfig,
+    ) -> (WideDeep, Vec<f64>) {
+        // Vocabulary from the training split only.
+        let mut vocab = Vocab::new();
+        for (inp, _) in samples {
+            let (q, v) = plan_tokens(inp);
+            for row in q.iter().chain(v.iter()) {
+                for tok in row {
+                    if let Token::Keyword(k) = tok {
+                        vocab.add(k);
+                    }
+                }
+            }
+            for kw in schema_keywords(inp) {
+                vocab.add(&kw);
+            }
+        }
+
+        let mut model = Self::initialize(config, vocab);
+
+        // Normalization statistics (Algorithm 1 line 8 uses per-feature
+        // z-normalization; we compute the stats over the training split).
+        let xs: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|(inp, _)| numerical_features(inp).to_vec())
+            .collect();
+        let (x_mean, x_std) = normalization_stats(&xs, NUM_FEATURES);
+        let ys: Vec<f64> = samples.iter().map(|&(_, y)| y).collect();
+        let (y_mean, y_std) = scalar_stats(&ys);
+        model.x_mean = x_mean;
+        model.x_std = x_std;
+        model.y_mean = y_mean;
+        model.y_std = y_std;
+
+        let mut adam = Adam::new(model.config.lr);
+        let mut rng = ChaCha8Rng::seed_from_u64(model.config.seed);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut trace = Vec::with_capacity(model.config.epochs);
+
+        for _epoch in 0..model.config.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            for chunk in order.chunks(model.config.batch_size.max(1)) {
+                model.store.zero_grads();
+                for &i in chunk {
+                    let (inp, y) = &samples[i];
+                    let mut g = Graph::new();
+                    let pred = model.forward(&mut g, inp);
+                    let target = ((y - model.y_mean) / model.y_std) as f32;
+                    let t = g.input(Tensor::from_vec(1, 1, vec![target]));
+                    let loss = g.mse(pred, t);
+                    epoch_loss += g.value(loss).get(0, 0) as f64;
+                    g.backward(loss);
+                    g.accumulate_param_grads(&mut model.store);
+                }
+                adam.step(&mut model.store);
+            }
+            trace.push(epoch_loss / samples.len().max(1) as f64);
+        }
+        (model, trace)
+    }
+
+    fn initialize(config: WideDeepConfig, vocab: Vocab) -> WideDeep {
+        let nd = config.embed_dim;
+        let token_dim = match config.ablation {
+            Ablation::NKw => vocab.len().max(nd),
+            Ablation::NStr => nd.max(128),
+            _ => nd,
+        };
+        let mut store = ParamStore::with_seed(config.seed);
+        let kw_embed = Embedding::new(&mut store, vocab.len(), nd);
+        let char_embed = Embedding::new(&mut store, 128, nd);
+        let conv1 = Conv3x1::new(&mut store, nd);
+        let bn1 = BatchNorm::new(&mut store, nd);
+        let conv2 = Conv3x1::new(&mut store, nd);
+        let bn2 = BatchNorm::new(&mut store, nd);
+        let lstm1 = Lstm::new(&mut store, token_dim, config.lstm1_hidden);
+        let lstm2 = Lstm::new(&mut store, config.lstm1_hidden, config.lstm2_hidden);
+        let wide = Linear::new(&mut store, NUM_FEATURES, config.wide_dim);
+
+        // Deep-part input: Dc ++ Dm ++ De(query) ++ De(view).
+        let schema_dim = match config.ablation {
+            Ablation::NKw => vocab.len(),
+            _ => nd,
+        };
+        let de_dim = match config.ablation {
+            Ablation::NExp => token_dim,
+            _ => config.lstm2_hidden,
+        };
+        let dr = NUM_FEATURES + schema_dim + 2 * de_dim;
+        let fc1 = Linear::new(&mut store, dr, dr);
+        let fc2 = Linear::new(&mut store, dr, dr);
+        let fc3 = Linear::new(&mut store, dr, dr);
+        let fc4 = Linear::new(&mut store, dr, dr);
+        let fc5 = Linear::new(&mut store, config.wide_dim + dr, 16);
+        let fc6 = Linear::new(&mut store, 16, 1);
+
+        WideDeep {
+            config,
+            vocab,
+            store,
+            token_dim,
+            kw_embed,
+            char_embed,
+            conv1,
+            bn1,
+            conv2,
+            bn2,
+            lstm1,
+            lstm2,
+            wide,
+            fc1,
+            fc2,
+            fc3,
+            fc4,
+            fc5,
+            fc6,
+            x_mean: vec![0.0; NUM_FEATURES],
+            x_std: vec![1.0; NUM_FEATURES],
+            y_mean: 0.0,
+            y_std: 1.0,
+        }
+    }
+
+    /// Encode one keyword token → `1×token_dim` node.
+    fn encode_keyword(&self, g: &mut Graph, kw: &str) -> NodeId {
+        let idx = self.vocab.index(kw);
+        match self.config.ablation {
+            Ablation::NKw => {
+                let mut t = Tensor::zeros(1, self.token_dim);
+                t.set(0, idx.min(self.token_dim - 1), 1.0);
+                g.input(t)
+            }
+            _ => {
+                let e = self.kw_embed.forward_with(g, &self.store, &[idx]);
+                self.pad_to_token_dim(g, e, self.config.embed_dim)
+            }
+        }
+    }
+
+    /// Encode one string literal → `1×token_dim` node (paper Fig. 6).
+    fn encode_string(&self, g: &mut Graph, s: &str) -> NodeId {
+        let chars: Vec<usize> = s
+            .bytes()
+            .take(self.config.max_string_len)
+            .map(|b| (b & 0x7f) as usize)
+            .collect();
+        let chars = if chars.is_empty() { vec![0] } else { chars };
+        match self.config.ablation {
+            Ablation::NStr => {
+                // One-hot chars, no CNN: the pooled char histogram.
+                let mut t = Tensor::zeros(1, self.token_dim);
+                for &c in &chars {
+                    *t.get_mut(0, c) += 1.0 / chars.len() as f32;
+                }
+                g.input(t)
+            }
+            _ => {
+                let emb = self.char_embed.forward_with(g, &self.store, &chars);
+                let c1 = self.conv1.forward_with(g, &self.store, emb);
+                let b1 = self.bn1.forward_with(g, &self.store, c1);
+                let r1 = g.relu(b1);
+                let c2 = self.conv2.forward_with(g, &self.store, r1);
+                let b2 = self.bn2.forward_with(g, &self.store, c2);
+                let r2 = g.relu(b2);
+                let pooled = g.mean_rows(r2);
+                self.pad_to_token_dim(g, pooled, self.config.embed_dim)
+            }
+        }
+    }
+
+    fn pad_to_token_dim(&self, g: &mut Graph, node: NodeId, width: usize) -> NodeId {
+        if width == self.token_dim {
+            return node;
+        }
+        let pad = g.input(Tensor::zeros(1, self.token_dim - width));
+        g.concat_cols(&[node, pad])
+    }
+
+    /// Encode a plan (its token rows) → `1×de_dim` node.
+    fn encode_plan(&self, g: &mut Graph, rows: &[Vec<Token>]) -> NodeId {
+        let rows = &rows[..rows.len().min(self.config.max_operators)];
+        let mut op_vecs: Vec<NodeId> = Vec::with_capacity(rows.len());
+        let mut all_tokens: Vec<NodeId> = Vec::new();
+        for row in rows {
+            let toks: Vec<NodeId> = row
+                .iter()
+                .map(|t| match t {
+                    Token::Keyword(k) => self.encode_keyword(g, k),
+                    Token::Str(s) => self.encode_string(g, s),
+                })
+                .collect();
+            if self.config.ablation == Ablation::NExp {
+                all_tokens.extend(&toks);
+            } else {
+                op_vecs.push(self.lstm1.forward_with(g, &self.store, &toks));
+            }
+        }
+        if self.config.ablation == Ablation::NExp {
+            let stacked = g.concat_rows(&all_tokens);
+            g.mean_rows(stacked)
+        } else {
+            self.lstm2.forward_with(g, &self.store, &op_vecs)
+        }
+    }
+
+    /// Encode the schema keyword set → `1×schema_dim` node (Fig. 7b).
+    fn encode_schema(&self, g: &mut Graph, keywords: &[String]) -> NodeId {
+        match self.config.ablation {
+            Ablation::NKw => {
+                let dim = self.vocab.len();
+                let mut t = Tensor::zeros(1, dim);
+                if !keywords.is_empty() {
+                    for kw in keywords {
+                        let idx = self.vocab.index(kw).min(dim - 1);
+                        *t.get_mut(0, idx) += 1.0 / keywords.len() as f32;
+                    }
+                }
+                g.input(t)
+            }
+            _ => {
+                if keywords.is_empty() {
+                    return g.input(Tensor::zeros(1, self.config.embed_dim));
+                }
+                let indices: Vec<usize> =
+                    keywords.iter().map(|k| self.vocab.index(k)).collect();
+                let emb = self.kw_embed.forward_with(g, &self.store, &indices);
+                g.mean_rows(emb)
+            }
+        }
+    }
+
+    /// Full forward pass → normalized prediction node (`1×1`).
+    fn forward(&self, g: &mut Graph, input: &FeatureInput) -> NodeId {
+        // Wide part.
+        let x = numerical_features(input);
+        let xn = normalize(&x, &self.x_mean, &self.x_std);
+        let dc = g.input(Tensor::from_rows(&[&xn]));
+        let dw = self.wide.forward_with(g, &self.store, dc);
+
+        // Deep part.
+        let dm = self.encode_schema(g, &schema_keywords(input));
+        let (q_rows, v_rows) = plan_tokens(input);
+        let de_q = self.encode_plan(g, &q_rows);
+        let de_v = self.encode_plan(g, &v_rows);
+        let dr = g.concat_cols(&[dc, dm, de_q, de_v]);
+
+        // Two ResNet blocks: Z = Dr ⊕ ReLU(FC(ReLU(FC(Dr)))).
+        let h = self.fc1.forward_with(g, &self.store, dr);
+        let h = g.relu(h);
+        let h = self.fc2.forward_with(g, &self.store, h);
+        let h = g.relu(h);
+        let z1 = g.add(dr, h);
+        let h = self.fc3.forward_with(g, &self.store, z1);
+        let h = g.relu(h);
+        let h = self.fc4.forward_with(g, &self.store, h);
+        let h = g.relu(h);
+        let z2 = g.add(z1, h);
+
+        // Regressor over the merged wide and deep outputs.
+        let merged = g.concat_cols(&[dw, z2]);
+        let h = self.fc5.forward_with(g, &self.store, merged);
+        let h = g.relu(h);
+        self.fc6.forward_with(g, &self.store, h)
+    }
+
+    /// Number of trainable scalars (for documentation / sanity checks).
+    pub fn parameter_count(&self) -> usize {
+        self.store.scalar_count()
+    }
+}
+
+impl CostEstimator for WideDeep {
+    fn estimate(&self, input: &FeatureInput) -> f64 {
+        let mut g = Graph::new();
+        let pred = self.forward(&mut g, input);
+        g.value(pred).get(0, 0) as f64 * self.y_std + self.y_mean
+    }
+
+    fn name(&self) -> &'static str {
+        self.config.ablation.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::TableMeta;
+    use av_plan::{Expr, PlanBuilder};
+
+    fn synth_samples(n: usize) -> Vec<(FeatureInput, f64)> {
+        (0..n)
+            .map(|i| {
+                let rows = 100.0 * (1 + i % 10) as f64;
+                let sel = 1 + (i % 4) as i64;
+                let view = PlanBuilder::scan("ev", "t")
+                    .filter(Expr::col("t.kind").eq(Expr::int(sel)))
+                    .project(&[("t.uid", "t.uid")])
+                    .build();
+                let query = PlanBuilder::from_plan(view.clone())
+                    .count_star(&["t.uid"], "n")
+                    .build();
+                let input = FeatureInput {
+                    query,
+                    view,
+                    tables: vec![TableMeta {
+                        name: "ev".into(),
+                        rows,
+                        columns: 3.0,
+                        bytes: rows * 24.0,
+                        avg_distinct_ratio: 0.4,
+                        column_names: vec!["uid".into(), "kind".into(), "v".into()],
+                        column_types: vec!["Int".into(), "Int".into(), "Int".into()],
+                    }],
+                };
+                // Cost grows with data size and varies with the literal.
+                let y = (1.0 + rows).ln() * (1.0 + 0.1 * sel as f64);
+                (input, y)
+            })
+            .collect()
+    }
+
+    fn quick_config(ablation: Ablation) -> WideDeepConfig {
+        WideDeepConfig {
+            epochs: 12,
+            batch_size: 8,
+            embed_dim: 8,
+            lstm1_hidden: 8,
+            lstm2_hidden: 8,
+            ablation,
+            ..WideDeepConfig::default()
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let samples = synth_samples(40);
+        let (_, trace) = WideDeep::fit_traced(&samples, quick_config(Ablation::None));
+        assert!(
+            trace.last().expect("trace") < &trace[0],
+            "loss should fall: {trace:?}"
+        );
+    }
+
+    #[test]
+    fn predictions_track_targets() {
+        let samples = synth_samples(60);
+        let model = WideDeep::fit(&samples, quick_config(Ablation::None));
+        // In-sample fit should beat the mean-predictor clearly.
+        let ys: Vec<f64> = samples.iter().map(|(_, y)| *y).collect();
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let model_err: f64 = samples
+            .iter()
+            .map(|(inp, y)| (model.estimate(inp) - y).abs())
+            .sum();
+        let mean_err: f64 = ys.iter().map(|y| (y - mean).abs()).sum();
+        assert!(
+            model_err < mean_err,
+            "model {model_err} should beat mean predictor {mean_err}"
+        );
+    }
+
+    #[test]
+    fn all_ablations_run_forward_and_backward() {
+        let samples = synth_samples(10);
+        for ab in [Ablation::None, Ablation::NKw, Ablation::NStr, Ablation::NExp] {
+            let mut cfg = quick_config(ab);
+            cfg.epochs = 2;
+            let model = WideDeep::fit(&samples, cfg);
+            let pred = model.estimate(&samples[0].0);
+            assert!(pred.is_finite(), "{} produced {pred}", ab.name());
+        }
+    }
+
+    #[test]
+    fn estimate_is_deterministic() {
+        let samples = synth_samples(20);
+        let model = WideDeep::fit(&samples, quick_config(Ablation::None));
+        let a = model.estimate(&samples[3].0);
+        let b = model.estimate(&samples[3].0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ablation_names_match_paper() {
+        assert_eq!(Ablation::None.name(), "W-D");
+        assert_eq!(Ablation::NKw.name(), "N-Kw");
+        assert_eq!(Ablation::NStr.name(), "N-Str");
+        assert_eq!(Ablation::NExp.name(), "N-Exp");
+    }
+
+    #[test]
+    fn parameter_count_is_positive_and_stable() {
+        let samples = synth_samples(5);
+        let mut cfg = quick_config(Ablation::None);
+        cfg.epochs = 1;
+        let m1 = WideDeep::fit(&samples, cfg.clone());
+        let m2 = WideDeep::fit(&samples, cfg);
+        assert!(m1.parameter_count() > 1000);
+        assert_eq!(m1.parameter_count(), m2.parameter_count());
+    }
+}

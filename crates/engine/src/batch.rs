@@ -1,0 +1,230 @@
+//! Columnar record batches.
+
+use av_plan::Value;
+use serde::{Deserialize, Serialize};
+
+/// A typed column of values. Columns never store NULLs; NULL only arises
+/// transiently during expression evaluation (e.g. division by zero).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Column {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Str(Vec<String>),
+}
+
+impl Column {
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Str(v) => v.len(),
+        }
+    }
+
+    /// True iff the column has no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Value at row `i`.
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            Column::Int(v) => Value::Int(v[i]),
+            Column::Float(v) => Value::Float(v[i]),
+            Column::Str(v) => Value::Str(v[i].clone()),
+        }
+    }
+
+    /// An empty column of the same type.
+    pub fn empty_like(&self) -> Column {
+        match self {
+            Column::Int(_) => Column::Int(Vec::new()),
+            Column::Float(_) => Column::Float(Vec::new()),
+            Column::Str(_) => Column::Str(Vec::new()),
+        }
+    }
+
+    /// Append the value at `row` of `src` (a column of the same type).
+    ///
+    /// # Panics
+    /// Panics if the column types differ.
+    pub fn push_from(&mut self, src: &Column, row: usize) {
+        match (self, src) {
+            (Column::Int(d), Column::Int(s)) => d.push(s[row]),
+            (Column::Float(d), Column::Float(s)) => d.push(s[row]),
+            (Column::Str(d), Column::Str(s)) => d.push(s[row].clone()),
+            _ => panic!("push_from across mismatched column types"),
+        }
+    }
+
+    /// Append a scalar [`Value`], coercing Int/Float as needed.
+    ///
+    /// # Panics
+    /// Panics on NULL or on string/number mismatch.
+    pub fn push_value(&mut self, v: &Value) {
+        match (self, v) {
+            (Column::Int(d), Value::Int(i)) => d.push(*i),
+            (Column::Int(d), Value::Float(f)) => d.push(*f as i64),
+            (Column::Float(d), Value::Float(f)) => d.push(*f),
+            (Column::Float(d), Value::Int(i)) => d.push(*i as f64),
+            (Column::Str(d), Value::Str(s)) => d.push(s.clone()),
+            (col, v) => panic!("cannot push {v:?} into {col:?}"),
+        }
+    }
+
+    /// Approximate in-memory byte size of the column data.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len() * 8,
+            Column::Float(v) => v.len() * 8,
+            Column::Str(v) => v.iter().map(|s| s.len() + 24).sum(),
+        }
+    }
+
+    /// Keep only rows where `mask` is true.
+    pub fn filter(&self, mask: &[bool]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(
+                v.iter()
+                    .zip(mask)
+                    .filter_map(|(x, &m)| m.then_some(*x))
+                    .collect(),
+            ),
+            Column::Float(v) => Column::Float(
+                v.iter()
+                    .zip(mask)
+                    .filter_map(|(x, &m)| m.then_some(*x))
+                    .collect(),
+            ),
+            Column::Str(v) => Column::Str(
+                v.iter()
+                    .zip(mask)
+                    .filter_map(|(x, &m)| m.then(|| x.clone()))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Gather rows by index.
+    pub fn take(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(indices.iter().map(|&i| v[i]).collect()),
+            Column::Float(v) => Column::Float(indices.iter().map(|&i| v[i]).collect()),
+            Column::Str(v) => Column::Str(indices.iter().map(|&i| v[i].clone()).collect()),
+        }
+    }
+}
+
+/// A named set of equal-length columns — the unit of data flow between
+/// operators and the storage format of tables and materialized views.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordBatch {
+    /// Column names, parallel to `columns`. Names produced by scans are
+    /// qualified (`alias.column`).
+    pub names: Vec<String>,
+    /// Column data, all of equal length.
+    pub columns: Vec<Column>,
+}
+
+impl RecordBatch {
+    /// Empty batch with no columns.
+    pub fn empty() -> RecordBatch {
+        RecordBatch {
+            names: Vec::new(),
+            columns: Vec::new(),
+        }
+    }
+
+    /// Number of rows (0 for a column-less batch).
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a named column.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Column data by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.column_index(name).map(|i| &self.columns[i])
+    }
+
+    /// Total approximate byte size of all columns.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(|c| c.byte_size()).sum()
+    }
+
+    /// Row `i` rendered as values, for tests and display.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> RecordBatch {
+        RecordBatch {
+            names: vec!["a.id".into(), "a.name".into()],
+            columns: vec![
+                Column::Int(vec![1, 2, 3]),
+                Column::Str(vec!["x".into(), "y".into(), "z".into()]),
+            ],
+        }
+    }
+
+    #[test]
+    fn filter_keeps_masked_rows() {
+        let c = Column::Int(vec![10, 20, 30, 40]);
+        assert_eq!(
+            c.filter(&[true, false, true, false]),
+            Column::Int(vec![10, 30])
+        );
+    }
+
+    #[test]
+    fn take_gathers_with_repeats() {
+        let c = Column::Str(vec!["a".into(), "b".into()]);
+        assert_eq!(
+            c.take(&[1, 1, 0]),
+            Column::Str(vec!["b".into(), "b".into(), "a".into()])
+        );
+    }
+
+    #[test]
+    fn byte_size_counts_string_payload() {
+        let c = Column::Str(vec!["abcd".into()]);
+        assert_eq!(c.byte_size(), 4 + 24);
+        assert_eq!(Column::Int(vec![1, 2]).byte_size(), 16);
+    }
+
+    #[test]
+    fn batch_lookup_by_name() {
+        let b = batch();
+        assert_eq!(b.column_index("a.name"), Some(1));
+        assert!(b.column("missing").is_none());
+        assert_eq!(b.num_rows(), 3);
+    }
+
+    #[test]
+    fn push_value_coerces_numerics() {
+        let mut c = Column::Float(vec![]);
+        c.push_value(&Value::Int(3));
+        assert_eq!(c, Column::Float(vec![3.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot push")]
+    fn push_value_rejects_type_mismatch() {
+        let mut c = Column::Int(vec![]);
+        c.push_value(&Value::Str("no".into()));
+    }
+}

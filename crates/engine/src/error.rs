@@ -1,0 +1,34 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors raised while validating or executing a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Referenced table is not in the catalog.
+    UnknownTable(String),
+    /// Referenced column is not in scope.
+    UnknownColumn(String),
+    /// A table was constructed with columns of unequal length.
+    RaggedColumns { table: String },
+    /// A table/view name collides with an existing one.
+    DuplicateTable(String),
+    /// Aggregate over a non-numeric column where numbers are required.
+    TypeError(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            EngineError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            EngineError::RaggedColumns { table } => {
+                write!(f, "columns of table {table} have unequal lengths")
+            }
+            EngineError::DuplicateTable(t) => write!(f, "table already exists: {t}"),
+            EngineError::TypeError(m) => write!(f, "type error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

@@ -1,0 +1,668 @@
+//! Plan interpreter with cost metering.
+
+use crate::batch::{Column, RecordBatch};
+use crate::catalog::Catalog;
+use crate::error::EngineError;
+use crate::meter::{CostMeter, ExecutionReport, Pricing};
+use av_plan::{AggFunc, Expr, JoinType, PlanNode, Value};
+use std::collections::HashMap;
+
+/// Result of executing a plan: the data plus the priced execution report.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    pub batch: RecordBatch,
+    pub report: ExecutionReport,
+}
+
+/// Executes logical plans against a catalog, metering cost.
+pub struct Executor<'a> {
+    catalog: &'a Catalog,
+    pricing: Pricing,
+}
+
+impl<'a> Executor<'a> {
+    /// New executor over a catalog with a pricing model.
+    pub fn new(catalog: &'a Catalog, pricing: Pricing) -> Executor<'a> {
+        Executor { catalog, pricing }
+    }
+
+    /// Execute a plan, returning the result batch and its execution report.
+    pub fn run(&self, plan: &PlanNode) -> Result<ExecResult, EngineError> {
+        let mut meter = CostMeter::new();
+        let batch = self.exec(plan, &mut meter)?;
+        let report = meter.report(&self.pricing, batch.byte_size(), batch.num_rows());
+        Ok(ExecResult { batch, report })
+    }
+
+    /// Execute and return only the cost in dollars (`A_{β,γ}`).
+    pub fn cost(&self, plan: &PlanNode) -> Result<f64, EngineError> {
+        Ok(self.run(plan)?.report.cost_dollars)
+    }
+
+    fn exec(&self, plan: &PlanNode, meter: &mut CostMeter) -> Result<RecordBatch, EngineError> {
+        match plan {
+            PlanNode::TableScan { table, alias } => self.exec_scan(table, alias, meter),
+            PlanNode::Filter { input, predicate } => {
+                let batch = self.exec(input, meter)?;
+                exec_filter(batch, predicate, meter)
+            }
+            PlanNode::Project { input, exprs } => {
+                let batch = self.exec(input, meter)?;
+                exec_project(batch, exprs, meter)
+            }
+            PlanNode::Join {
+                left,
+                right,
+                on,
+                join_type,
+            } => {
+                let lb = self.exec(left, meter)?;
+                let rb = self.exec(right, meter)?;
+                exec_join(lb, rb, on, *join_type, meter)
+            }
+            PlanNode::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let batch = self.exec(input, meter)?;
+                exec_aggregate(batch, group_by, aggs, meter)
+            }
+        }
+    }
+
+    fn exec_scan(
+        &self,
+        table: &str,
+        alias: &str,
+        meter: &mut CostMeter,
+    ) -> Result<RecordBatch, EngineError> {
+        let t = self
+            .catalog
+            .table(table)
+            .ok_or_else(|| EngineError::UnknownTable(table.to_string()))?;
+        // Scanning charges one op per cell plus a per-row dispatch cost.
+        meter.charge_rows(t.row_count(), t.data.num_columns() + 1);
+        meter.alloc_bytes(t.byte_size());
+        let names = if alias.is_empty() {
+            // Materialized-view scan: stored names are already qualified.
+            t.column_names.clone()
+        } else {
+            t.column_names
+                .iter()
+                .map(|c| format!("{alias}.{c}"))
+                .collect()
+        };
+        Ok(RecordBatch {
+            names,
+            columns: t.data.columns.clone(),
+        })
+    }
+}
+
+fn resolve_row<'b>(
+    batch: &'b RecordBatch,
+    row: usize,
+) -> impl Fn(&str) -> Value + 'b {
+    move |name: &str| match batch.column(name) {
+        Some(c) => c.get(row),
+        None => Value::Null,
+    }
+}
+
+fn require_column(batch: &RecordBatch, name: &str) -> Result<usize, EngineError> {
+    batch
+        .column_index(name)
+        .ok_or_else(|| EngineError::UnknownColumn(name.to_string()))
+}
+
+fn exec_filter(
+    batch: RecordBatch,
+    predicate: &Expr,
+    meter: &mut CostMeter,
+) -> Result<RecordBatch, EngineError> {
+    // Validate referenced columns exist to fail loudly rather than treating
+    // typos as always-NULL.
+    for c in predicate.referenced_columns() {
+        require_column(&batch, &c)?;
+    }
+    let rows = batch.num_rows();
+    let pred_weight = predicate.referenced_columns().len().max(1) * 2;
+    meter.charge_rows(rows, pred_weight);
+
+    let mut mask = vec![false; rows];
+    for (i, m) in mask.iter_mut().enumerate() {
+        *m = predicate.eval_bool(&resolve_row(&batch, i));
+    }
+    let in_bytes = batch.byte_size();
+    let columns: Vec<Column> = batch.columns.iter().map(|c| c.filter(&mask)).collect();
+    let out = RecordBatch {
+        names: batch.names,
+        columns,
+    };
+    meter.alloc_bytes(out.byte_size());
+    meter.free_bytes(in_bytes);
+    Ok(out)
+}
+
+fn exec_project(
+    batch: RecordBatch,
+    exprs: &[av_plan::ProjExpr],
+    meter: &mut CostMeter,
+) -> Result<RecordBatch, EngineError> {
+    let rows = batch.num_rows();
+    meter.charge_rows(rows, exprs.len().max(1));
+
+    let mut names = Vec::with_capacity(exprs.len());
+    let mut columns = Vec::with_capacity(exprs.len());
+    for p in exprs {
+        names.push(p.alias.clone());
+        match &p.expr {
+            // Fast path: plain column forwarding.
+            Expr::Column(c) => {
+                let idx = require_column(&batch, c)?;
+                columns.push(batch.columns[idx].clone());
+            }
+            expr => {
+                for c in expr.referenced_columns() {
+                    require_column(&batch, &c)?;
+                }
+                // Computed column: evaluate per row; infer output type from
+                // the first row (empty input defaults to Float).
+                let mut vals = Vec::with_capacity(rows);
+                for i in 0..rows {
+                    vals.push(expr.eval(&resolve_row(&batch, i)));
+                }
+                columns.push(values_to_column(&vals));
+            }
+        }
+    }
+    let in_bytes = batch.byte_size();
+    let out = RecordBatch { names, columns };
+    meter.alloc_bytes(out.byte_size());
+    meter.free_bytes(in_bytes);
+    Ok(out)
+}
+
+fn values_to_column(vals: &[Value]) -> Column {
+    let mut col = match vals.iter().find(|v| !v.is_null()) {
+        Some(Value::Int(_)) => Column::Int(Vec::with_capacity(vals.len())),
+        Some(Value::Str(_)) => Column::Str(Vec::with_capacity(vals.len())),
+        _ => Column::Float(Vec::with_capacity(vals.len())),
+    };
+    for v in vals {
+        // NULLs (e.g. division by zero) are stored as a zero of the column
+        // type; the engine's stored data is NULL-free by construction.
+        match (&mut col, v) {
+            (c, v) if !v.is_null() => c.push_value(v),
+            (Column::Int(d), _) => d.push(0),
+            (Column::Float(d), _) => d.push(0.0),
+            (Column::Str(d), _) => d.push(String::new()),
+        }
+    }
+    col
+}
+
+fn exec_join(
+    left: RecordBatch,
+    right: RecordBatch,
+    on: &[(String, String)],
+    join_type: JoinType,
+    meter: &mut CostMeter,
+) -> Result<RecordBatch, EngineError> {
+    let lkeys: Vec<usize> = on
+        .iter()
+        .map(|(l, _)| require_column(&left, l))
+        .collect::<Result<_, _>>()?;
+    let rkeys: Vec<usize> = on
+        .iter()
+        .map(|(_, r)| require_column(&right, r))
+        .collect::<Result<_, _>>()?;
+
+    // Build a hash table on the smaller side for CPU fairness, but always
+    // build on the right for deterministic output order; charge accordingly.
+    let build_rows = right.num_rows();
+    let probe_rows = left.num_rows();
+    meter.charge_rows(build_rows, 4 * on.len().max(1)); // hash + insert
+    meter.charge_rows(probe_rows, 4 * on.len().max(1)); // hash + probe
+
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build_rows);
+    for i in 0..build_rows {
+        let key: Vec<Value> = rkeys.iter().map(|&k| right.columns[k].get(i)).collect();
+        table.entry(key).or_default().push(i);
+    }
+    meter.alloc_bytes(build_rows * 16 * on.len().max(1));
+
+    let mut lidx = Vec::new();
+    let mut ridx: Vec<Option<usize>> = Vec::new();
+    for i in 0..probe_rows {
+        let key: Vec<Value> = lkeys.iter().map(|&k| left.columns[k].get(i)).collect();
+        match table.get(&key) {
+            Some(matches) => {
+                for &j in matches {
+                    lidx.push(i);
+                    ridx.push(Some(j));
+                }
+            }
+            None => {
+                if join_type == JoinType::Left {
+                    lidx.push(i);
+                    ridx.push(None);
+                }
+            }
+        }
+    }
+    meter.charge_rows(lidx.len(), left.num_columns() + right.num_columns());
+
+    let mut names = left.names.clone();
+    names.extend(right.names.iter().cloned());
+    let mut columns: Vec<Column> = left.columns.iter().map(|c| c.take(&lidx)).collect();
+    for c in &right.columns {
+        // Left-join misses materialize as type-default values (no NULL
+        // storage); inner joins never hit the None branch.
+        let mut out = c.empty_like();
+        for r in &ridx {
+            match r {
+                Some(j) => out.push_from(c, *j),
+                None => match &mut out {
+                    Column::Int(d) => d.push(0),
+                    Column::Float(d) => d.push(0.0),
+                    Column::Str(d) => d.push(String::new()),
+                },
+            }
+        }
+        columns.push(out);
+    }
+
+    let in_bytes = left.byte_size() + right.byte_size();
+    let out = RecordBatch { names, columns };
+    meter.alloc_bytes(out.byte_size());
+    meter.free_bytes(in_bytes + build_rows * 16 * on.len().max(1));
+    Ok(out)
+}
+
+fn exec_aggregate(
+    batch: RecordBatch,
+    group_by: &[String],
+    aggs: &[av_plan::AggExpr],
+    meter: &mut CostMeter,
+) -> Result<RecordBatch, EngineError> {
+    let gidx: Vec<usize> = group_by
+        .iter()
+        .map(|g| require_column(&batch, g))
+        .collect::<Result<_, _>>()?;
+    let ainput: Vec<Option<usize>> = aggs
+        .iter()
+        .map(|a| match &a.input {
+            Some(c) => require_column(&batch, c).map(Some),
+            None => Ok(None),
+        })
+        .collect::<Result<_, _>>()?;
+
+    let rows = batch.num_rows();
+    meter.charge_rows(rows, (group_by.len() + aggs.len()).max(1) * 2);
+
+    /// Running state of one aggregate within one group.
+    #[derive(Clone)]
+    struct AggState {
+        count: usize,
+        sum: f64,
+        min: Option<Value>,
+        max: Option<Value>,
+    }
+    impl AggState {
+        fn new() -> AggState {
+            AggState {
+                count: 0,
+                sum: 0.0,
+                min: None,
+                max: None,
+            }
+        }
+        fn update(&mut self, v: Option<Value>) {
+            self.count += 1;
+            if let Some(v) = v {
+                if let Some(x) = v.as_f64() {
+                    self.sum += x;
+                }
+                if self.min.as_ref().map(|m| v.total_cmp(m).is_lt()).unwrap_or(true) {
+                    self.min = Some(v.clone());
+                }
+                if self.max.as_ref().map(|m| v.total_cmp(m).is_gt()).unwrap_or(true) {
+                    self.max = Some(v);
+                }
+            }
+        }
+    }
+
+    // Group keys in first-seen order for deterministic output.
+    let mut key_order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut states: Vec<Vec<AggState>> = Vec::new();
+
+    for i in 0..rows {
+        let key: Vec<Value> = gidx.iter().map(|&k| batch.columns[k].get(i)).collect();
+        let slot = *groups.entry(key.clone()).or_insert_with(|| {
+            key_order.push(key);
+            states.push(vec![AggState::new(); aggs.len()]);
+            states.len() - 1
+        });
+        for (a, ai) in ainput.iter().enumerate() {
+            let v = ai.map(|idx| batch.columns[idx].get(i));
+            states[slot][a].update(v);
+        }
+    }
+
+    // A global aggregate (no GROUP BY) over empty input still yields one row.
+    if group_by.is_empty() && states.is_empty() {
+        key_order.push(Vec::new());
+        states.push(vec![AggState::new(); aggs.len()]);
+    }
+
+    let n_groups = states.len();
+    meter.alloc_bytes(n_groups * (group_by.len() + aggs.len()).max(1) * 16);
+
+    let mut names: Vec<String> = group_by.to_vec();
+    names.extend(aggs.iter().map(|a| a.output.clone()));
+
+    let mut columns: Vec<Column> = Vec::with_capacity(names.len());
+    // Group-key columns.
+    for (k, &src) in gidx.iter().enumerate() {
+        let mut col = batch.columns[src].empty_like();
+        for key in &key_order {
+            col.push_value(&key[k]);
+        }
+        columns.push(col);
+    }
+    // Aggregate columns.
+    for (a, agg) in aggs.iter().enumerate() {
+        let vals: Vec<Value> = states
+            .iter()
+            .map(|st| {
+                let s = &st[a];
+                match agg.func {
+                    AggFunc::Count => Value::Int(s.count as i64),
+                    AggFunc::Sum => Value::Float(s.sum),
+                    AggFunc::Avg => {
+                        if s.count == 0 {
+                            Value::Float(0.0)
+                        } else {
+                            Value::Float(s.sum / s.count as f64)
+                        }
+                    }
+                    AggFunc::Min => s.min.clone().unwrap_or(Value::Int(0)),
+                    AggFunc::Max => s.max.clone().unwrap_or(Value::Int(0)),
+                }
+            })
+            .collect();
+        columns.push(values_to_column(&vals));
+    }
+
+    let in_bytes = batch.byte_size();
+    let out = RecordBatch { names, columns };
+    meter.alloc_bytes(out.byte_size());
+    meter.free_bytes(in_bytes);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Table;
+    use av_plan::{AggExpr, CmpOp, PlanBuilder};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            Table::new(
+                "orders",
+                vec![
+                    ("id", Column::Int((0..100).collect())),
+                    ("cust", Column::Int((0..100).map(|i| i % 10).collect())),
+                    (
+                        "amount",
+                        Column::Float((0..100).map(|i| i as f64).collect()),
+                    ),
+                ],
+            )
+            .expect("valid"),
+        )
+        .expect("ok");
+        c.add_table(
+            Table::new(
+                "customers",
+                vec![
+                    ("id", Column::Int((0..10).collect())),
+                    (
+                        "tier",
+                        Column::Str((0..10).map(|i| if i < 3 { "gold" } else { "basic" }.into()).collect()),
+                    ),
+                ],
+            )
+            .expect("valid"),
+        )
+        .expect("ok");
+        c
+    }
+
+    fn run(c: &Catalog, plan: &PlanNode) -> ExecResult {
+        Executor::new(c, Pricing::paper_defaults())
+            .run(plan)
+            .expect("plan executes")
+    }
+
+    #[test]
+    fn scan_qualifies_columns_with_alias() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("orders", "o").build();
+        let r = run(&c, &plan);
+        assert_eq!(r.batch.names, vec!["o.id", "o.cust", "o.amount"]);
+        assert_eq!(r.batch.num_rows(), 100);
+    }
+
+    #[test]
+    fn filter_selects_matching_rows() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("orders", "o")
+            .filter(Expr::col("o.cust").eq(Expr::int(3)))
+            .build();
+        assert_eq!(run(&c, &plan).batch.num_rows(), 10);
+    }
+
+    #[test]
+    fn scan_of_unknown_table_errors() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("missing", "m").build();
+        let err = Executor::new(&c, Pricing::paper_defaults())
+            .run(&plan)
+            .expect_err("unknown table");
+        assert_eq!(err, EngineError::UnknownTable("missing".into()));
+    }
+
+    #[test]
+    fn join_on_unknown_key_errors() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("orders", "o")
+            .join(PlanBuilder::scan("customers", "c"), &[("o.cust", "c.zzz")])
+            .build();
+        let err = Executor::new(&c, Pricing::paper_defaults())
+            .run(&plan)
+            .expect_err("unknown join key");
+        assert_eq!(err, EngineError::UnknownColumn("c.zzz".into()));
+    }
+
+    #[test]
+    fn filter_on_unknown_column_errors() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("orders", "o")
+            .filter(Expr::col("o.nope").eq(Expr::int(3)))
+            .build();
+        let err = Executor::new(&c, Pricing::paper_defaults())
+            .run(&plan)
+            .expect_err("unknown column");
+        assert_eq!(err, EngineError::UnknownColumn("o.nope".into()));
+    }
+
+    #[test]
+    fn inner_join_matches_keys() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("orders", "o")
+            .join(PlanBuilder::scan("customers", "c"), &[("o.cust", "c.id")])
+            .build();
+        let r = run(&c, &plan);
+        assert_eq!(r.batch.num_rows(), 100); // every order has a customer
+        assert_eq!(r.batch.num_columns(), 5);
+    }
+
+    #[test]
+    fn join_filters_compose() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("orders", "o")
+            .join(
+                PlanBuilder::scan("customers", "c")
+                    .filter(Expr::col("c.tier").eq(Expr::str("gold"))),
+                &[("o.cust", "c.id")],
+            )
+            .build();
+        // gold customers are ids 0,1,2 → 30 orders
+        assert_eq!(run(&c, &plan).batch.num_rows(), 30);
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched_probe_rows() {
+        let mut c = Catalog::new();
+        c.add_table(
+            Table::new("l", vec![("k", Column::Int(vec![1, 2, 3]))]).expect("ok"),
+        )
+        .expect("ok");
+        c.add_table(Table::new("r", vec![("k", Column::Int(vec![2]))]).expect("ok"))
+            .expect("ok");
+        let plan = PlanBuilder::scan("l", "l")
+            .join_typed(
+                PlanBuilder::scan("r", "r"),
+                &[("l.k", "r.k")],
+                JoinType::Left,
+            )
+            .build();
+        assert_eq!(run(&c, &plan).batch.num_rows(), 3);
+    }
+
+    #[test]
+    fn aggregate_count_and_sum() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("orders", "o").aggregate(
+            &["o.cust"],
+            vec![
+                AggExpr {
+                    func: AggFunc::Count,
+                    input: None,
+                    output: "n".into(),
+                },
+                AggExpr {
+                    func: AggFunc::Sum,
+                    input: Some("o.amount".into()),
+                    output: "total".into(),
+                },
+            ],
+        );
+        let r = run(&c, &plan.build());
+        assert_eq!(r.batch.num_rows(), 10);
+        // Group for cust=0: ids 0,10,...,90 → count 10, sum 450
+        let cust = r.batch.column("o.cust").expect("col");
+        let n = r.batch.column("n").expect("col");
+        let total = r.batch.column("total").expect("col");
+        let row0 = (0..10)
+            .find(|&i| cust.get(i) == Value::Int(0))
+            .expect("group exists");
+        assert_eq!(n.get(row0), Value::Int(10));
+        assert_eq!(total.get(row0), Value::Float(450.0));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input_yields_one_row() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("orders", "o")
+            .filter(Expr::col("o.id").cmp(CmpOp::Lt, Expr::int(0)))
+            .count_star(&[], "n")
+            .build();
+        let r = run(&c, &plan);
+        assert_eq!(r.batch.num_rows(), 1);
+        assert_eq!(r.batch.column("n").expect("col").get(0), Value::Int(0));
+    }
+
+    #[test]
+    fn min_max_avg_aggregates() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("orders", "o").aggregate(
+            &[],
+            vec![
+                AggExpr {
+                    func: AggFunc::Min,
+                    input: Some("o.amount".into()),
+                    output: "lo".into(),
+                },
+                AggExpr {
+                    func: AggFunc::Max,
+                    input: Some("o.amount".into()),
+                    output: "hi".into(),
+                },
+                AggExpr {
+                    func: AggFunc::Avg,
+                    input: Some("o.amount".into()),
+                    output: "mean".into(),
+                },
+            ],
+        );
+        let r = run(&c, &plan.build());
+        assert_eq!(r.batch.column("lo").expect("col").get(0), Value::Float(0.0));
+        assert_eq!(r.batch.column("hi").expect("col").get(0), Value::Float(99.0));
+        assert_eq!(
+            r.batch.column("mean").expect("col").get(0),
+            Value::Float(49.5)
+        );
+    }
+
+    #[test]
+    fn computed_projection_evaluates_arithmetic() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("orders", "o").project_exprs(vec![av_plan::ProjExpr {
+            expr: Expr::Arith {
+                op: av_plan::expr::ArithOp::Mul,
+                left: Box::new(Expr::col("o.amount")),
+                right: Box::new(Expr::int(2)),
+            },
+            alias: "double".into(),
+        }]);
+        let r = run(&c, &plan.build());
+        assert_eq!(
+            r.batch.column("double").expect("col").get(3),
+            Value::Float(6.0)
+        );
+    }
+
+    #[test]
+    fn cost_grows_with_work() {
+        let c = catalog();
+        let cheap = PlanBuilder::scan("customers", "c").build();
+        let pricey = PlanBuilder::scan("orders", "o")
+            .join(PlanBuilder::scan("customers", "c"), &[("o.cust", "c.id")])
+            .count_star(&["c.tier"], "n")
+            .build();
+        let rc = run(&c, &cheap);
+        let rp = run(&c, &pricey);
+        assert!(rp.report.cost_dollars > rc.report.cost_dollars);
+        assert!(rp.report.usage.latency_seconds > 0.0);
+    }
+
+    #[test]
+    fn deterministic_execution() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("orders", "o")
+            .count_star(&["o.cust"], "n")
+            .build();
+        let a = run(&c, &plan);
+        let b = run(&c, &plan);
+        assert_eq!(a.batch, b.batch);
+        assert_eq!(a.report.cost_dollars, b.report.cost_dollars);
+    }
+}

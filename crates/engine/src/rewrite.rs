@@ -1,0 +1,399 @@
+//! Query rewriting: replace subtrees with materialized-view scans.
+//!
+//! Given a query plan and a materialized view whose defining subquery is
+//! structurally identical to some subtree of the query, splice a scan of the
+//! view's stored table over that subtree. The rewritten plan computes the
+//! same result (the stored table *is* the subtree's output, column names
+//! included) but skips re-executing the subquery — the source of the
+//! paper's benefit `B_{q,v} = A_{β,γ}(q) − A_{β,γ}(q|v)`.
+
+use crate::view::MaterializedView;
+use av_plan::{Fingerprint, PlanNode, PlanRef};
+
+/// Rewrite `plan` using one view. Returns the rewritten plan and how many
+/// subtrees were replaced (0 means the view did not apply).
+pub fn rewrite_with_view(plan: &PlanRef, view: &MaterializedView) -> (PlanRef, usize) {
+    let mut count = 0;
+    let out = rewrite_rec(plan, view.fingerprint, &view.table_name, &mut count);
+    (out, count)
+}
+
+/// Rewrite `plan` with a set of views, applying each at most once per
+/// occurrence, outermost-first (an outer replacement swallows inner
+/// candidates, matching the paper's non-overlapping usage constraint).
+/// Returns the rewritten plan and the ids (indices into `views`) actually
+/// applied at least once.
+pub fn rewrite_with_views(plan: &PlanRef, views: &[&MaterializedView]) -> (PlanRef, Vec<usize>) {
+    let mut applied = Vec::new();
+    let mut current = plan.clone();
+    // Outermost-first: a view matching a larger subtree is preferred, so
+    // sort candidates by descending node count of their defining plan.
+    let mut order: Vec<usize> = (0..views.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(views[i].plan.node_count()));
+    for i in order {
+        let (next, n) = rewrite_with_view(&current, views[i]);
+        if n > 0 {
+            applied.push(i);
+            current = next;
+        }
+    }
+    applied.sort_unstable();
+    (current, applied)
+}
+
+/// Rewrite the subtree of `plan` whose fingerprint is `target_fp` (the
+/// *query's own* matching subquery, which may use different aliases than the
+/// view's defining plan) with a scan of `view`'s stored table, renamed
+/// positionally to the subtree's output columns.
+///
+/// Equivalent plans produce same-arity outputs in corresponding positions,
+/// so the positional rename preserves semantics. `subtree_columns` must be
+/// the matched subtree's output column names (derivable via
+/// `PlanNode::output_columns` with the catalog).
+///
+/// Returns the rewritten plan and the number of subtrees replaced.
+pub fn rewrite_subtree_with_view(
+    plan: &PlanRef,
+    target_fp: Fingerprint,
+    view: &MaterializedView,
+    subtree_columns: &[String],
+    view_columns: &[String],
+) -> (PlanRef, usize) {
+    assert_eq!(
+        subtree_columns.len(),
+        view_columns.len(),
+        "equivalent plans must have same output arity"
+    );
+    let mut count = 0;
+    let scan = PlanNode::TableScan {
+        table: view.table_name.clone(),
+        alias: String::new(),
+    }
+    .into_ref();
+    // Rename only when the names differ; a bare scan keeps plans minimal.
+    let replacement = if subtree_columns == view_columns {
+        scan
+    } else {
+        PlanNode::Project {
+            input: scan,
+            exprs: view_columns
+                .iter()
+                .zip(subtree_columns)
+                .map(|(from, to)| av_plan::ProjExpr::column(from.clone(), to.clone()))
+                .collect(),
+        }
+        .into_ref()
+    };
+    let out = splice(plan, target_fp, &replacement, &mut count);
+    (out, count)
+}
+
+fn splice(
+    plan: &PlanRef,
+    target: Fingerprint,
+    replacement: &PlanRef,
+    count: &mut usize,
+) -> PlanRef {
+    if Fingerprint::of(plan) == target {
+        *count += 1;
+        return replacement.clone();
+    }
+    match plan.as_ref() {
+        PlanNode::TableScan { .. } => plan.clone(),
+        PlanNode::Filter { input, predicate } => {
+            let new_input = splice(input, target, replacement, count);
+            if std::sync::Arc::ptr_eq(&new_input, input) {
+                plan.clone()
+            } else {
+                PlanNode::Filter {
+                    input: new_input,
+                    predicate: predicate.clone(),
+                }
+                .into_ref()
+            }
+        }
+        PlanNode::Project { input, exprs } => {
+            let new_input = splice(input, target, replacement, count);
+            if std::sync::Arc::ptr_eq(&new_input, input) {
+                plan.clone()
+            } else {
+                PlanNode::Project {
+                    input: new_input,
+                    exprs: exprs.clone(),
+                }
+                .into_ref()
+            }
+        }
+        PlanNode::Join {
+            left,
+            right,
+            on,
+            join_type,
+        } => {
+            let new_left = splice(left, target, replacement, count);
+            let new_right = splice(right, target, replacement, count);
+            if std::sync::Arc::ptr_eq(&new_left, left) && std::sync::Arc::ptr_eq(&new_right, right)
+            {
+                plan.clone()
+            } else {
+                PlanNode::Join {
+                    left: new_left,
+                    right: new_right,
+                    on: on.clone(),
+                    join_type: *join_type,
+                }
+                .into_ref()
+            }
+        }
+        PlanNode::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let new_input = splice(input, target, replacement, count);
+            if std::sync::Arc::ptr_eq(&new_input, input) {
+                plan.clone()
+            } else {
+                PlanNode::Aggregate {
+                    input: new_input,
+                    group_by: group_by.clone(),
+                    aggs: aggs.clone(),
+                }
+                .into_ref()
+            }
+        }
+    }
+}
+
+fn rewrite_rec(
+    plan: &PlanRef,
+    target: Fingerprint,
+    table_name: &str,
+    count: &mut usize,
+) -> PlanRef {
+    if Fingerprint::of(plan) == target {
+        *count += 1;
+        // Empty alias = view scan: stored column names pass through as-is.
+        return PlanNode::TableScan {
+            table: table_name.to_string(),
+            alias: String::new(),
+        }
+        .into_ref();
+    }
+    match plan.as_ref() {
+        PlanNode::TableScan { .. } => plan.clone(),
+        PlanNode::Filter { input, predicate } => {
+            let new_input = rewrite_rec(input, target, table_name, count);
+            if std::sync::Arc::ptr_eq(&new_input, input) {
+                plan.clone()
+            } else {
+                PlanNode::Filter {
+                    input: new_input,
+                    predicate: predicate.clone(),
+                }
+                .into_ref()
+            }
+        }
+        PlanNode::Project { input, exprs } => {
+            let new_input = rewrite_rec(input, target, table_name, count);
+            if std::sync::Arc::ptr_eq(&new_input, input) {
+                plan.clone()
+            } else {
+                PlanNode::Project {
+                    input: new_input,
+                    exprs: exprs.clone(),
+                }
+                .into_ref()
+            }
+        }
+        PlanNode::Join {
+            left,
+            right,
+            on,
+            join_type,
+        } => {
+            let new_left = rewrite_rec(left, target, table_name, count);
+            let new_right = rewrite_rec(right, target, table_name, count);
+            if std::sync::Arc::ptr_eq(&new_left, left) && std::sync::Arc::ptr_eq(&new_right, right)
+            {
+                plan.clone()
+            } else {
+                PlanNode::Join {
+                    left: new_left,
+                    right: new_right,
+                    on: on.clone(),
+                    join_type: *join_type,
+                }
+                .into_ref()
+            }
+        }
+        PlanNode::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let new_input = rewrite_rec(input, target, table_name, count);
+            if std::sync::Arc::ptr_eq(&new_input, input) {
+                plan.clone()
+            } else {
+                PlanNode::Aggregate {
+                    input: new_input,
+                    group_by: group_by.clone(),
+                    aggs: aggs.clone(),
+                }
+                .into_ref()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Column;
+    use crate::catalog::{Catalog, Table};
+    use crate::exec::Executor;
+    use crate::meter::Pricing;
+    use crate::view::ViewStore;
+    use av_plan::{Expr, PlanBuilder};
+
+    fn setup() -> (Catalog, ViewStore, PlanRef, PlanRef) {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            Table::new(
+                "events",
+                vec![
+                    ("uid", Column::Int((0..200).map(|i| i % 20).collect())),
+                    ("kind", Column::Int((0..200).map(|i| i % 4).collect())),
+                    ("val", Column::Int((0..200).collect())),
+                ],
+            )
+            .expect("valid"),
+        )
+        .expect("ok");
+
+        // Subquery s: filtered projection.
+        let sub = PlanBuilder::scan("events", "e")
+            .filter(Expr::col("e.kind").eq(Expr::int(1)))
+            .project(&[("e.uid", "e.uid"), ("e.val", "e.val")])
+            .build();
+        // Query q: aggregate over s.
+        let query = PlanBuilder::from_plan(sub.clone())
+            .count_star(&["e.uid"], "n")
+            .build();
+
+        let mut store = ViewStore::new();
+        store
+            .materialize(&mut cat, sub.clone(), Pricing::paper_defaults())
+            .expect("materializes");
+        (cat, store, query, sub)
+    }
+
+    #[test]
+    fn rewrite_replaces_matching_subtree() {
+        let (_cat, store, query, _sub) = setup();
+        let (rewritten, n) = rewrite_with_view(&query, &store.views()[0]);
+        assert_eq!(n, 1);
+        let s = rewritten.display_indent();
+        assert!(s.contains("__view_0"));
+        assert!(!s.contains("Filter"), "subtree replaced:\n{s}");
+    }
+
+    #[test]
+    fn rewritten_query_produces_identical_results() {
+        let (cat, store, query, _sub) = setup();
+        let (rewritten, _) = rewrite_with_view(&query, &store.views()[0]);
+        let exec = Executor::new(&cat, Pricing::paper_defaults());
+        let orig = exec.run(&query).expect("original runs");
+        let rew = exec.run(&rewritten).expect("rewritten runs");
+        assert_eq!(orig.batch, rew.batch);
+    }
+
+    #[test]
+    fn rewritten_query_is_cheaper() {
+        let (cat, store, query, _sub) = setup();
+        let (rewritten, _) = rewrite_with_view(&query, &store.views()[0]);
+        let exec = Executor::new(&cat, Pricing::paper_defaults());
+        let orig = exec.run(&query).expect("runs");
+        let rew = exec.run(&rewritten).expect("runs");
+        assert!(
+            rew.report.cost_dollars < orig.report.cost_dollars,
+            "rewritten {} should cost less than original {}",
+            rew.report.cost_dollars,
+            orig.report.cost_dollars
+        );
+    }
+
+    #[test]
+    fn non_matching_view_leaves_plan_untouched() {
+        let (mut cat, mut store, query, _sub) = setup();
+        let other = PlanBuilder::scan("events", "e")
+            .filter(Expr::col("e.kind").eq(Expr::int(3)))
+            .project(&[("e.uid", "e.uid")])
+            .build();
+        store
+            .materialize(&mut cat, other, Pricing::paper_defaults())
+            .expect("materializes");
+        let (rewritten, n) = rewrite_with_view(&query, &store.views()[1]);
+        assert_eq!(n, 0);
+        assert_eq!(rewritten.display_indent(), query.display_indent());
+    }
+
+    #[test]
+    fn cross_alias_rewrite_with_rename_preserves_results() {
+        // View defined with alias `e`; an equivalent query subtree uses `z`.
+        let (mut cat, mut store, _query, _sub) = setup();
+        let view_plan = PlanBuilder::scan("events", "e")
+            .filter(Expr::col("e.kind").eq(Expr::int(2)))
+            .project(&[("e.uid", "e.uid"), ("e.val", "e.val")])
+            .build();
+        let id = store
+            .materialize(&mut cat, view_plan, Pricing::paper_defaults())
+            .expect("materializes");
+        let view = store.view(id).expect("exists");
+
+        let sub_z = PlanBuilder::scan("events", "z")
+            .filter(Expr::col("z.kind").eq(Expr::int(2)))
+            .project(&[("z.uid", "z.uid"), ("z.val", "z.val")])
+            .build();
+        let query_z = PlanBuilder::from_plan(sub_z.clone())
+            .count_star(&["z.uid"], "n")
+            .build();
+
+        let cat_cols = |t: &str| cat.table_columns(t);
+        let subtree_cols = sub_z.output_columns(&cat_cols);
+        let view_cols = cat
+            .table(&view.table_name)
+            .expect("stored")
+            .column_names
+            .clone();
+        let (rewritten, n) = rewrite_subtree_with_view(
+            &query_z,
+            av_plan::Fingerprint::of(&sub_z),
+            view,
+            &subtree_cols,
+            &view_cols,
+        );
+        assert_eq!(n, 1);
+        let exec = Executor::new(&cat, Pricing::paper_defaults());
+        let orig = exec.run(&query_z).expect("original runs");
+        let rew = exec.run(&rewritten).expect("rewritten runs");
+        assert_eq!(orig.batch, rew.batch);
+        assert!(rew.report.cost_dollars < orig.report.cost_dollars);
+    }
+
+    #[test]
+    fn multi_view_rewrite_prefers_larger_subtree() {
+        let (mut cat, mut store, query, sub) = setup();
+        // Materialize the whole query as well; it covers the smaller view.
+        store
+            .materialize(&mut cat, query.clone(), Pricing::paper_defaults())
+            .expect("materializes");
+        let views: Vec<&MaterializedView> = store.views().iter().collect();
+        let (rewritten, applied) = rewrite_with_views(&query, &views);
+        // Only the outer (bigger) view applies; inner candidate swallowed.
+        assert_eq!(applied, vec![1]);
+        assert!(rewritten.display_indent().contains("__view_1"));
+        let _ = sub;
+    }
+}

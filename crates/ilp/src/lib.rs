@@ -1,0 +1,26 @@
+//! # av-ilp — 0-1 integer linear programming
+//!
+//! The paper casts Materialized View Selection as an ILP (Section V-A) and
+//! calls an off-the-shelf solver (PuLP/Gurobi) for the per-query `Y-Opt`
+//! subproblems and for the exact `OPT` reference on JOB. This crate plays
+//! that role: a small binary-ILP model with an exact depth-first
+//! branch-and-bound solver, plus the MVS-specific problem builder.
+//!
+//! ```
+//! use av_ilp::IlpProblem;
+//!
+//! // maximize 3a + 2b + 2c  s.t.  a + b ≤ 1, b + c ≤ 1
+//! let mut p = IlpProblem::new(3);
+//! p.set_objective(vec![3.0, 2.0, 2.0]);
+//! p.add_le_constraint(vec![(0, 1.0), (1, 1.0)], 1.0);
+//! p.add_le_constraint(vec![(1, 1.0), (2, 1.0)], 1.0);
+//! let sol = p.solve();
+//! assert_eq!(sol.assignment, vec![true, false, true]);
+//! assert!((sol.objective - 5.0).abs() < 1e-9);
+//! ```
+
+pub mod model;
+pub mod mvs;
+
+pub use model::{IlpProblem, IlpSolution};
+pub use mvs::{MvsInstance, MvsSolution};

@@ -1,0 +1,340 @@
+//! Binary ILP model and exact branch-and-bound solver.
+
+/// A 0-1 ILP: maximize `c·x` subject to sparse `≤` constraints over binary
+/// variables.
+#[derive(Debug, Clone)]
+pub struct IlpProblem {
+    n: usize,
+    objective: Vec<f64>,
+    /// Each constraint: sparse terms `(var, coeff)` and bound, `Σ coeff·x ≤ b`.
+    constraints: Vec<(Vec<(usize, f64)>, f64)>,
+}
+
+/// A solution: assignment plus achieved objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IlpSolution {
+    pub assignment: Vec<bool>,
+    pub objective: f64,
+    /// True when the solver proved optimality (always true for `solve`;
+    /// kept for future budgeted variants).
+    pub optimal: bool,
+}
+
+impl IlpProblem {
+    /// Problem over `n` binary variables with a zero objective.
+    pub fn new(n: usize) -> IlpProblem {
+        IlpProblem {
+            n,
+            objective: vec![0.0; n],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Set the full objective vector (maximized).
+    ///
+    /// # Panics
+    /// Panics if the length differs from the variable count.
+    pub fn set_objective(&mut self, c: Vec<f64>) {
+        assert_eq!(c.len(), self.n, "objective length mismatch");
+        self.objective = c;
+    }
+
+    /// Add `Σ coeff·x ≤ bound`. Duplicate variables are coalesced (their
+    /// coefficients summed) so the solver's per-variable feasibility
+    /// propagation sees each variable's total contribution.
+    pub fn add_le_constraint(&mut self, terms: Vec<(usize, f64)>, bound: f64) {
+        debug_assert!(terms.iter().all(|&(v, _)| v < self.n));
+        let mut coalesced: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
+        for (v, c) in terms {
+            match coalesced.iter_mut().find(|(w, _)| *w == v) {
+                Some((_, acc)) => *acc += c,
+                None => coalesced.push((v, c)),
+            }
+        }
+        coalesced.retain(|&(_, c)| c != 0.0);
+        self.constraints.push((coalesced, bound));
+    }
+
+    /// Check whether a full assignment is feasible.
+    pub fn is_feasible(&self, x: &[bool]) -> bool {
+        self.constraints.iter().all(|(terms, b)| {
+            let lhs: f64 = terms
+                .iter()
+                .map(|&(v, c)| if x[v] { c } else { 0.0 })
+                .sum();
+            lhs <= *b + 1e-9
+        })
+    }
+
+    /// Objective value of an assignment.
+    pub fn objective_of(&self, x: &[bool]) -> f64 {
+        x.iter()
+            .zip(&self.objective)
+            .map(|(&xi, &c)| if xi { c } else { 0.0 })
+            .sum()
+    }
+
+    /// Exact solve by depth-first branch and bound.
+    ///
+    /// Branching order: variables sorted by `|c|` descending, so the bound
+    /// tightens early. Upper bound at a node: objective of fixed variables
+    /// plus every positive coefficient of free variables that could still be
+    /// set without *individually* violating a constraint (a relaxation that
+    /// ignores constraint interaction — sound, and cheap to maintain).
+    pub fn solve(&self) -> IlpSolution {
+        // Variable order: by |objective| descending.
+        let mut order: Vec<usize> = (0..self.n).collect();
+        order.sort_by(|&a, &b| {
+            self.objective[b]
+                .abs()
+                .total_cmp(&self.objective[a].abs())
+        });
+
+        // Residual capacity per constraint given currently-fixed-true vars.
+        let mut residual: Vec<f64> = self.constraints.iter().map(|&(_, b)| b).collect();
+        // Per-constraint sum of negative coefficients over still-free vars:
+        // the minimum possible contribution of the unfixed remainder. A
+        // partial assignment is viable iff `neg_free ≤ residual` everywhere.
+        let mut neg_free: Vec<f64> = self
+            .constraints
+            .iter()
+            .map(|(terms, _)| terms.iter().map(|&(_, c)| c.min(0.0)).sum())
+            .collect();
+        // Per-variable constraint membership for fast updates.
+        let mut memberships: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.n];
+        for (ci, (terms, _)) in self.constraints.iter().enumerate() {
+            for &(v, c) in terms {
+                memberships[v].push((ci, c));
+            }
+        }
+
+        let mut best = IlpSolution {
+            assignment: vec![false; self.n],
+            objective: f64::NEG_INFINITY,
+            optimal: true,
+        };
+        // All-false must be feasible for ≤ constraints with non-negative
+        // bounds; if some bound is negative, search will discover whether
+        // any assignment is feasible.
+        let mut x = vec![false; self.n];
+
+        // Suffix sums of positive objective mass for quick optimistic bounds.
+        let mut pos_suffix = vec![0.0; self.n + 1];
+        for i in (0..self.n).rev() {
+            pos_suffix[i] = pos_suffix[i + 1] + self.objective[order[i]].max(0.0);
+        }
+
+        self.dfs(
+            0,
+            0.0,
+            &order,
+            &pos_suffix,
+            &mut x,
+            &mut residual,
+            &mut neg_free,
+            &memberships,
+            &mut best,
+        );
+        if best.objective == f64::NEG_INFINITY {
+            // No feasible assignment found (possible with negative bounds).
+            best.objective = f64::NAN;
+            best.optimal = false;
+        }
+        best
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &self,
+        depth: usize,
+        current: f64,
+        order: &[usize],
+        pos_suffix: &[f64],
+        x: &mut Vec<bool>,
+        residual: &mut Vec<f64>,
+        neg_free: &mut Vec<f64>,
+        memberships: &[Vec<(usize, f64)>],
+        best: &mut IlpSolution,
+    ) {
+        if current + pos_suffix[depth] <= best.objective + 1e-12 {
+            return; // bound: cannot beat the incumbent
+        }
+        if depth == order.len() {
+            if residual.iter().all(|&r| r >= -1e-9) && current > best.objective {
+                best.objective = current;
+                best.assignment = x.clone();
+            }
+            return;
+        }
+        let v = order[depth];
+
+        // Fixing v (either way) removes it from every constraint's free set.
+        for &(ci, c) in &memberships[v] {
+            neg_free[ci] -= c.min(0.0);
+        }
+
+        // Try x[v] = 1 first when it helps the objective.
+        let try_order: [bool; 2] = if self.objective[v] > 0.0 {
+            [true, false]
+        } else {
+            [false, true]
+        };
+        for &value in &try_order {
+            if value {
+                // Feasibility: after taking v, every touched constraint must
+                // still admit a completion — the minimum possible remaining
+                // contribution (`neg_free`) must fit in the residual.
+                let violates = memberships[v]
+                    .iter()
+                    .any(|&(ci, c)| neg_free[ci] > residual[ci] - c + 1e-9);
+                if violates {
+                    continue;
+                }
+                for &(ci, c) in &memberships[v] {
+                    residual[ci] -= c;
+                }
+                x[v] = true;
+                self.dfs(
+                    depth + 1,
+                    current + self.objective[v],
+                    order,
+                    pos_suffix,
+                    x,
+                    residual,
+                    neg_free,
+                    memberships,
+                    best,
+                );
+                x[v] = false;
+                for &(ci, c) in &memberships[v] {
+                    residual[ci] += c;
+                }
+            } else {
+                // Leaving v unset can itself break a constraint that needed
+                // v's negative coefficient; the viability check above
+                // (neg_free vs residual) at deeper nodes and the final full
+                // check keep this sound without extra pruning here.
+                self.dfs(
+                    depth + 1,
+                    current,
+                    order,
+                    pos_suffix,
+                    x,
+                    residual,
+                    neg_free,
+                    memberships,
+                    best,
+                );
+            }
+        }
+
+        for &(ci, c) in &memberships[v] {
+            neg_free[ci] += c.min(0.0);
+        }
+    }
+}
+
+/// Maximum-weight independent set solved exactly as an ILP: pick items
+/// maximizing `Σ w` such that no conflicting pair is picked together.
+/// Items with non-positive weight are never picked.
+pub fn max_weight_independent_set(weights: &[f64], conflicts: &[(usize, usize)]) -> Vec<bool> {
+    let mut p = IlpProblem::new(weights.len());
+    p.set_objective(weights.to_vec());
+    for &(a, b) in conflicts {
+        p.add_le_constraint(vec![(a, 1.0), (b, 1.0)], 1.0);
+    }
+    // Forbid non-positive-weight picks so ties break toward smaller sets.
+    for (i, &w) in weights.iter().enumerate() {
+        if w <= 0.0 {
+            p.add_le_constraint(vec![(i, 1.0)], 0.0);
+        }
+    }
+    p.solve().assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_takes_all_positive() {
+        let mut p = IlpProblem::new(4);
+        p.set_objective(vec![1.0, -2.0, 3.0, 0.0]);
+        let s = p.solve();
+        assert_eq!(s.assignment, vec![true, false, true, false]);
+        assert!((s.objective - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knapsack_style_constraint() {
+        // maximize 5a + 4b + 3c s.t. 2a + 3b + c ≤ 3 → a + c (obj 8)
+        let mut p = IlpProblem::new(3);
+        p.set_objective(vec![5.0, 4.0, 3.0]);
+        p.add_le_constraint(vec![(0, 2.0), (1, 3.0), (2, 1.0)], 3.0);
+        let s = p.solve();
+        assert_eq!(s.assignment, vec![true, false, true]);
+        assert!((s.objective - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn implication_constraint_y_le_z() {
+        // maximize 10y − 3z s.t. y ≤ z → picks both (net 7)
+        let mut p = IlpProblem::new(2);
+        p.set_objective(vec![10.0, -3.0]);
+        p.add_le_constraint(vec![(0, 1.0), (1, -1.0)], 0.0);
+        let s = p.solve();
+        assert_eq!(s.assignment, vec![true, true]);
+        assert!((s.objective - 7.0).abs() < 1e-12);
+
+        // If the carrier is too expensive, take neither.
+        let mut p2 = IlpProblem::new(2);
+        p2.set_objective(vec![2.0, -3.0]);
+        p2.add_le_constraint(vec![(0, 1.0), (1, -1.0)], 0.0);
+        let s2 = p2.solve();
+        assert_eq!(s2.assignment, vec![false, false]);
+    }
+
+    #[test]
+    fn mwis_chain() {
+        // path graph a-b-c with weights 3,2,2 → {a, c}
+        let picks = max_weight_independent_set(&[3.0, 2.0, 2.0], &[(0, 1), (1, 2)]);
+        assert_eq!(picks, vec![true, false, true]);
+    }
+
+    #[test]
+    fn mwis_skips_nonpositive_weights() {
+        let picks = max_weight_independent_set(&[-1.0, 0.0, 5.0], &[]);
+        assert_eq!(picks, vec![false, false, true]);
+    }
+
+    #[test]
+    fn infeasible_negative_bound_reported() {
+        let mut p = IlpProblem::new(1);
+        p.set_objective(vec![1.0]);
+        // x ≥ something impossible: −x ≤ −2 has no binary solution.
+        p.add_le_constraint(vec![(0, -1.0)], -2.0);
+        let s = p.solve();
+        assert!(s.objective.is_nan());
+        assert!(!s.optimal);
+    }
+
+    #[test]
+    fn feasibility_check_matches_solver() {
+        let mut p = IlpProblem::new(2);
+        p.set_objective(vec![1.0, 1.0]);
+        p.add_le_constraint(vec![(0, 1.0), (1, 1.0)], 1.0);
+        let s = p.solve();
+        assert!(p.is_feasible(&s.assignment));
+        assert!(!p.is_feasible(&[true, true]));
+    }
+}

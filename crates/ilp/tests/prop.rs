@@ -1,0 +1,81 @@
+//! Property tests: the branch-and-bound solver is exact on random binary
+//! ILPs, verified against brute-force enumeration.
+
+use av_ilp::IlpProblem;
+use proptest::prelude::*;
+
+fn brute_force(p: &IlpProblem) -> Option<f64> {
+    let n = p.num_vars();
+    let mut best: Option<f64> = None;
+    for mask in 0..(1usize << n) {
+        let x: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+        if p.is_feasible(&x) {
+            let obj = p.objective_of(&x);
+            if best.map(|b| obj > b).unwrap_or(true) {
+                best = Some(obj);
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bnb_matches_brute_force(
+        n in 1..7usize,
+        objective in proptest::collection::vec(-5.0f64..5.0, 7),
+        constraints in proptest::collection::vec(
+            (proptest::collection::vec((0..7usize, -2.0f64..2.0), 1..4), -1.0f64..4.0),
+            0..5,
+        ),
+    ) {
+        let mut p = IlpProblem::new(n);
+        p.set_objective(objective[..n].to_vec());
+        for (terms, bound) in constraints {
+            let terms: Vec<(usize, f64)> = terms
+                .into_iter()
+                .filter(|&(v, _)| v < n)
+                .collect();
+            if !terms.is_empty() {
+                p.add_le_constraint(terms, bound);
+            }
+        }
+        let solution = p.solve();
+        match brute_force(&p) {
+            Some(best) => {
+                prop_assert!(solution.optimal);
+                prop_assert!(p.is_feasible(&solution.assignment));
+                prop_assert!(
+                    (solution.objective - best).abs() < 1e-9,
+                    "B&B {} != brute force {}", solution.objective, best
+                );
+            }
+            None => {
+                prop_assert!(solution.objective.is_nan(), "must report infeasibility");
+            }
+        }
+    }
+
+    #[test]
+    fn mwis_never_picks_conflicting_pairs(
+        weights in proptest::collection::vec(-3.0f64..6.0, 1..9),
+        edges in proptest::collection::vec((0..9usize, 0..9usize), 0..10),
+    ) {
+        let n = weights.len();
+        let conflicts: Vec<(usize, usize)> = edges
+            .into_iter()
+            .filter(|&(a, b)| a < n && b < n && a != b)
+            .collect();
+        let picks = av_ilp::model::max_weight_independent_set(&weights, &conflicts);
+        for &(a, b) in &conflicts {
+            prop_assert!(!(picks[a] && picks[b]), "conflict ({a},{b}) both picked");
+        }
+        for (i, &p) in picks.iter().enumerate() {
+            if p {
+                prop_assert!(weights[i] > 0.0, "non-positive weight picked");
+            }
+        }
+    }
+}

@@ -1,0 +1,771 @@
+//! Tape-based reverse-mode autograd.
+//!
+//! A [`Graph`] is built per forward pass: every operation appends a node
+//! holding its computed value and enough structure to run the chain rule in
+//! reverse. Parameters enter the graph by value (copied from the
+//! [`ParamStore`]) and their gradients are handed back to the store after
+//! `backward`, so the graph never borrows the store.
+
+use crate::tensor::{ParamId, ParamStore, Tensor};
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Constant input — no gradient flows out.
+    Input,
+    /// Parameter leaf — gradient is collected for the store via the
+    /// graph's `param_nodes` map.
+    Param,
+    /// Row gather from an embedding table parameter. The table itself is
+    /// never copied into the graph; gradients scatter back sparsely.
+    Embed {
+        table: ParamId,
+        indices: Vec<usize>,
+    },
+    /// Matrix product `a × b`.
+    MatMul(NodeId, NodeId),
+    /// Elementwise sum of equal shapes.
+    Add(NodeId, NodeId),
+    /// `(n×c) + (1×c)` broadcast of a row vector.
+    AddRow(NodeId, NodeId),
+    /// Elementwise difference.
+    Sub(NodeId, NodeId),
+    /// Elementwise (Hadamard) product.
+    Mul(NodeId, NodeId),
+    /// Multiply by a constant.
+    Scale(NodeId, f32),
+    Relu(NodeId),
+    Sigmoid(NodeId),
+    Tanh(NodeId),
+    /// Concatenate along columns (equal row counts).
+    ConcatCols(Vec<NodeId>),
+    /// Stack along rows (equal column counts).
+    ConcatRows(Vec<NodeId>),
+    /// Columns `[start, start+len)` of the source.
+    SliceCols(NodeId, usize, usize),
+    /// Column-wise mean over rows → `1×c` (average pooling).
+    MeanRows(NodeId),
+    /// Mean over all elements → `1×1`.
+    MeanAll(NodeId),
+    /// Depthwise 3×1 convolution along rows with zero padding:
+    /// `out[i,c] = b[c] + Σ_k w[k,c]·x[i+k−1,c]`.
+    Conv3x1 { x: NodeId, w: NodeId, b: NodeId },
+    /// Per-column batch normalization over rows with learned scale/shift.
+    NormRows {
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        eps: f32,
+    },
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+}
+
+/// One forward pass's computation tape.
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    /// Dedup of param leaves so layers reused across timesteps share a node.
+    param_nodes: Vec<(ParamId, NodeId)>,
+    /// Sparse gradients for embedding tables: (table, row, grad-row).
+    embed_grads: Vec<(ParamId, usize, Vec<f32>)>,
+}
+
+impl Graph {
+    /// Empty tape.
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> NodeId {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Value of a node.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// Gradient of a node after [`Graph::backward`], zeros if none reached it.
+    pub fn grad(&self, id: NodeId) -> Tensor {
+        match &self.nodes[id.0].grad {
+            Some(g) => g.clone(),
+            None => {
+                let (r, c) = self.nodes[id.0].value.shape();
+                Tensor::zeros(r, c)
+            }
+        }
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    // ---- node constructors -------------------------------------------------
+
+    /// Constant input tensor.
+    pub fn input(&mut self, value: Tensor) -> NodeId {
+        self.push(value, Op::Input)
+    }
+
+    /// Parameter leaf (copied from the store, deduped per graph).
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
+        if let Some(&(_, n)) = self.param_nodes.iter().find(|(p, _)| *p == id) {
+            return n;
+        }
+        let n = self.push(store.value(id).clone(), Op::Param);
+        self.param_nodes.push((id, n));
+        n
+    }
+
+    /// Embedding lookup: gather `indices` rows of table parameter `table`.
+    pub fn embed(&mut self, store: &ParamStore, table: ParamId, indices: &[usize]) -> NodeId {
+        let t = store.value(table);
+        let mut out = Tensor::zeros(indices.len(), t.cols());
+        for (i, &ix) in indices.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(t.row(ix));
+        }
+        self.push(
+            out,
+            Op::Embed {
+                table,
+                indices: indices.to_vec(),
+            },
+        )
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Elementwise sum (equal shapes).
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (self.value(a), self.value(b));
+        assert_eq!(va.shape(), vb.shape(), "add shape mismatch");
+        let mut v = va.clone();
+        v.add_assign(vb);
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Broadcast-add a `1×c` row vector to every row of `a`.
+    pub fn add_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
+        let (va, vr) = (self.value(a), self.value(row));
+        assert_eq!(vr.rows(), 1, "add_row needs a 1×c row vector");
+        assert_eq!(va.cols(), vr.cols(), "add_row column mismatch");
+        let mut v = va.clone();
+        for r in 0..v.rows() {
+            for c in 0..v.cols() {
+                *v.get_mut(r, c) += vr.get(0, c);
+            }
+        }
+        self.push(v, Op::AddRow(a, row))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (self.value(a), self.value(b));
+        assert_eq!(va.shape(), vb.shape(), "sub shape mismatch");
+        let mut v = va.clone();
+        for (x, y) in v.as_mut_slice().iter_mut().zip(vb.as_slice()) {
+            *x -= y;
+        }
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (self.value(a), self.value(b));
+        assert_eq!(va.shape(), vb.shape(), "mul shape mismatch");
+        let mut v = va.clone();
+        for (x, y) in v.as_mut_slice().iter_mut().zip(vb.as_slice()) {
+            *x *= y;
+        }
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Multiply by a scalar constant.
+    pub fn scale(&mut self, a: NodeId, s: f32) -> NodeId {
+        let mut v = self.value(a).clone();
+        v.scale_assign(s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// ReLU activation.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let mut v = self.value(a).clone();
+        for x in v.as_mut_slice() {
+            if *x < 0.0 {
+                *x = 0.0;
+            }
+        }
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let mut v = self.value(a).clone();
+        for x in v.as_mut_slice() {
+            *x = 1.0 / (1.0 + (-*x).exp());
+        }
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let mut v = self.value(a).clone();
+        for x in v.as_mut_slice() {
+            *x = x.tanh();
+        }
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Concatenate along columns.
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "concat_cols needs at least one part");
+        let rows = self.value(parts[0]).rows();
+        let total: usize = parts.iter().map(|&p| self.value(p).cols()).sum();
+        let mut v = Tensor::zeros(rows, total);
+        let mut at = 0;
+        for &p in parts {
+            let t = self.value(p);
+            assert_eq!(t.rows(), rows, "concat_cols row mismatch");
+            for r in 0..rows {
+                v.row_mut(r)[at..at + t.cols()].copy_from_slice(t.row(r));
+            }
+            at += t.cols();
+        }
+        self.push(v, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Stack along rows.
+    pub fn concat_rows(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "concat_rows needs at least one part");
+        let cols = self.value(parts[0]).cols();
+        let total: usize = parts.iter().map(|&p| self.value(p).rows()).sum();
+        let mut v = Tensor::zeros(total, cols);
+        let mut at = 0;
+        for &p in parts {
+            let t = self.value(p);
+            assert_eq!(t.cols(), cols, "concat_rows column mismatch");
+            for r in 0..t.rows() {
+                v.row_mut(at + r).copy_from_slice(t.row(r));
+            }
+            at += t.rows();
+        }
+        self.push(v, Op::ConcatRows(parts.to_vec()))
+    }
+
+    /// Columns `[start, start+len)`.
+    pub fn slice_cols(&mut self, a: NodeId, start: usize, len: usize) -> NodeId {
+        let t = self.value(a);
+        assert!(start + len <= t.cols(), "slice_cols out of range");
+        let mut v = Tensor::zeros(t.rows(), len);
+        for r in 0..t.rows() {
+            v.row_mut(r).copy_from_slice(&t.row(r)[start..start + len]);
+        }
+        self.push(v, Op::SliceCols(a, start, len))
+    }
+
+    /// Column-wise mean over rows (average pooling) → `1×c`.
+    pub fn mean_rows(&mut self, a: NodeId) -> NodeId {
+        let t = self.value(a);
+        let n = t.rows().max(1);
+        let mut v = Tensor::zeros(1, t.cols());
+        for r in 0..t.rows() {
+            for c in 0..t.cols() {
+                *v.get_mut(0, c) += t.get(r, c);
+            }
+        }
+        v.scale_assign(1.0 / n as f32);
+        self.push(v, Op::MeanRows(a))
+    }
+
+    /// Mean over all elements → `1×1`.
+    pub fn mean_all(&mut self, a: NodeId) -> NodeId {
+        let t = self.value(a);
+        let n = (t.rows() * t.cols()).max(1);
+        let s: f32 = t.as_slice().iter().sum();
+        let v = Tensor::from_vec(1, 1, vec![s / n as f32]);
+        self.push(v, Op::MeanAll(a))
+    }
+
+    /// Depthwise 3×1 convolution along rows, zero padding (`same` size).
+    /// `w` is `3×c`, `b` is `1×c`.
+    pub fn conv3x1(&mut self, x: NodeId, w: NodeId, b: NodeId) -> NodeId {
+        let (xt, wt, bt) = (self.value(x), self.value(w), self.value(b));
+        let (n, c) = xt.shape();
+        assert_eq!(wt.shape(), (3, c), "conv3x1 kernel must be 3×c");
+        assert_eq!(bt.shape(), (1, c), "conv3x1 bias must be 1×c");
+        let mut v = Tensor::zeros(n, c);
+        for i in 0..n {
+            for ch in 0..c {
+                let mut acc = bt.get(0, ch);
+                for k in 0..3usize {
+                    let j = i as isize + k as isize - 1;
+                    if j >= 0 && (j as usize) < n {
+                        acc += wt.get(k, ch) * xt.get(j as usize, ch);
+                    }
+                }
+                v.set(i, ch, acc);
+            }
+        }
+        self.push(v, Op::Conv3x1 { x, w, b })
+    }
+
+    /// Per-column batch normalization over rows with learned `gamma`/`beta`
+    /// (both `1×c`).
+    pub fn norm_rows(&mut self, x: NodeId, gamma: NodeId, beta: NodeId) -> NodeId {
+        const EPS: f32 = 1e-5;
+        let (xt, gt, bt) = (self.value(x), self.value(gamma), self.value(beta));
+        let (n, c) = xt.shape();
+        assert_eq!(gt.shape(), (1, c), "gamma must be 1×c");
+        assert_eq!(bt.shape(), (1, c), "beta must be 1×c");
+        let mut v = Tensor::zeros(n, c);
+        for ch in 0..c {
+            let mean: f32 = (0..n).map(|r| xt.get(r, ch)).sum::<f32>() / n.max(1) as f32;
+            let var: f32 = (0..n)
+                .map(|r| (xt.get(r, ch) - mean).powi(2))
+                .sum::<f32>()
+                / n.max(1) as f32;
+            let inv = 1.0 / (var + EPS).sqrt();
+            for r in 0..n {
+                let xhat = (xt.get(r, ch) - mean) * inv;
+                v.set(r, ch, gt.get(0, ch) * xhat + bt.get(0, ch));
+            }
+        }
+        self.push(
+            v,
+            Op::NormRows {
+                x,
+                gamma,
+                beta,
+                eps: EPS,
+            },
+        )
+    }
+
+    /// Mean-squared-error loss between equal-shaped prediction and target.
+    pub fn mse(&mut self, pred: NodeId, target: NodeId) -> NodeId {
+        let d = self.sub(pred, target);
+        let sq = self.mul(d, d);
+        self.mean_all(sq)
+    }
+
+    // ---- backward ----------------------------------------------------------
+
+    /// Run the chain rule in reverse from `output`, which must be `1×1`
+    /// (a loss). Gradients land on every node; parameter and embedding
+    /// gradients can then be handed to the store via
+    /// [`Graph::accumulate_param_grads`].
+    pub fn backward(&mut self, output: NodeId) {
+        assert_eq!(
+            self.value(output).shape(),
+            (1, 1),
+            "backward seed must be a scalar loss"
+        );
+        self.nodes[output.0].grad = Some(Tensor::full(1, 1, 1.0));
+
+        for i in (0..=output.0).rev() {
+            let Some(grad) = self.nodes[i].grad.clone() else {
+                continue;
+            };
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Input | Op::Param => {}
+                Op::Embed { table, indices, .. } => {
+                    for (row, &ix) in indices.iter().enumerate() {
+                        self.embed_grads.push((table, ix, grad.row(row).to_vec()));
+                    }
+                }
+                Op::MatMul(a, b) => {
+                    let bt = self.nodes[b.0].value.transpose();
+                    let da = grad.matmul(&bt);
+                    let at = self.nodes[a.0].value.transpose();
+                    let db = at.matmul(&grad);
+                    self.add_grad(a, da);
+                    self.add_grad(b, db);
+                }
+                Op::Add(a, b) => {
+                    self.add_grad(a, grad.clone());
+                    self.add_grad(b, grad);
+                }
+                Op::AddRow(a, row) => {
+                    let mut drow = Tensor::zeros(1, grad.cols());
+                    for r in 0..grad.rows() {
+                        for c in 0..grad.cols() {
+                            *drow.get_mut(0, c) += grad.get(r, c);
+                        }
+                    }
+                    self.add_grad(a, grad);
+                    self.add_grad(row, drow);
+                }
+                Op::Sub(a, b) => {
+                    let mut neg = grad.clone();
+                    neg.scale_assign(-1.0);
+                    self.add_grad(a, grad);
+                    self.add_grad(b, neg);
+                }
+                Op::Mul(a, b) => {
+                    let mut da = grad.clone();
+                    for (x, y) in da
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(self.nodes[b.0].value.as_slice())
+                    {
+                        *x *= y;
+                    }
+                    let mut db = grad;
+                    for (x, y) in db
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(self.nodes[a.0].value.as_slice())
+                    {
+                        *x *= y;
+                    }
+                    self.add_grad(a, da);
+                    self.add_grad(b, db);
+                }
+                Op::Scale(a, s) => {
+                    let mut da = grad;
+                    da.scale_assign(s);
+                    self.add_grad(a, da);
+                }
+                Op::Relu(a) => {
+                    let mut da = grad;
+                    for (g, &x) in da
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(self.nodes[a.0].value.as_slice())
+                    {
+                        if x <= 0.0 {
+                            *g = 0.0;
+                        }
+                    }
+                    self.add_grad(a, da);
+                }
+                Op::Sigmoid(a) => {
+                    let mut da = grad;
+                    for (g, &y) in da
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(self.nodes[i].value.as_slice())
+                    {
+                        *g *= y * (1.0 - y);
+                    }
+                    self.add_grad(a, da);
+                }
+                Op::Tanh(a) => {
+                    let mut da = grad;
+                    for (g, &y) in da
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(self.nodes[i].value.as_slice())
+                    {
+                        *g *= 1.0 - y * y;
+                    }
+                    self.add_grad(a, da);
+                }
+                Op::ConcatCols(parts) => {
+                    let mut at = 0;
+                    for p in parts {
+                        let cols = self.nodes[p.0].value.cols();
+                        let mut dp = Tensor::zeros(grad.rows(), cols);
+                        for r in 0..grad.rows() {
+                            dp.row_mut(r).copy_from_slice(&grad.row(r)[at..at + cols]);
+                        }
+                        self.add_grad(p, dp);
+                        at += cols;
+                    }
+                }
+                Op::ConcatRows(parts) => {
+                    let mut at = 0;
+                    for p in parts {
+                        let rows = self.nodes[p.0].value.rows();
+                        let mut dp = Tensor::zeros(rows, grad.cols());
+                        for r in 0..rows {
+                            dp.row_mut(r).copy_from_slice(grad.row(at + r));
+                        }
+                        self.add_grad(p, dp);
+                        at += rows;
+                    }
+                }
+                Op::SliceCols(a, start, len) => {
+                    let (rows, cols) = self.nodes[a.0].value.shape();
+                    let mut da = Tensor::zeros(rows, cols);
+                    for r in 0..rows {
+                        da.row_mut(r)[start..start + len].copy_from_slice(grad.row(r));
+                    }
+                    self.add_grad(a, da);
+                }
+                Op::MeanRows(a) => {
+                    let (rows, cols) = self.nodes[a.0].value.shape();
+                    let inv = 1.0 / rows.max(1) as f32;
+                    let mut da = Tensor::zeros(rows, cols);
+                    for r in 0..rows {
+                        for c in 0..cols {
+                            da.set(r, c, grad.get(0, c) * inv);
+                        }
+                    }
+                    self.add_grad(a, da);
+                }
+                Op::MeanAll(a) => {
+                    let (rows, cols) = self.nodes[a.0].value.shape();
+                    let inv = grad.get(0, 0) / (rows * cols).max(1) as f32;
+                    self.add_grad(a, Tensor::full(rows, cols, inv));
+                }
+                Op::Conv3x1 { x, w, b } => {
+                    let (n, c) = self.nodes[x.0].value.shape();
+                    let mut dx = Tensor::zeros(n, c);
+                    let mut dw = Tensor::zeros(3, c);
+                    let mut db = Tensor::zeros(1, c);
+                    for i2 in 0..n {
+                        for ch in 0..c {
+                            let g = grad.get(i2, ch);
+                            if g == 0.0 {
+                                continue;
+                            }
+                            *db.get_mut(0, ch) += g;
+                            for k in 0..3usize {
+                                let j = i2 as isize + k as isize - 1;
+                                if j >= 0 && (j as usize) < n {
+                                    let j = j as usize;
+                                    *dw.get_mut(k, ch) +=
+                                        g * self.nodes[x.0].value.get(j, ch);
+                                    *dx.get_mut(j, ch) +=
+                                        g * self.nodes[w.0].value.get(k, ch);
+                                }
+                            }
+                        }
+                    }
+                    self.add_grad(x, dx);
+                    self.add_grad(w, dw);
+                    self.add_grad(b, db);
+                }
+                Op::NormRows { x, gamma, beta, eps } => {
+                    let xt = self.nodes[x.0].value.clone();
+                    let gt = self.nodes[gamma.0].value.clone();
+                    let (n, c) = xt.shape();
+                    let nf = n.max(1) as f32;
+                    let mut dx = Tensor::zeros(n, c);
+                    let mut dg = Tensor::zeros(1, c);
+                    let mut db = Tensor::zeros(1, c);
+                    for ch in 0..c {
+                        let mean: f32 = (0..n).map(|r| xt.get(r, ch)).sum::<f32>() / nf;
+                        let var: f32 =
+                            (0..n).map(|r| (xt.get(r, ch) - mean).powi(2)).sum::<f32>() / nf;
+                        let inv = 1.0 / (var + eps).sqrt();
+                        let mut sum_dxhat = 0.0;
+                        let mut sum_dxhat_xhat = 0.0;
+                        let mut dxhat = vec![0.0f32; n];
+                        for r in 0..n {
+                            let xhat = (xt.get(r, ch) - mean) * inv;
+                            let dy = grad.get(r, ch);
+                            *db.get_mut(0, ch) += dy;
+                            *dg.get_mut(0, ch) += dy * xhat;
+                            dxhat[r] = dy * gt.get(0, ch);
+                            sum_dxhat += dxhat[r];
+                            sum_dxhat_xhat += dxhat[r] * xhat;
+                        }
+                        for r in 0..n {
+                            let xhat = (xt.get(r, ch) - mean) * inv;
+                            dx.set(
+                                r,
+                                ch,
+                                inv / nf * (nf * dxhat[r] - sum_dxhat - xhat * sum_dxhat_xhat),
+                            );
+                        }
+                    }
+                    self.add_grad(x, dx);
+                    self.add_grad(gamma, dg);
+                    self.add_grad(beta, db);
+                }
+            }
+        }
+    }
+
+    fn add_grad(&mut self, id: NodeId, g: Tensor) {
+        match &mut self.nodes[id.0].grad {
+            Some(existing) => existing.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Hand every parameter and embedding gradient to the store (additive).
+    /// Call after [`Graph::backward`].
+    pub fn accumulate_param_grads(&mut self, store: &mut ParamStore) {
+        for (pid, nid) in std::mem::take(&mut self.param_nodes) {
+            if let Some(g) = &self.nodes[nid.0].grad {
+                store.accumulate_grad(pid, g);
+            }
+        }
+        for (table, row, grow) in std::mem::take(&mut self.embed_grads) {
+            let p = store.param_mut(table);
+            for (c, g) in grow.iter().enumerate() {
+                *p.grad.get_mut(row, c) += g;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matmul_add_row() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_rows(&[&[1.0, 2.0]]));
+        let w = g.input(Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
+        let b = g.input(Tensor::from_rows(&[&[10.0, 20.0]]));
+        let y = g.matmul(x, w);
+        let z = g.add_row(y, b);
+        assert_eq!(g.value(z), &Tensor::from_rows(&[&[11.0, 22.0]]));
+    }
+
+    #[test]
+    fn backward_through_linear() {
+        // loss = mean((x·w − t)²); with scalars: x=3, w=2, t=5 → d/dw = 2(xw−t)x = 2·1·3 = 6
+        let mut store = ParamStore::with_seed(0);
+        let w = store.add(Tensor::from_vec(1, 1, vec![2.0]));
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(1, 1, vec![3.0]));
+        let wp = g.param(&store, w);
+        let y = g.matmul(x, wp);
+        let t = g.input(Tensor::from_vec(1, 1, vec![5.0]));
+        let loss = g.mse(y, t);
+        assert!((g.value(loss).get(0, 0) - 1.0).abs() < 1e-6);
+        g.backward(loss);
+        g.accumulate_param_grads(&mut store);
+        assert!((store.param_mut(w).grad.get(0, 0) - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn param_leaves_are_deduped() {
+        let mut store = ParamStore::with_seed(0);
+        let w = store.add_xavier(2, 2);
+        let mut g = Graph::new();
+        let a = g.param(&store, w);
+        let b = g.param(&store, w);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn embed_gathers_rows_and_scatters_grads() {
+        let mut store = ParamStore::with_seed(0);
+        let table = store.add(Tensor::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[2.0, 2.0],
+        ]));
+        let mut g = Graph::new();
+        let e = g.embed(&store, table, &[2, 0, 2]);
+        assert_eq!(
+            g.value(e),
+            &Tensor::from_rows(&[&[2.0, 2.0], &[1.0, 0.0], &[2.0, 2.0]])
+        );
+        let pooled = g.mean_all(e);
+        g.backward(pooled);
+        g.accumulate_param_grads(&mut store);
+        let grad = &store.param_mut(table).grad;
+        // Each element's grad is 1/6; row 2 used twice → 2/6 per element.
+        assert!((grad.get(2, 0) - 2.0 / 6.0).abs() < 1e-6);
+        assert!((grad.get(0, 1) - 1.0 / 6.0).abs() < 1e-6);
+        assert_eq!(grad.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn relu_blocks_negative_gradient() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_rows(&[&[-1.0, 2.0]]));
+        let y = g.relu(x);
+        assert_eq!(g.value(y), &Tensor::from_rows(&[&[0.0, 2.0]]));
+        let l = g.mean_all(y);
+        g.backward(l);
+        let gx = g.grad(x);
+        assert_eq!(gx.get(0, 0), 0.0);
+        assert!((gx.get(0, 1) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concat_and_slice_are_inverse() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_rows(&[&[1.0, 2.0]]));
+        let b = g.input(Tensor::from_rows(&[&[3.0]]));
+        let cat = g.concat_cols(&[a, b]);
+        let back = g.slice_cols(cat, 0, 2);
+        assert_eq!(g.value(back), &Tensor::from_rows(&[&[1.0, 2.0]]));
+        let tail = g.slice_cols(cat, 2, 1);
+        assert_eq!(g.value(tail), &Tensor::from_rows(&[&[3.0]]));
+    }
+
+    #[test]
+    fn conv3x1_identity_kernel_preserves_input() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_rows(&[&[1.0], &[2.0], &[3.0]]));
+        // kernel [0, 1, 0] = identity
+        let w = g.input(Tensor::from_rows(&[&[0.0], &[1.0], &[0.0]]));
+        let b = g.input(Tensor::zeros(1, 1));
+        let y = g.conv3x1(x, w, b);
+        assert_eq!(g.value(y), &Tensor::from_rows(&[&[1.0], &[2.0], &[3.0]]));
+    }
+
+    #[test]
+    fn conv3x1_shift_kernel_uses_zero_padding() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_rows(&[&[1.0], &[2.0], &[3.0]]));
+        // kernel [1, 0, 0] picks x[i−1]: first output row sees the zero pad.
+        let w = g.input(Tensor::from_rows(&[&[1.0], &[0.0], &[0.0]]));
+        let b = g.input(Tensor::zeros(1, 1));
+        let y = g.conv3x1(x, w, b);
+        assert_eq!(g.value(y), &Tensor::from_rows(&[&[0.0], &[1.0], &[2.0]]));
+    }
+
+    #[test]
+    fn norm_rows_standardizes_columns() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_rows(&[&[1.0], &[3.0]]));
+        let gamma = g.input(Tensor::from_rows(&[&[1.0]]));
+        let beta = g.input(Tensor::from_rows(&[&[0.0]]));
+        let y = g.norm_rows(x, gamma, beta);
+        // mean 2, std 1 → normalized to ±1 (up to eps)
+        assert!((g.value(y).get(0, 0) + 1.0).abs() < 1e-2);
+        assert!((g.value(y).get(1, 0) - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn mean_rows_pools_columns() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_rows(&[&[1.0, 10.0], &[3.0, 30.0]]));
+        let y = g.mean_rows(x);
+        assert_eq!(g.value(y), &Tensor::from_rows(&[&[2.0, 20.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "backward seed must be a scalar loss")]
+    fn backward_rejects_non_scalar_seed() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(2, 2));
+        g.backward(x);
+    }
+}

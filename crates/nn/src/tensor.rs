@@ -1,0 +1,364 @@
+//! Dense row-major `f32` matrices and the parameter store.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f32`.
+///
+/// Row vectors (`1×n`) represent embeddings and hidden states; matrices
+/// represent weights, stacked sequences and batches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Tensor {
+    /// Zero-filled tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Tensor {
+        Tensor {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Tensor filled with a constant.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Tensor {
+        Tensor {
+            data: vec![v; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Build from a flat row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Tensor {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Tensor { data, rows, cols }
+    }
+
+    /// Build from row slices.
+    ///
+    /// # Panics
+    /// Panics if rows have unequal lengths or no rows are given.
+    pub fn from_rows(rows: &[&[f32]]) -> Tensor {
+        assert!(!rows.is_empty(), "at least one row required");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Tensor {
+            data,
+            rows: rows.len(),
+            cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element at `(r, c)`.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Set element at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Matrix product `self × other`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {:?} × {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// In-place `self += other` (same shape).
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scale.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Zero all elements, keeping the allocation.
+    pub fn zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+/// Handle to a parameter tensor in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub usize);
+
+/// One trainable parameter with its accumulated gradient and Adam state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    pub value: Tensor,
+    pub grad: Tensor,
+    pub adam_m: Tensor,
+    pub adam_v: Tensor,
+}
+
+/// Owns all trainable parameters of a model, plus the RNG used for
+/// initialization so model construction is deterministic per seed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: Vec<Param>,
+    #[serde(skip, default = "default_rng")]
+    rng: ChaCha8Rng,
+}
+
+fn default_rng() -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(0)
+}
+
+impl ParamStore {
+    /// New store with a deterministic initialization seed.
+    pub fn with_seed(seed: u64) -> ParamStore {
+        ParamStore {
+            params: Vec::new(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Register a parameter with explicit initial value.
+    pub fn add(&mut self, value: Tensor) -> ParamId {
+        let (r, c) = value.shape();
+        self.params.push(Param {
+            grad: Tensor::zeros(r, c),
+            adam_m: Tensor::zeros(r, c),
+            adam_v: Tensor::zeros(r, c),
+            value,
+        });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Register a parameter initialized with Xavier/Glorot uniform.
+    pub fn add_xavier(&mut self, rows: usize, cols: usize) -> ParamId {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let mut t = Tensor::zeros(rows, cols);
+        for v in t.as_mut_slice() {
+            *v = self.rng.gen_range(-bound..bound);
+        }
+        self.add(t)
+    }
+
+    /// Register a zero-initialized parameter (biases).
+    pub fn add_zeros(&mut self, rows: usize, cols: usize) -> ParamId {
+        self.add(Tensor::zeros(rows, cols))
+    }
+
+    /// Parameter value.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].value
+    }
+
+    /// Mutable parameter record.
+    pub fn param_mut(&mut self, id: ParamId) -> &mut Param {
+        &mut self.params[id.0]
+    }
+
+    /// Add `grad` into the parameter's accumulated gradient.
+    pub fn accumulate_grad(&mut self, id: ParamId, grad: &Tensor) {
+        self.params[id.0].grad.add_assign(grad);
+    }
+
+    /// Zero every parameter's accumulated gradient.
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            p.grad.zero();
+        }
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True iff no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Iterate over all parameter records mutably (used by the optimizer).
+    pub fn params_mut(&mut self) -> impl Iterator<Item = &mut Param> {
+        self.params.iter_mut()
+    }
+
+    /// Total scalar parameter count.
+    pub fn scalar_count(&self) -> usize {
+        self.params
+            .iter()
+            .map(|p| p.value.rows() * p.value.cols())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Tensor::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), (3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn xavier_init_is_deterministic_per_seed() {
+        let mut s1 = ParamStore::with_seed(42);
+        let mut s2 = ParamStore::with_seed(42);
+        let a = s1.add_xavier(4, 4);
+        let b = s2.add_xavier(4, 4);
+        assert_eq!(s1.value(a), s2.value(b));
+        let mut s3 = ParamStore::with_seed(43);
+        let c = s3.add_xavier(4, 4);
+        assert_ne!(s1.value(a), s3.value(c));
+    }
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut s = ParamStore::with_seed(1);
+        let id = s.add_xavier(10, 10);
+        let bound = (6.0f32 / 20.0).sqrt();
+        for &v in s.value(id).as_slice() {
+            assert!(v.abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn grad_accumulation_and_reset() {
+        let mut s = ParamStore::with_seed(1);
+        let id = s.add_zeros(2, 2);
+        s.accumulate_grad(id, &Tensor::full(2, 2, 1.5));
+        s.accumulate_grad(id, &Tensor::full(2, 2, 0.5));
+        assert_eq!(s.param_mut(id).grad, Tensor::full(2, 2, 2.0));
+        s.zero_grads();
+        assert_eq!(s.param_mut(id).grad, Tensor::zeros(2, 2));
+    }
+
+    #[test]
+    fn scalar_count_sums_all_params() {
+        let mut s = ParamStore::with_seed(1);
+        s.add_zeros(2, 3);
+        s.add_zeros(1, 4);
+        assert_eq!(s.scalar_count(), 10);
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Human-readable plan rendering in the indented style the paper uses.
+
+use crate::node::{PlanNode, ProjExpr};
+use std::fmt::Write as _;
+
+impl PlanNode {
+    /// Render the plan as an indented tree, one operator per line, e.g.
+    ///
+    /// ```text
+    /// Aggregate(group=[{t1.user_id}], cnt=[COUNT()])
+    ///   Join(condition=[EQ(t1.user_id, t2.user_id)], joinType=[inner])
+    ///     Filter(condition=[EQ(t1.dt, '1010')])
+    ///       TableScan(table=[user_memo])
+    /// ```
+    pub fn display_indent(&self) -> String {
+        let mut out = String::new();
+        self.fmt_indent(&mut out, 0);
+        out
+    }
+
+    fn fmt_indent(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match self {
+            PlanNode::TableScan { table, alias } => {
+                let _ = writeln!(out, "TableScan(table=[{table}], alias=[{alias}])");
+            }
+            PlanNode::Filter { input, predicate } => {
+                let _ = writeln!(out, "Filter(condition=[{predicate}])");
+                input.fmt_indent(out, depth + 1);
+            }
+            PlanNode::Project { input, exprs } => {
+                let _ = writeln!(out, "Project({})", fmt_projs(exprs));
+                input.fmt_indent(out, depth + 1);
+            }
+            PlanNode::Join {
+                left,
+                right,
+                on,
+                join_type,
+            } => {
+                let cond = on
+                    .iter()
+                    .map(|(l, r)| format!("EQ({l}, {r})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(
+                    out,
+                    "Join(condition=[{cond}], joinType=[{}])",
+                    join_type.keyword()
+                );
+                left.fmt_indent(out, depth + 1);
+                right.fmt_indent(out, depth + 1);
+            }
+            PlanNode::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let aggs_s = aggs
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(
+                    out,
+                    "Aggregate(group=[{{{}}}], {aggs_s})",
+                    group_by.join(", ")
+                );
+                input.fmt_indent(out, depth + 1);
+            }
+        }
+    }
+}
+
+fn fmt_projs(exprs: &[ProjExpr]) -> String {
+    exprs
+        .iter()
+        .map(|p| format!("{}=[{}]", p.alias, p.expr))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::PlanBuilder;
+    use crate::expr::Expr;
+
+    #[test]
+    fn indentation_reflects_depth() {
+        let p = PlanBuilder::scan("user_memo", "t1")
+            .filter(Expr::col("t1.dt").eq(Expr::str("1010")))
+            .project(&[("t1.user_id", "uid")])
+            .build();
+        let s = p.display_indent();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("Project("));
+        assert!(lines[1].starts_with("  Filter("));
+        assert!(lines[2].starts_with("    TableScan("));
+    }
+
+    #[test]
+    fn join_renders_both_children() {
+        let p = PlanBuilder::scan("a", "a")
+            .join(PlanBuilder::scan("b", "b"), &[("a.k", "b.k")])
+            .build();
+        let s = p.display_indent();
+        assert!(s.contains("joinType=[inner]"));
+        assert_eq!(s.matches("TableScan").count(), 2);
+    }
+}

@@ -1,0 +1,160 @@
+//! Scalar values flowing through expressions and plans.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A scalar value. Floats are compared by their bit pattern for hashing and
+/// by numeric value for ordering, so `Value` can serve as a grouping key.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer (also used for dates encoded as `yyyymmdd`).
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// SQL NULL.
+    Null,
+}
+
+impl Value {
+    /// Numeric view of the value; strings and NULL have no numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Str(_) | Value::Null => None,
+        }
+    }
+
+    /// True iff this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Total order used for sorting, grouping and min/max aggregation.
+    ///
+    /// NULL sorts first; numeric types compare numerically with each other;
+    /// strings compare lexicographically; numbers sort before strings.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Str(_), _) => Ordering::Greater,
+            (_, Str(_)) => Ordering::Less,
+        }
+    }
+
+    /// SQL equality: NULL equals nothing (including NULL); ints and floats
+    /// compare numerically.
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => false,
+            (Int(a), Int(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (Float(a), Float(b)) => a == b,
+            (Int(a), Float(b)) | (Float(b), Int(a)) => (*a as f64) == *b,
+            _ => false,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(i) => {
+                // Hash ints and whole floats identically so Int(2) and
+                // Float(2.0), which are equal, land in the same bucket.
+                state.write_u8(0);
+                state.write_u64((*i as f64).to_bits());
+            }
+            Value::Float(f) => {
+                state.write_u8(0);
+                state.write_u64(f.to_bits());
+            }
+            Value::Str(s) => {
+                state.write_u8(1);
+                s.hash(state);
+            }
+            Value::Null => state.write_u8(2),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn int_float_equality_and_hash_agree() {
+        let a = Value::Int(2);
+        let b = Value::Float(2.0);
+        assert_eq!(a, b);
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn null_sorts_first_and_never_sql_equals() {
+        assert_eq!(Value::Null.total_cmp(&Value::Int(-100)), Ordering::Less);
+        assert!(!Value::Null.sql_eq(&Value::Null));
+        assert_eq!(Value::Null, Value::Null); // grouping equality differs
+    }
+
+    #[test]
+    fn strings_sort_after_numbers() {
+        assert_eq!(
+            Value::Str("a".into()).total_cmp(&Value::Int(9999)),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn display_quotes_strings_only() {
+        assert_eq!(Value::Str("x".into()).to_string(), "'x'");
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn as_f64_only_for_numerics() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::Str("3".into()).as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+}

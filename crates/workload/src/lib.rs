@@ -1,0 +1,27 @@
+//! # av-workload — workload substrates
+//!
+//! Deterministic generators for the three workloads of the paper's
+//! evaluation (Table I):
+//!
+//! - **JOB** ([`job::job_workload`]): an IMDB-flavoured 21-table schema with
+//!   113 multi-join query templates plus one predicate-perturbed variant
+//!   each (226 queries), mirroring the paper's trick for injecting
+//!   redundant computation into the Join Order Benchmark.
+//! - **WK1 / WK2** ([`cloud::wk1`], [`cloud::wk2`]): project-partitioned
+//!   analytical workloads in the shape of the Ant-Financial traces —
+//!   many projects, hundreds of tables, heavy subquery sharing. The real
+//!   traces are proprietary; the generators reproduce their *statistics*
+//!   (Table I's row shape) at a configurable scale factor.
+//!
+//! All generation is seeded: the same seed yields byte-identical catalogs
+//! and plans.
+
+pub mod cloud;
+pub mod gen;
+pub mod job;
+pub mod redundancy;
+pub mod stats;
+
+pub use gen::{GeneratorConfig, QueryRecord, Workload};
+pub use redundancy::{project_redundancy, RedundancyReport};
+pub use stats::{workload_stats, WorkloadStats};

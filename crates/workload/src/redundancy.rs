@@ -1,0 +1,129 @@
+//! Redundant-computation profiling — the paper's Fig. 1.
+//!
+//! A query *includes redundant computation* when one of its subqueries is
+//! equivalent to a subquery of a different query (computing it twice is the
+//! redundancy a materialized view removes). Fig. 1(a) counts total vs
+//! redundant queries per project; Fig. 1(b) plots the cumulative percentage
+//! of redundant queries as projects accumulate.
+
+use crate::gen::Workload;
+use av_equiv::analyze_workload;
+use serde::{Deserialize, Serialize};
+
+/// Per-project and cumulative redundancy statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RedundancyReport {
+    /// `(project, total queries, redundant queries)` — Fig. 1(a).
+    pub per_project: Vec<(usize, usize, usize)>,
+    /// Cumulative redundant percentage after the first `k+1` projects —
+    /// Fig. 1(b).
+    pub cumulative_percent: Vec<f64>,
+}
+
+/// Profile a workload's redundancy.
+pub fn project_redundancy(workload: &Workload) -> RedundancyReport {
+    let plans = workload.plans();
+    let analysis = analyze_workload(&plans);
+
+    // A query is redundant iff it matches a candidate whose cluster spans
+    // ≥ 2 distinct queries.
+    let multi_query: Vec<bool> = analysis
+        .candidates
+        .iter()
+        .map(|c| c.query_frequency >= 2)
+        .collect();
+    let redundant: Vec<bool> = analysis
+        .query_matches
+        .iter()
+        .map(|ms| ms.iter().any(|m| multi_query[m.candidate]))
+        .collect();
+
+    let mut per_project = Vec::with_capacity(workload.num_projects);
+    for p in 0..workload.num_projects {
+        let total = workload.queries.iter().filter(|q| q.project == p).count();
+        let red = workload
+            .queries
+            .iter()
+            .filter(|q| q.project == p && redundant[q.id])
+            .count();
+        per_project.push((p, total, red));
+    }
+
+    let mut cumulative_percent = Vec::with_capacity(workload.num_projects);
+    let mut cum_total = 0usize;
+    let mut cum_red = 0usize;
+    for &(_, total, red) in &per_project {
+        cum_total += total;
+        cum_red += red;
+        cumulative_percent.push(if cum_total == 0 {
+            0.0
+        } else {
+            100.0 * cum_red as f64 / cum_total as f64
+        });
+    }
+
+    RedundancyReport {
+        per_project,
+        cumulative_percent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cloud::mini;
+    use crate::gen::{generate, GeneratorConfig};
+
+    #[test]
+    fn shared_workload_shows_redundancy() {
+        let w = mini(11);
+        let r = project_redundancy(&w);
+        let total_red: usize = r.per_project.iter().map(|&(_, _, red)| red).sum();
+        assert!(total_red > 0, "pool sharing must create redundant queries");
+        assert_eq!(r.per_project.len(), w.num_projects);
+    }
+
+    #[test]
+    fn redundant_never_exceeds_total() {
+        let w = mini(12);
+        let r = project_redundancy(&w);
+        for &(_, total, red) in &r.per_project {
+            assert!(red <= total);
+        }
+    }
+
+    #[test]
+    fn cumulative_percent_in_range() {
+        let w = mini(13);
+        let r = project_redundancy(&w);
+        for &p in &r.cumulative_percent {
+            assert!((0.0..=100.0).contains(&p));
+        }
+        assert_eq!(r.cumulative_percent.len(), w.num_projects);
+    }
+
+    #[test]
+    fn sharing_dial_controls_redundancy() {
+        // Fresh filters still collide by chance (the literal domains are
+        // small), so compare the dial's extremes rather than an absolute.
+        let config = |share: f64| GeneratorConfig {
+            name: "dial".into(),
+            seed: 14,
+            share_probability: share,
+            pool_per_table: 1,
+            tables: 6,
+            queries: 30,
+            rows_range: (50, 100),
+            ..GeneratorConfig::default()
+        };
+        let red_count = |share: f64| {
+            let w = generate(&config(share));
+            let r = project_redundancy(&w);
+            r.per_project.iter().map(|&(_, _, x)| x).sum::<usize>()
+        };
+        assert!(
+            red_count(0.0) < red_count(1.0),
+            "sharing probability must increase redundancy"
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: run the whole AutoView pipeline on a miniature workload.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a small multi-project workload, lets the system find shared
+//! subqueries, trains the Wide-Deep cost model on measured rewrites, selects
+//! views with RLView, deploys them, and prints the end-to-end savings.
+
+use autoview::core::{AutoViewConfig, AutoViewSystem, EstimatorKind, SelectorKind};
+use autoview::cost::WideDeepConfig;
+use autoview::select::RlViewConfig;
+use autoview::workload::cloud::mini;
+
+fn main() {
+    let workload = mini(42);
+    println!(
+        "workload: {} queries over {} tables in {} projects",
+        workload.queries.len(),
+        workload.catalog.len(),
+        workload.num_projects
+    );
+
+    let config = AutoViewConfig {
+        estimator: EstimatorKind::WideDeep(WideDeepConfig {
+            epochs: 10,
+            ..WideDeepConfig::default()
+        }),
+        selector: SelectorKind::RlView(RlViewConfig {
+            n1: 8,
+            n2: 12,
+            memory_size: 16,
+            max_steps_per_epoch: 40,
+            ..RlViewConfig::default()
+        }),
+        max_training_pairs: 100,
+        ..AutoViewConfig::default()
+    };
+
+    let mut system = AutoViewSystem::new(workload.catalog.clone(), workload.plans(), config);
+    let report = system.run().expect("pipeline runs");
+
+    println!("\n== AutoView end-to-end report ({}) ==", report.method);
+    println!("raw workload cost:      ${:.4}", report.raw_cost);
+    println!("raw workload latency:   {:.1}s", report.raw_latency);
+    println!("materialized views:     {}", report.num_views);
+    println!("view overhead:          ${:.4}", report.view_overhead);
+    println!("rewritten queries:      {}", report.num_rewritten);
+    println!("measured benefit:       ${:.4}", report.benefit);
+    println!("rewritten latency:      {:.1}s", report.rewritten_latency);
+    println!("saved-cost ratio r_c:   {:.2}%", report.saved_ratio_percent);
+    println!(
+        "\ntraining pairs collected into the metadata DB: {}",
+        system.metadata.num_pairs()
+    );
+}

@@ -1,0 +1,14 @@
+//! # autoview — umbrella crate
+//!
+//! Re-exports the public API of every AutoView subsystem so examples and
+//! downstream users can depend on a single crate.
+
+pub use av_core as core;
+pub use av_cost as cost;
+pub use av_engine as engine;
+pub use av_equiv as equiv;
+pub use av_ilp as ilp;
+pub use av_nn as nn;
+pub use av_plan as plan;
+pub use av_select as select;
+pub use av_workload as workload;
