@@ -22,6 +22,7 @@ pub mod truth;
 pub use config::{table2_defaults, Table2Defaults, WorkloadKind};
 pub use metadata::MetadataDb;
 pub use system::{
-    AutoViewConfig, AutoViewSystem, EndToEndReport, EstimatorKind, SelectorKind,
+    AutoViewConfig, AutoViewSystem, EndToEndReport, EstimatorKind, OnlineSystem,
+    OnlineSystemConfig, SelectorKind,
 };
 pub use truth::{collect_pair_truth, preprocess_and_measure, PairTruth, Preprocessed};

@@ -269,6 +269,109 @@ impl AutoViewSystem {
     }
 }
 
+/// Configuration for the streaming (online) system.
+#[derive(Debug, Clone)]
+pub struct OnlineSystemConfig {
+    /// The online engine's knobs (window, drift, lifecycle, selector).
+    pub online: av_online::OnlineConfig,
+    /// Estimator powering the benefit matrix at each re-optimization.
+    pub estimator: EstimatorKind,
+    /// Cap on executed training pairs for Wide-Deep warmup.
+    pub max_training_pairs: usize,
+    pub seed: u64,
+}
+
+impl Default for OnlineSystemConfig {
+    fn default() -> Self {
+        OnlineSystemConfig {
+            online: av_online::OnlineConfig::default(),
+            estimator: EstimatorKind::Optimizer,
+            max_training_pairs: 200,
+            seed: 42,
+        }
+    }
+}
+
+/// The streaming counterpart of [`AutoViewSystem`]: queries arrive one at a
+/// time, and the view set adapts as the workload drifts (see `av-online`).
+///
+/// The Wide-Deep estimator needs labelled pairs before it can predict, so
+/// construction optionally takes a *warmup* workload: ground truth is
+/// collected on a scratch copy of the catalog (exactly the batch pipeline's
+/// offline stage) and the model is trained once, up front. With
+/// [`EstimatorKind::Optimizer`] (or an empty warmup) no training happens.
+pub struct OnlineSystem {
+    engine: av_online::OnlineEngine,
+}
+
+impl OnlineSystem {
+    pub fn new(
+        catalog: Catalog,
+        warmup_queries: &[PlanRef],
+        config: OnlineSystemConfig,
+    ) -> Result<OnlineSystem, EngineError> {
+        let estimator = Self::build_estimator(&catalog, warmup_queries, &config)?;
+        Ok(OnlineSystem {
+            engine: av_online::OnlineEngine::new(catalog, estimator, config.online),
+        })
+    }
+
+    fn build_estimator(
+        catalog: &Catalog,
+        warmup_queries: &[PlanRef],
+        config: &OnlineSystemConfig,
+    ) -> Result<Box<dyn CostEstimator>, EngineError> {
+        let EstimatorKind::WideDeep(wd_cfg) = &config.estimator else {
+            return Ok(Box::new(OptimizerEstimator::default()));
+        };
+        if warmup_queries.is_empty() {
+            // Nothing to train on: degrade to the analytical baseline.
+            return Ok(Box::new(OptimizerEstimator::default()));
+        }
+        // Offline stage on a scratch catalog — warmup materializations must
+        // not leak into the live catalog.
+        let mut scratch = catalog.clone();
+        let pricing = config.online.pricing;
+        let pre = preprocess_and_measure(&mut scratch, warmup_queries, pricing)?;
+        let pairs = collect_pair_truth(
+            &scratch,
+            &pre,
+            warmup_queries,
+            pricing,
+            config.max_training_pairs,
+            config.seed,
+        )?;
+        if pairs.is_empty() {
+            return Ok(Box::new(OptimizerEstimator::default()));
+        }
+        let train: Vec<(FeatureInput, f64)> = pairs
+            .iter()
+            .map(|p| (p.sample.input.clone(), p.sample.cost_qv))
+            .collect();
+        Ok(Box::new(WideDeep::fit(&train, wd_cfg.clone())))
+    }
+
+    /// Process one arriving query (route → measure → adapt).
+    pub fn ingest(&mut self, plan: &PlanRef) -> Result<av_online::QueryOutcome, EngineError> {
+        self.engine.ingest(plan)
+    }
+
+    /// Cumulative cost accounting.
+    pub fn report(&self) -> av_online::OnlineReport {
+        self.engine.report()
+    }
+
+    /// JSON snapshot of the online metrics registry.
+    pub fn metrics_json(&self) -> String {
+        self.engine.metrics_json()
+    }
+
+    /// The underlying engine, for inspection.
+    pub fn engine(&self) -> &av_online::OnlineEngine {
+        &self.engine
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +395,73 @@ mod tests {
             max_steps_per_epoch: 25,
             ..RlViewConfig::default()
         }
+    }
+
+    #[test]
+    fn online_system_adapts_and_saves() {
+        let w = mini(60);
+        let plans = w.plans();
+        let mut sys = OnlineSystem::new(
+            w.catalog.clone(),
+            &[],
+            OnlineSystemConfig {
+                online: av_online::OnlineConfig {
+                    window_size: plans.len(),
+                    check_every: 8,
+                    lifecycle: av_online::LifecycleConfig {
+                        byte_budget: usize::MAX,
+                        min_benefit_per_byte: 0.0,
+                    },
+                    ..av_online::OnlineConfig::default()
+                },
+                estimator: EstimatorKind::Optimizer,
+                ..OnlineSystemConfig::default()
+            },
+        )
+        .expect("constructs");
+        for _ in 0..2 {
+            for p in &plans {
+                sys.ingest(p).expect("ingests");
+            }
+        }
+        let report = sys.report();
+        assert_eq!(report.queries, 2 * plans.len() as u64);
+        assert!(report.live_views > 0, "bootstrap selection admits views");
+        assert!(
+            report.actual_cost < report.baseline_cost,
+            "repeat queries must route through views"
+        );
+        assert!(sys.metrics_json().contains("views_admitted"));
+    }
+
+    #[test]
+    fn online_system_trains_widedeep_on_warmup() {
+        let w = mini(61);
+        let plans = w.plans();
+        let mut sys = OnlineSystem::new(
+            w.catalog.clone(),
+            &plans,
+            OnlineSystemConfig {
+                online: av_online::OnlineConfig {
+                    window_size: plans.len(),
+                    ..av_online::OnlineConfig::default()
+                },
+                estimator: EstimatorKind::WideDeep(quick_wd()),
+                max_training_pairs: 40,
+                ..OnlineSystemConfig::default()
+            },
+        )
+        .expect("constructs with trained estimator");
+        // The warmup ran on a scratch catalog: no view tables leaked.
+        assert!(sys
+            .engine()
+            .catalog()
+            .table_names()
+            .all(|t| !t.starts_with("__view_")));
+        for p in &plans {
+            sys.ingest(p).expect("ingests");
+        }
+        assert!(sys.report().queries == plans.len() as u64);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Ground-truth collection: measure raw costs, materialize candidates,
 //! execute rewritten queries (paper Fig. 3 offline-training data path).
 
-use av_cost::{FeatureInput, PairSample, TableMeta};
+use av_cost::{FeatureInput, PairSample};
 use av_engine::{
     rewrite_subtree_with_view, Catalog, EngineError, Executor, Pricing, ViewStore,
 };
@@ -10,7 +10,6 @@ use av_plan::PlanRef;
 use rand::seq::SliceRandom;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::BTreeSet;
 
 /// Output of the pre-process + measurement stage.
 pub struct Preprocessed {
@@ -125,31 +124,10 @@ fn find_subtree(plan: &PlanRef, fp: av_plan::Fingerprint) -> Option<PlanRef> {
     None
 }
 
-/// Table metadata for every base table a pair touches (the paper's
-/// "associated tables" features).
-pub fn tables_meta(catalog: &Catalog, query: &PlanRef, view: &PlanRef) -> Vec<TableMeta> {
-    let mut names: BTreeSet<String> = query.base_tables().into_iter().collect();
-    names.extend(view.base_tables());
-    names
-        .into_iter()
-        .filter_map(|n| {
-            let t = catalog.table(&n)?;
-            Some(TableMeta {
-                name: t.name.clone(),
-                rows: t.stats.row_count as f64,
-                columns: t.stats.column_count as f64,
-                bytes: t.stats.total_bytes as f64,
-                avg_distinct_ratio: t.stats.avg_distinct_ratio,
-                column_names: t.column_names.clone(),
-                column_types: t
-                    .column_types
-                    .iter()
-                    .map(|c| c.keyword().to_string())
-                    .collect(),
-            })
-        })
-        .collect()
-}
+// `tables_meta` lives in `av-cost::features` (it is feature extraction and
+// the online subsystem needs it without depending on this crate); re-exported
+// here for the original call sites.
+pub use av_cost::tables_meta;
 
 /// Execute rewritten queries for (up to `limit`) usable (query, candidate)
 /// pairs, producing labelled samples and actual benefits. Pairs are

@@ -5,8 +5,10 @@
 //! statistics, plan shape counters) and *non-numerical* features (the plan
 //! token sequences of Fig. 4 and the schema keyword set).
 
+use av_engine::Catalog;
 use av_plan::{plan_feature_rows, PlanNode, PlanRef, Token};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 /// Metadata of one input table (from the metadata database).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -42,6 +44,32 @@ pub struct PairSample {
     pub cost_s: f64,
     /// Measured cost of scanning the materialized view.
     pub cost_vscan: f64,
+}
+
+/// Table metadata for every base table a (query, view) pair touches (the
+/// paper's "associated tables" features), pulled live from the catalog.
+pub fn tables_meta(catalog: &Catalog, query: &PlanRef, view: &PlanRef) -> Vec<TableMeta> {
+    let mut names: BTreeSet<String> = query.base_tables().into_iter().collect();
+    names.extend(view.base_tables());
+    names
+        .into_iter()
+        .filter_map(|n| {
+            let t = catalog.table(&n)?;
+            Some(TableMeta {
+                name: t.name.clone(),
+                rows: t.stats.row_count as f64,
+                columns: t.stats.column_count as f64,
+                bytes: t.stats.total_bytes as f64,
+                avg_distinct_ratio: t.stats.avg_distinct_ratio,
+                column_names: t.column_names.clone(),
+                column_types: t
+                    .column_types
+                    .iter()
+                    .map(|c| c.keyword().to_string())
+                    .collect(),
+            })
+        })
+        .collect()
 }
 
 /// Number of numerical features (see [`numerical_features`]).

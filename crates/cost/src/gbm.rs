@@ -148,6 +148,8 @@ fn build_tree(
     let n = indices.len() as f64;
     let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
 
+    // Indexing by feature is clearer than iterating row slices here.
+    #[allow(clippy::needless_range_loop)]
     for f in 0..n_features {
         let mut sorted: Vec<usize> = indices.to_vec();
         sorted.sort_by(|&a, &b| rows[a][f].total_cmp(&rows[b][f]));

@@ -30,7 +30,7 @@ pub mod vocab;
 pub mod widedeep;
 
 pub use baselines::{DeepLearnEstimator, LinearRegression, OptimizerEstimator};
-pub use features::{FeatureInput, PairSample, TableMeta};
+pub use features::{tables_meta, FeatureInput, PairSample, TableMeta};
 pub use gbm::{Gbm, GbmConfig};
 pub use metrics::{mae, mape};
 pub use vocab::Vocab;

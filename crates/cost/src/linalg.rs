@@ -47,6 +47,9 @@ pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
             if f == 0.0 {
                 continue;
             }
+            // Two rows of `a` are touched at once; index math keeps the
+            // pivot-row read and target-row write visibly in lockstep.
+            #[allow(clippy::needless_range_loop)]
             for k in col..n {
                 a[row][k] -= f * a[col][k];
             }

@@ -100,7 +100,8 @@ impl Column {
             Column::Str(v) => Column::Str(
                 v.iter()
                     .zip(mask)
-                    .filter_map(|(x, &m)| m.then(|| x.clone()))
+                    .filter(|&(_, &m)| m)
+                    .map(|(x, _)| x.clone())
                     .collect(),
             ),
         }

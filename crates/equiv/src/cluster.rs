@@ -133,7 +133,11 @@ impl<'a> Analyzer<'a> {
         // 3. Merge canonical groups that are shape-equal and predicate-
         //    equivalent (randomized semantic check), via union-find over
         //    group representatives.
-        let group_keys: Vec<Fingerprint> = canon_groups.keys().copied().collect();
+        // Sorted so the union-find merge order (and with it the clustering
+        // of not-fully-transitive predicate equivalences) is deterministic
+        // rather than following HashMap iteration order.
+        let mut group_keys: Vec<Fingerprint> = canon_groups.keys().copied().collect();
+        group_keys.sort_unstable();
         let mut parent: Vec<usize> = (0..group_keys.len()).collect();
         fn find(parent: &mut Vec<usize>, i: usize) -> usize {
             if parent[i] != i {
@@ -150,7 +154,9 @@ impl<'a> Analyzer<'a> {
                 .or_default()
                 .push(gi);
         }
-        for group in by_shape.values() {
+        let mut shape_keys: Vec<Fingerprint> = by_shape.keys().copied().collect();
+        shape_keys.sort_unstable();
+        for group in shape_keys.iter().map(|k| &by_shape[k]) {
             for w in 1..group.len() {
                 let (g0, gw) = (group[0], group[w]);
                 let r0 = canon_groups[&group_keys[g0]][0];

@@ -578,21 +578,21 @@ impl Graph {
                         let mut sum_dxhat = 0.0;
                         let mut sum_dxhat_xhat = 0.0;
                         let mut dxhat = vec![0.0f32; n];
-                        for r in 0..n {
+                        for (r, dxh) in dxhat.iter_mut().enumerate() {
                             let xhat = (xt.get(r, ch) - mean) * inv;
                             let dy = grad.get(r, ch);
                             *db.get_mut(0, ch) += dy;
                             *dg.get_mut(0, ch) += dy * xhat;
-                            dxhat[r] = dy * gt.get(0, ch);
-                            sum_dxhat += dxhat[r];
-                            sum_dxhat_xhat += dxhat[r] * xhat;
+                            *dxh = dy * gt.get(0, ch);
+                            sum_dxhat += *dxh;
+                            sum_dxhat_xhat += *dxh * xhat;
                         }
-                        for r in 0..n {
+                        for (r, &dxh) in dxhat.iter().enumerate() {
                             let xhat = (xt.get(r, ch) - mean) * inv;
                             dx.set(
                                 r,
                                 ch,
-                                inv / nf * (nf * dxhat[r] - sum_dxhat - xhat * sum_dxhat_xhat),
+                                inv / nf * (nf * dxh - sum_dxhat - xhat * sum_dxhat_xhat),
                             );
                         }
                     }

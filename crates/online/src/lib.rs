@@ -1,0 +1,400 @@
+//! # av-online — streaming workload ingestion and adaptive view lifecycle
+//!
+//! The batch pipeline (`av-core`) selects views once, for a workload known
+//! up front. This crate runs the same machinery *online*: queries arrive one
+//! at a time, a sliding window tracks the recent workload
+//! ([`stream::WorkloadStream`]), a drift detector watches the window's
+//! candidate cost-mass distribution ([`drift::DriftDetector`]), and when the
+//! workload shifts, selection (IterView/RLView) is re-run on the window and
+//! the live view set is patched incrementally
+//! ([`reopt::reoptimize`] → [`lifecycle::ViewLifecycleManager`]).
+//!
+//! [`OnlineEngine`] ties the pieces together: every arrival is routed
+//! through the live views (`av-engine::rewrite`), measured, ingested, and
+//! periodically checked for drift. A [`metrics::Metrics`] registry records
+//! admissions, evictions, rewrite hits, drift triggers and per-phase
+//! timings, exportable as a JSON snapshot.
+
+pub mod drift;
+pub mod lifecycle;
+pub mod metrics;
+pub mod reopt;
+pub mod stream;
+
+pub use drift::{DriftConfig, DriftDetector, DriftReport};
+pub use lifecycle::{AdmitOutcome, LifecycleConfig, LiveView, ViewLifecycleManager};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use reopt::{reoptimize, CandidateView, OnlineSelector, ReoptPlan, WindowSnapshot};
+pub use stream::{ArrivedQuery, WorkloadStream};
+
+use av_cost::CostEstimator;
+use av_engine::{Catalog, EngineError, Executor, Pricing};
+use av_plan::PlanRef;
+
+/// Everything the online engine can be tuned with.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    pub pricing: Pricing,
+    /// Sliding-window length (queries).
+    pub window_size: usize,
+    /// Drift is checked every `check_every` arrivals once the window is
+    /// full (checking costs an equivalence analysis of the window).
+    pub check_every: u64,
+    pub drift: DriftConfig,
+    pub lifecycle: LifecycleConfig,
+    /// Selection algorithm used by (re-)optimization.
+    pub selector: OnlineSelector,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            pricing: Pricing::paper_defaults(),
+            window_size: 64,
+            check_every: 8,
+            drift: DriftConfig::default(),
+            lifecycle: LifecycleConfig::default(),
+            selector: OnlineSelector::default(),
+        }
+    }
+}
+
+/// What happened to one arrival.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryOutcome {
+    pub seq: u64,
+    /// Cost of the query as submitted (no views).
+    pub baseline_cost: f64,
+    /// Cost actually paid (after routing through live views).
+    pub actual_cost: f64,
+    /// Subtree replacements made by routing.
+    pub rewrite_hits: usize,
+    /// Drift declared at this arrival, if any.
+    pub drift: Option<DriftReport>,
+    /// Whether a re-optimization ran (and its plan was applied).
+    pub reoptimized: bool,
+}
+
+/// Cumulative cost accounting for a session.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineReport {
+    pub queries: u64,
+    /// Σ baseline (unrewritten) cost.
+    pub baseline_cost: f64,
+    /// Σ actually paid query cost.
+    pub actual_cost: f64,
+    /// Σ materialization overhead of every admitted view.
+    pub view_overhead: f64,
+    /// Views live right now.
+    pub live_views: usize,
+}
+
+impl OnlineReport {
+    /// Net dollars saved vs. running everything unrewritten:
+    /// `baseline − actual − overhead`.
+    pub fn net_saving(&self) -> f64 {
+        self.baseline_cost - self.actual_cost - self.view_overhead
+    }
+}
+
+/// The online system: ingest queries, route them through live views, adapt
+/// the view set as the workload drifts.
+pub struct OnlineEngine {
+    config: OnlineConfig,
+    catalog: Catalog,
+    stream: WorkloadStream,
+    drift: DriftDetector,
+    lifecycle: ViewLifecycleManager,
+    metrics: Metrics,
+    estimator: Box<dyn CostEstimator>,
+    /// Whether the initial (bootstrap) selection has run.
+    bootstrapped: bool,
+    report: OnlineReport,
+}
+
+impl OnlineEngine {
+    pub fn new(
+        catalog: Catalog,
+        estimator: Box<dyn CostEstimator>,
+        config: OnlineConfig,
+    ) -> OnlineEngine {
+        OnlineEngine {
+            catalog,
+            stream: WorkloadStream::new(config.window_size),
+            drift: DriftDetector::new(config.drift),
+            lifecycle: ViewLifecycleManager::new(config.lifecycle),
+            metrics: Metrics::new(),
+            estimator,
+            bootstrapped: false,
+            config,
+            report: OnlineReport::default(),
+        }
+    }
+
+    /// Process one arriving query end to end: route it through the live
+    /// views, measure both costs, feed the window, and — on the check
+    /// cadence — detect drift and re-optimize.
+    pub fn ingest(&mut self, plan: &PlanRef) -> Result<QueryOutcome, EngineError> {
+        // 1. Route through live views and price both variants.
+        let start = std::time::Instant::now();
+        let (routed, hits) = self.lifecycle.route(&self.catalog, plan);
+        self.metrics
+            .record_seconds("route", start.elapsed().as_secs_f64());
+
+        let exec = Executor::new(&self.catalog, self.config.pricing);
+        let baseline_cost = exec.cost(plan)?;
+        let actual_cost = if hits > 0 {
+            exec.cost(&routed)?
+        } else {
+            baseline_cost
+        };
+
+        // 2. Window bookkeeping. The window stores the *baseline* cost:
+        //    candidate benefits must be judged against unrewritten queries.
+        let seq = self.stream.ingest(plan.clone(), baseline_cost);
+
+        self.metrics.inc("queries_ingested");
+        if hits > 0 {
+            self.metrics.inc("queries_rewritten");
+            self.metrics.add("rewrite_hits", hits as u64);
+        }
+        self.metrics.observe("query_cost_baseline", baseline_cost);
+        self.metrics.observe("query_cost_actual", actual_cost);
+        self.report.queries += 1;
+        self.report.baseline_cost += baseline_cost;
+        self.report.actual_cost += actual_cost;
+
+        // 3. Adaptation: bootstrap when the window first fills, then drift
+        //    checks on the configured cadence.
+        let mut drift_report = None;
+        let mut reoptimized = false;
+        if self.stream.is_full() {
+            if !self.bootstrapped {
+                self.bootstrapped = true;
+                let analysis = self.stream.analyze();
+                let mass = self.stream.candidate_mass_from(&analysis);
+                self.reoptimize_and_apply(&analysis)?;
+                self.drift.rebase(&mass);
+                reoptimized = true;
+            } else if (seq + 1).is_multiple_of(self.config.check_every.max(1)) {
+                let start = std::time::Instant::now();
+                let analysis = self.stream.analyze();
+                let mass = self.stream.candidate_mass_from(&analysis);
+                drift_report = self.drift.observe(seq, &mass);
+                self.metrics
+                    .record_seconds("drift_check", start.elapsed().as_secs_f64());
+                if drift_report.is_some() {
+                    self.metrics.inc("drift_triggers");
+                    self.reoptimize_and_apply(&analysis)?;
+                    reoptimized = true;
+                }
+            }
+        }
+
+        self.report.live_views = self.lifecycle.live().len();
+        Ok(QueryOutcome {
+            seq,
+            baseline_cost,
+            actual_cost,
+            rewrite_hits: hits,
+            drift: drift_report,
+            reoptimized,
+        })
+    }
+
+    /// Re-run selection on the current window and apply the incremental
+    /// create/drop plan to the live set.
+    fn reoptimize_and_apply(
+        &mut self,
+        analysis: &av_equiv::WorkloadAnalysis,
+    ) -> Result<(), EngineError> {
+        let start = std::time::Instant::now();
+        let plan = reoptimize(
+            &self.catalog,
+            analysis,
+            WindowSnapshot::new(&self.stream.plans(), &self.stream.costs()),
+            self.estimator.as_ref(),
+            &self.config.selector,
+            &self.lifecycle.live_fingerprints(),
+            self.config.pricing,
+        )?;
+        self.metrics.inc("reopt_runs");
+
+        for fp in &plan.drop {
+            if self.lifecycle.evict(&mut self.catalog, *fp).is_some() {
+                self.metrics.inc("views_evicted");
+            }
+        }
+        for cand in &plan.create {
+            let outcome = self.lifecycle.admit(
+                &mut self.catalog,
+                cand.plan.clone(),
+                cand.canonical_fp,
+                cand.expected_benefit,
+                self.config.pricing,
+            )?;
+            match outcome {
+                AdmitOutcome::Admitted { id, evicted } => {
+                    self.metrics.inc("views_admitted");
+                    self.metrics.add("views_evicted", evicted.len() as u64);
+                    if let Some(v) = self.lifecycle.view(id) {
+                        self.report.view_overhead += v.total_overhead();
+                        self.metrics.observe("view_bytes", v.byte_size as f64);
+                    }
+                }
+                AdmitOutcome::RejectedScore { .. } | AdmitOutcome::RejectedBudget { .. } => {
+                    self.metrics.inc("admissions_rejected");
+                }
+            }
+        }
+        self.metrics
+            .record_seconds("reopt", start.elapsed().as_secs_f64());
+        Ok(())
+    }
+
+    pub fn config(&self) -> &OnlineConfig {
+        &self.config
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn lifecycle(&self) -> &ViewLifecycleManager {
+        &self.lifecycle
+    }
+
+    pub fn stream(&self) -> &WorkloadStream {
+        &self.stream
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// JSON snapshot of the metrics registry.
+    pub fn metrics_json(&self) -> String {
+        self.metrics.to_json()
+    }
+
+    /// Cumulative cost accounting so far.
+    pub fn report(&self) -> OnlineReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_cost::OptimizerEstimator;
+    use av_select::IterViewConfig;
+    use av_workload::cloud::mini;
+
+    fn engine_for(w: &av_workload::Workload, window: usize, check_every: u64) -> OnlineEngine {
+        OnlineEngine::new(
+            w.catalog.clone(),
+            Box::new(OptimizerEstimator::default()),
+            OnlineConfig {
+                pricing: Pricing::paper_defaults(),
+                window_size: window,
+                check_every,
+                drift: DriftConfig {
+                    threshold: 0.3,
+                    min_queries_between: 8,
+                },
+                lifecycle: LifecycleConfig {
+                    byte_budget: usize::MAX,
+                    min_benefit_per_byte: 0.0,
+                },
+                selector: OnlineSelector::IterView(IterViewConfig {
+                    iterations: 30,
+                    seed: 5,
+                    freeze_after: None,
+                }),
+            },
+        )
+    }
+
+    #[test]
+    fn bootstrap_admits_views_and_routes_later_arrivals() {
+        let w = mini(51);
+        let plans = w.plans();
+        let mut eng = engine_for(&w, plans.len(), 4);
+        // First pass fills the window; the last arrival bootstraps.
+        let mut bootstrapped_at = None;
+        for (i, p) in plans.iter().enumerate() {
+            let out = eng.ingest(p).expect("ingests");
+            if out.reoptimized && bootstrapped_at.is_none() {
+                bootstrapped_at = Some(i);
+            }
+        }
+        assert_eq!(
+            bootstrapped_at,
+            Some(plans.len() - 1),
+            "bootstrap fires exactly when the window fills"
+        );
+        assert!(eng.metrics().counter("views_admitted") > 0);
+        assert!(!eng.lifecycle().live().is_empty());
+
+        // Second pass: the same queries should now hit live views.
+        let mut hits = 0;
+        for p in &plans {
+            let out = eng.ingest(p).expect("ingests");
+            hits += out.rewrite_hits;
+            assert!(out.actual_cost <= out.baseline_cost + 1e-12);
+        }
+        assert!(hits > 0, "live views must route repeat queries");
+        assert_eq!(eng.metrics().counter("rewrite_hits"), hits as u64);
+
+        let report = eng.report();
+        assert_eq!(report.queries, 2 * plans.len() as u64);
+        assert!(report.actual_cost <= report.baseline_cost);
+    }
+
+    #[test]
+    fn stable_workload_never_redrifts() {
+        let w = mini(52);
+        let plans = w.plans();
+        let mut eng = engine_for(&w, plans.len(), 4);
+        for _ in 0..3 {
+            for p in &plans {
+                eng.ingest(p).expect("ingests");
+            }
+        }
+        assert_eq!(
+            eng.metrics().counter("drift_triggers"),
+            0,
+            "replaying the same workload is not drift"
+        );
+        assert_eq!(eng.metrics().counter("reopt_runs"), 1, "bootstrap only");
+    }
+
+    #[test]
+    fn metrics_snapshot_reflects_session() {
+        let w = mini(53);
+        let plans = w.plans();
+        let mut eng = engine_for(&w, plans.len(), 4);
+        for _ in 0..2 {
+            for p in &plans {
+                eng.ingest(p).expect("ingests");
+            }
+        }
+        let text = eng.metrics_json();
+        let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let counters = doc
+            .as_obj()
+            .and_then(|o| o.iter().find(|(k, _)| k == "counters"))
+            .map(|(_, v)| v.clone())
+            .expect("counters key");
+        let get = |name: &str| {
+            counters
+                .as_obj()
+                .and_then(|o| o.iter().find(|(k, _)| k == name))
+                .and_then(|(_, v)| v.as_f64())
+                .unwrap_or(0.0)
+        };
+        assert_eq!(get("queries_ingested"), (plans.len() * 2) as f64);
+        assert!(get("views_admitted") >= 1.0);
+        assert!(get("rewrite_hits") >= 1.0);
+    }
+}

@@ -1,0 +1,418 @@
+//! Adaptive view lifecycle: admission, eviction and query routing against a
+//! byte budget.
+//!
+//! [`ViewLifecycleManager`] owns an `av-engine` [`ViewStore`] and a set of
+//! *live* views. Candidates are admitted by benefit-per-byte score; when the
+//! budget is exceeded, the lowest-scoring live views are evicted first — but
+//! only while they score below the newcomer, so a strong incumbent is never
+//! displaced by a weak arrival. Incoming queries are routed through live
+//! views with `av-engine::rewrite`'s subtree rewriter, matching on
+//! *canonical* fingerprints so a view admitted from one query's aliases
+//! still rewrites structurally equivalent subtrees of other queries.
+
+use av_engine::{
+    rewrite_subtree_with_view, Catalog, EngineError, MaterializedView, Pricing, ViewId, ViewStore,
+};
+use av_equiv::canonicalize;
+use av_plan::{enumerate_subqueries, Fingerprint, PlanRef};
+
+/// Budget and admission knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct LifecycleConfig {
+    /// Total bytes the live views may occupy.
+    pub byte_budget: usize,
+    /// Candidates scoring below this benefit-per-byte are rejected outright.
+    pub min_benefit_per_byte: f64,
+}
+
+impl Default for LifecycleConfig {
+    fn default() -> Self {
+        LifecycleConfig {
+            byte_budget: 64 * 1024,
+            min_benefit_per_byte: 0.0,
+        }
+    }
+}
+
+/// A currently materialized, routable view.
+#[derive(Debug, Clone)]
+pub struct LiveView {
+    pub id: ViewId,
+    /// Fingerprint of the canonicalized defining plan — the admission /
+    /// routing / diffing key.
+    pub canonical_fp: Fingerprint,
+    /// Benefit-per-byte at admission time (eviction priority; lower goes
+    /// first).
+    pub score: f64,
+    /// Expected total benefit (dollars over the selection window).
+    pub expected_benefit: f64,
+}
+
+/// Outcome of an admission attempt.
+#[derive(Debug)]
+pub enum AdmitOutcome {
+    /// View materialized and live; lists any views evicted to make room.
+    Admitted { id: ViewId, evicted: Vec<ViewId> },
+    /// Scored below `min_benefit_per_byte`; nothing was materialized.
+    RejectedScore { score: f64 },
+    /// Could not fit within the budget without evicting better views.
+    RejectedBudget { bytes: usize },
+}
+
+/// Manages the set of materialized views over time.
+#[derive(Debug, Default)]
+pub struct ViewLifecycleManager {
+    config: LifecycleConfig,
+    store: ViewStore,
+    live: Vec<LiveView>,
+}
+
+impl ViewLifecycleManager {
+    pub fn new(config: LifecycleConfig) -> ViewLifecycleManager {
+        ViewLifecycleManager {
+            config,
+            store: ViewStore::new(),
+            live: Vec::new(),
+        }
+    }
+
+    pub fn config(&self) -> LifecycleConfig {
+        self.config
+    }
+
+    /// Live views, admission order.
+    pub fn live(&self) -> &[LiveView] {
+        &self.live
+    }
+
+    /// Canonical fingerprints of the live set.
+    pub fn live_fingerprints(&self) -> Vec<Fingerprint> {
+        self.live.iter().map(|v| v.canonical_fp).collect()
+    }
+
+    /// Total bytes currently occupied by live views.
+    pub fn live_bytes(&self) -> usize {
+        self.live
+            .iter()
+            .filter_map(|l| self.store.view(l.id))
+            .map(|v| v.byte_size)
+            .sum()
+    }
+
+    /// Is a structurally equivalent view already live?
+    pub fn has_live(&self, canonical_fp: Fingerprint) -> bool {
+        self.live.iter().any(|v| v.canonical_fp == canonical_fp)
+    }
+
+    /// Try to admit a view defined by `plan` (whose canonicalized form has
+    /// fingerprint `canonical_fp`) with the given expected benefit.
+    ///
+    /// The view is materialized first — its byte size is only known after
+    /// execution — and torn down again if it cannot be admitted.
+    pub fn admit(
+        &mut self,
+        catalog: &mut Catalog,
+        plan: PlanRef,
+        canonical_fp: Fingerprint,
+        expected_benefit: f64,
+        pricing: Pricing,
+    ) -> Result<AdmitOutcome, EngineError> {
+        if self.has_live(canonical_fp) {
+            return Ok(AdmitOutcome::RejectedScore {
+                score: f64::INFINITY,
+            });
+        }
+        let id = self.store.materialize(catalog, plan, pricing)?;
+        let bytes = self.store.view(id).expect("just materialized").byte_size;
+        // An empty result still occupies a catalog slot; score it by a
+        // 1-byte floor so the benefit ordering stays finite.
+        let score = expected_benefit / bytes.max(1) as f64;
+
+        if score < self.config.min_benefit_per_byte || expected_benefit <= 0.0 {
+            self.store.drop_view(catalog, id);
+            return Ok(AdmitOutcome::RejectedScore { score });
+        }
+        if bytes > self.config.byte_budget {
+            self.store.drop_view(catalog, id);
+            return Ok(AdmitOutcome::RejectedBudget { bytes });
+        }
+
+        // Evict lowest-scoring live views while over budget — but never one
+        // scoring at or above the newcomer.
+        let mut evicted = Vec::new();
+        while self.live_bytes() + bytes > self.config.byte_budget {
+            let weakest = self
+                .live
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.score.total_cmp(&b.score))
+                .map(|(i, v)| (i, v.score));
+            match weakest {
+                Some((i, s)) if s < score => {
+                    let victim = self.live.remove(i);
+                    self.store.drop_view(catalog, victim.id);
+                    evicted.push(victim.id);
+                }
+                _ => {
+                    // Undo: remaining residents all outscore the newcomer.
+                    self.store.drop_view(catalog, id);
+                    return Ok(AdmitOutcome::RejectedBudget { bytes });
+                }
+            }
+        }
+
+        self.live.push(LiveView {
+            id,
+            canonical_fp,
+            score,
+            expected_benefit,
+        });
+        Ok(AdmitOutcome::Admitted { id, evicted })
+    }
+
+    /// Evict the live view with the given canonical fingerprint (no-op if
+    /// not live). Returns the evicted id.
+    pub fn evict(&mut self, catalog: &mut Catalog, canonical_fp: Fingerprint) -> Option<ViewId> {
+        let i = self
+            .live
+            .iter()
+            .position(|v| v.canonical_fp == canonical_fp)?;
+        let victim = self.live.remove(i);
+        self.store.drop_view(catalog, victim.id);
+        Some(victim.id)
+    }
+
+    /// Rewrite `plan` through the live views, outermost-first. Returns the
+    /// (possibly unchanged) plan and the number of subtree replacements.
+    ///
+    /// Matching is canonical: each of the plan's candidate subtrees is
+    /// canonicalized and compared against live views' canonical
+    /// fingerprints, then replaced positionally via the engine's subtree
+    /// rewriter (which renames the view's stored columns back to the
+    /// query's local aliases).
+    pub fn route(&self, catalog: &Catalog, plan: &PlanRef) -> (PlanRef, usize) {
+        if self.live.is_empty() {
+            return (plan.clone(), 0);
+        }
+        // Prefer larger views first so an outer replacement swallows inner
+        // candidates (mirrors `rewrite_with_views`).
+        let mut order: Vec<&LiveView> = self.live.iter().collect();
+        order.sort_by_key(|l| {
+            std::cmp::Reverse(self.store.view(l.id).map_or(0, |v| v.plan.node_count()))
+        });
+
+        let mut current = plan.clone();
+        let mut hits = 0;
+        let cat_cols = |t: &str| catalog.table_columns(t);
+        for lv in order {
+            let Some(view) = self.store.view(lv.id) else {
+                continue;
+            };
+            // Re-enumerate each round: a previous replacement changes the
+            // remaining subtrees.
+            for sub in enumerate_subqueries(&current) {
+                if Fingerprint::of(&canonicalize(&sub.plan)) != lv.canonical_fp {
+                    continue;
+                }
+                let subtree_cols = sub.plan.output_columns(&cat_cols);
+                let view_cols = match catalog.table(&view.table_name) {
+                    Some(t) => t.column_names.clone(),
+                    None => continue, // table dropped concurrently
+                };
+                if subtree_cols.len() != view_cols.len() {
+                    continue; // stale match
+                }
+                let (next, n) = rewrite_subtree_with_view(
+                    &current,
+                    sub.fingerprint,
+                    view,
+                    &subtree_cols,
+                    &view_cols,
+                );
+                if n > 0 {
+                    current = next;
+                    hits += n;
+                }
+            }
+        }
+        (current, hits)
+    }
+
+    /// The backing store (for inspection; all mutation goes through the
+    /// manager).
+    pub fn store(&self) -> &ViewStore {
+        &self.store
+    }
+
+    /// Look up a live view's materialized record.
+    pub fn view(&self, id: ViewId) -> Option<&MaterializedView> {
+        self.store.view(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_engine::{Executor, Pricing};
+    use av_plan::PlanBuilder;
+    use av_workload::cloud::mini;
+
+    /// A (query, shared-subtree) pair from the mini workload's analysis.
+    fn shared_candidate() -> (av_workload::Workload, PlanRef, Fingerprint) {
+        let w = mini(21);
+        let plans = w.plans();
+        let mut analyzer = av_equiv::Analyzer::new();
+        analyzer.min_query_frequency = 2;
+        let analysis = analyzer.analyze(&plans);
+        let cand = analysis.candidates.first().expect("mini has candidates");
+        let fp = Fingerprint::of(&cand.canonical);
+        (w, cand.plan.clone(), fp)
+    }
+
+    #[test]
+    fn admit_then_route_rewrites_matching_queries() {
+        let (w, cand_plan, fp) = shared_candidate();
+        let mut catalog = w.catalog.clone();
+        let mut mgr = ViewLifecycleManager::new(LifecycleConfig {
+            byte_budget: usize::MAX,
+            min_benefit_per_byte: 0.0,
+        });
+        let out = mgr
+            .admit(&mut catalog, cand_plan, fp, 1.0, Pricing::paper_defaults())
+            .expect("materializes");
+        assert!(matches!(out, AdmitOutcome::Admitted { .. }));
+        assert_eq!(mgr.live().len(), 1);
+
+        let exec = Executor::new(&catalog, Pricing::paper_defaults());
+        let mut total_hits = 0;
+        for q in &w.plans() {
+            let (rewritten, hits) = mgr.route(&catalog, q);
+            if hits > 0 {
+                total_hits += hits;
+                // Routed queries must return identical rows.
+                let orig = exec.run(q).expect("orig runs");
+                let new = exec.run(&rewritten).expect("rewritten runs");
+                assert_eq!(orig.batch, new.batch);
+                assert!(
+                    exec.cost(&rewritten).expect("cost") <= exec.cost(q).expect("cost") + 1e-12
+                );
+            }
+        }
+        assert!(total_hits >= 2, "a shared candidate must route >= 2 queries");
+    }
+
+    #[test]
+    fn duplicate_admission_is_rejected() {
+        let (w, cand_plan, fp) = shared_candidate();
+        let mut catalog = w.catalog.clone();
+        let mut mgr = ViewLifecycleManager::new(LifecycleConfig::default());
+        mgr.admit(
+            &mut catalog,
+            cand_plan.clone(),
+            fp,
+            1.0,
+            Pricing::paper_defaults(),
+        )
+        .expect("first");
+        let out = mgr
+            .admit(&mut catalog, cand_plan, fp, 1.0, Pricing::paper_defaults())
+            .expect("second");
+        assert!(matches!(out, AdmitOutcome::RejectedScore { .. }));
+        assert_eq!(mgr.live().len(), 1);
+    }
+
+    #[test]
+    fn nonpositive_benefit_is_rejected_and_table_dropped() {
+        let (w, cand_plan, fp) = shared_candidate();
+        let mut catalog = w.catalog.clone();
+        let before = catalog.len();
+        let mut mgr = ViewLifecycleManager::new(LifecycleConfig::default());
+        let out = mgr
+            .admit(&mut catalog, cand_plan, fp, -0.5, Pricing::paper_defaults())
+            .expect("attempt");
+        assert!(matches!(out, AdmitOutcome::RejectedScore { .. }));
+        assert!(mgr.live().is_empty());
+        assert_eq!(catalog.len(), before, "rejected view leaves no table");
+    }
+
+    #[test]
+    fn budget_evicts_weakest_first_and_protects_incumbents() {
+        // Two tiny single-table views over distinct tables so byte sizes are
+        // comparable and both would fit alone.
+        let w = mini(22);
+        let mut catalog = w.catalog.clone();
+        let table_names: Vec<String> = {
+            let mut names: Vec<String> =
+                catalog.table_names().map(|s| s.to_string()).collect();
+            names.sort();
+            names
+        };
+        // Project the first column of each table so the materialized
+        // results are non-empty (a zero-byte view makes any budget moot).
+        let mk = |catalog: &Catalog, t: &str| {
+            let col = format!("x.{}", catalog.table(t).expect("exists").column_names[0]);
+            PlanBuilder::scan(t, "x")
+                .project(&[(col.as_str(), col.as_str())])
+                .build()
+        };
+        let plan_a = mk(&catalog, &table_names[0]);
+        let plan_b = mk(&catalog, &table_names[1]);
+        let fp_a = Fingerprint::of(&canonicalize(&plan_a));
+        let fp_b = Fingerprint::of(&canonicalize(&plan_b));
+        assert_ne!(fp_a, fp_b);
+
+        // Budget of one view's bytes (empty results share a size floor).
+        let mut probe = ViewLifecycleManager::new(LifecycleConfig {
+            byte_budget: usize::MAX,
+            min_benefit_per_byte: 0.0,
+        });
+        probe
+            .admit(
+                &mut catalog,
+                plan_a.clone(),
+                fp_a,
+                1.0,
+                Pricing::paper_defaults(),
+            )
+            .expect("probe");
+        let one_view_bytes = probe.live_bytes();
+        probe.evict(&mut catalog, fp_a);
+
+        let mut mgr = ViewLifecycleManager::new(LifecycleConfig {
+            byte_budget: one_view_bytes,
+            min_benefit_per_byte: 0.0,
+        });
+        mgr.admit(
+            &mut catalog,
+            plan_a.clone(),
+            fp_a,
+            1.0,
+            Pricing::paper_defaults(),
+        )
+        .expect("a admitted");
+
+        // A weaker candidate cannot displace the incumbent...
+        let out = mgr
+            .admit(
+                &mut catalog,
+                plan_b.clone(),
+                fp_b,
+                0.5,
+                Pricing::paper_defaults(),
+            )
+            .expect("b attempt");
+        assert!(matches!(out, AdmitOutcome::RejectedBudget { .. }));
+        assert_eq!(mgr.live_fingerprints(), vec![fp_a]);
+
+        // ...but a stronger one evicts it.
+        let out = mgr
+            .admit(&mut catalog, plan_b, fp_b, 2.0, Pricing::paper_defaults())
+            .expect("b retry");
+        match out {
+            AdmitOutcome::Admitted { evicted, .. } => assert_eq!(evicted.len(), 1),
+            other => panic!("expected admission, got {other:?}"),
+        }
+        assert_eq!(mgr.live_fingerprints(), vec![fp_b]);
+        assert!(mgr.live_bytes() <= one_view_bytes);
+    }
+}

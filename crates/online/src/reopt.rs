@@ -1,0 +1,332 @@
+//! Background re-optimization: re-run view selection on the drifted window
+//! and diff the result against the live view set.
+//!
+//! [`reoptimize`] builds a fresh [`MvsInstance`] from the current window
+//! (benefits predicted by the active [`CostEstimator`], overheads measured
+//! by dry-running each candidate's defining subquery), solves it with
+//! IterView or RLView, and returns an incremental [`ReoptPlan`]: which views
+//! to create, which live ones to drop, and which to keep.
+
+use av_cost::{tables_meta, CostEstimator, FeatureInput};
+use av_engine::{Catalog, EngineError, Executor, Pricing};
+use av_equiv::WorkloadAnalysis;
+use av_ilp::MvsInstance;
+use av_plan::{Fingerprint, PlanRef};
+use av_select::{IterView, IterViewConfig, RlView, RlViewConfig, SelectionResult};
+
+/// Which selection algorithm the re-optimizer runs.
+#[derive(Debug, Clone)]
+pub enum OnlineSelector {
+    IterView(IterViewConfig),
+    RlView(RlViewConfig),
+}
+
+impl Default for OnlineSelector {
+    fn default() -> Self {
+        OnlineSelector::IterView(IterViewConfig::default())
+    }
+}
+
+impl OnlineSelector {
+    pub fn run(&self, instance: &MvsInstance) -> SelectionResult {
+        match self {
+            OnlineSelector::IterView(cfg) => IterView::new(instance, cfg.clone()).run(),
+            OnlineSelector::RlView(cfg) => RlView::run(instance, cfg.clone()),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            OnlineSelector::IterView(_) => "IterView",
+            OnlineSelector::RlView(_) => "RLView",
+        }
+    }
+}
+
+/// A view the re-optimizer wants materialized.
+#[derive(Debug, Clone)]
+pub struct CandidateView {
+    /// Defining subquery (representative instance's aliases).
+    pub plan: PlanRef,
+    /// Fingerprint of the canonicalized defining plan.
+    pub canonical_fp: Fingerprint,
+    /// Predicted total benefit over the window (Σᵢ benefits[i][j]·y[i][j]).
+    pub expected_benefit: f64,
+    /// Estimated materialization overhead `O_v`.
+    pub overhead: f64,
+}
+
+/// Incremental create/drop plan produced by one re-optimization.
+#[derive(Debug, Clone, Default)]
+pub struct ReoptPlan {
+    /// Views selected but not yet live.
+    pub create: Vec<CandidateView>,
+    /// Live views no longer selected.
+    pub drop: Vec<Fingerprint>,
+    /// Live views still selected (kept untouched).
+    pub keep: Vec<Fingerprint>,
+    /// The selection's utility on the window instance.
+    pub estimated_utility: f64,
+}
+
+impl ReoptPlan {
+    /// True when the plan changes nothing.
+    pub fn is_noop(&self) -> bool {
+        self.create.is_empty() && self.drop.is_empty()
+    }
+}
+
+/// A window of queries paired with their (unrewritten) execution costs.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowSnapshot<'a> {
+    pub plans: &'a [PlanRef],
+    pub costs: &'a [f64],
+}
+
+impl<'a> WindowSnapshot<'a> {
+    pub fn new(plans: &'a [PlanRef], costs: &'a [f64]) -> Self {
+        assert_eq!(plans.len(), costs.len(), "plans/costs must align");
+        Self { plans, costs }
+    }
+}
+
+/// Build the window's MVS instance: predicted benefits per (query,
+/// candidate) pair and dry-run overheads per candidate. No catalog mutation
+/// — candidate subqueries are *executed* to price their materialization,
+/// but nothing is stored.
+pub fn build_window_instance(
+    catalog: &Catalog,
+    analysis: &WorkloadAnalysis,
+    window: WindowSnapshot<'_>,
+    estimator: &dyn CostEstimator,
+    pricing: Pricing,
+) -> Result<MvsInstance, EngineError> {
+    let WindowSnapshot { plans, costs } = window;
+    let exec = Executor::new(catalog, pricing);
+
+    let mut overheads = Vec::with_capacity(analysis.candidates.len());
+    for cand in &analysis.candidates {
+        let result = exec.run(&cand.plan)?;
+        overheads.push(
+            result.report.cost_dollars + pricing.storage_dollars(result.report.output_bytes),
+        );
+    }
+
+    let nq = plans.len();
+    let nc = analysis.candidates.len();
+    let mut benefits = vec![vec![0.0; nc]; nq];
+    for (i, matches) in analysis.query_matches.iter().enumerate() {
+        for m in matches {
+            let cand = &analysis.candidates[m.candidate];
+            let input = FeatureInput {
+                query: plans[i].clone(),
+                view: cand.plan.clone(),
+                tables: tables_meta(catalog, &plans[i], &cand.plan),
+            };
+            let predicted_rewritten = estimator.estimate(&input);
+            benefits[i][m.candidate] = (costs[i] - predicted_rewritten).max(0.0);
+        }
+    }
+
+    Ok(MvsInstance {
+        benefits,
+        overheads,
+        overlaps: analysis.overlap_pairs.clone(),
+    })
+}
+
+/// Re-run selection on the window and diff against the live view set.
+pub fn reoptimize(
+    catalog: &Catalog,
+    analysis: &WorkloadAnalysis,
+    window: WindowSnapshot<'_>,
+    estimator: &dyn CostEstimator,
+    selector: &OnlineSelector,
+    live_fps: &[Fingerprint],
+    pricing: Pricing,
+) -> Result<ReoptPlan, EngineError> {
+    let instance = build_window_instance(catalog, analysis, window, estimator, pricing)?;
+    let selection = selector.run(&instance);
+
+    let mut plan = ReoptPlan {
+        estimated_utility: selection.utility,
+        ..ReoptPlan::default()
+    };
+    let mut selected_fps = Vec::with_capacity(analysis.candidates.len());
+    for (j, cand) in analysis.candidates.iter().enumerate() {
+        let fp = Fingerprint::of(&cand.canonical);
+        selected_fps.push(fp);
+        if !selection.z.get(j).copied().unwrap_or(false) {
+            continue;
+        }
+        let expected_benefit: f64 = selection
+            .y
+            .iter()
+            .enumerate()
+            .filter(|(i, yi)| yi.get(j).copied().unwrap_or(false) && *i < instance.benefits.len())
+            .map(|(i, _)| instance.benefits[i][j])
+            .sum();
+        if live_fps.contains(&fp) {
+            plan.keep.push(fp);
+        } else {
+            plan.create.push(CandidateView {
+                plan: cand.plan.clone(),
+                canonical_fp: fp,
+                expected_benefit,
+                overhead: instance.overheads[j],
+            });
+        }
+    }
+    // Live views the new selection does not want (including views whose
+    // candidate no longer even appears in the window).
+    for &fp in live_fps {
+        let still_selected = analysis
+            .candidates
+            .iter()
+            .enumerate()
+            .any(|(j, _)| selected_fps[j] == fp && selection.z.get(j).copied().unwrap_or(false));
+        if !still_selected {
+            plan.drop.push(fp);
+        }
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_cost::OptimizerEstimator;
+    use av_equiv::Analyzer;
+    use av_workload::cloud::mini;
+
+    fn analyzed(seed: u64) -> (av_workload::Workload, WorkloadAnalysis, Vec<PlanRef>, Vec<f64>) {
+        let w = mini(seed);
+        let plans = w.plans();
+        let mut analyzer = Analyzer::new();
+        analyzer.min_query_frequency = 2;
+        let analysis = analyzer.analyze(&plans);
+        let exec = Executor::new(&w.catalog, Pricing::paper_defaults());
+        let costs: Vec<f64> = plans.iter().map(|p| exec.cost(p).expect("costs")).collect();
+        (w, analysis, plans, costs)
+    }
+
+    #[test]
+    fn window_instance_is_well_formed() {
+        let (w, analysis, plans, costs) = analyzed(31);
+        let before = w.catalog.len();
+        let est = OptimizerEstimator::default();
+        let instance = build_window_instance(
+            &w.catalog,
+            &analysis,
+            WindowSnapshot::new(&plans, &costs),
+            &est,
+            Pricing::paper_defaults(),
+        )
+        .expect("builds");
+        assert_eq!(w.catalog.len(), before, "no catalog mutation");
+        assert_eq!(instance.num_queries(), plans.len());
+        assert_eq!(instance.num_candidates(), analysis.candidates.len());
+        assert!(instance.overheads.iter().all(|&o| o > 0.0));
+        // Benefits are only nonzero on matching pairs.
+        for (i, row) in instance.benefits.iter().enumerate() {
+            for (j, &b) in row.iter().enumerate() {
+                let matched = analysis.query_matches[i].iter().any(|m| m.candidate == j);
+                assert!(b >= 0.0);
+                if !matched {
+                    assert_eq!(b, 0.0, "non-match ({i},{j}) must carry no benefit");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reopt_from_empty_creates_views() {
+        let (w, analysis, plans, costs) = analyzed(32);
+        let est = OptimizerEstimator::default();
+        let plan = reoptimize(
+            &w.catalog,
+            &analysis,
+            WindowSnapshot::new(&plans, &costs),
+            &est,
+            &OnlineSelector::IterView(IterViewConfig {
+                iterations: 40,
+                seed: 7,
+                freeze_after: None,
+            }),
+            &[],
+            Pricing::paper_defaults(),
+        )
+        .expect("reoptimizes");
+        assert!(!plan.create.is_empty(), "mini workload selects some views");
+        assert!(plan.drop.is_empty());
+        assert!(plan.keep.is_empty());
+        assert!(plan.estimated_utility > 0.0);
+        // Positive utility means the selection as a whole pays for itself;
+        // individual views may ride along at zero predicted benefit.
+        assert!(plan.create.iter().any(|c| c.expected_benefit > 0.0));
+        for c in &plan.create {
+            assert!(c.expected_benefit >= 0.0);
+            assert!(c.overhead > 0.0);
+        }
+    }
+
+    #[test]
+    fn reopt_is_incremental_against_live_set() {
+        let (w, analysis, plans, costs) = analyzed(33);
+        let est = OptimizerEstimator::default();
+        let selector = OnlineSelector::IterView(IterViewConfig {
+            iterations: 40,
+            seed: 7,
+            freeze_after: None,
+        });
+        let first = reoptimize(
+            &w.catalog,
+            &analysis,
+            WindowSnapshot::new(&plans, &costs),
+            &est,
+            &selector,
+            &[],
+            Pricing::paper_defaults(),
+        )
+        .expect("first");
+        let live: Vec<Fingerprint> = first.create.iter().map(|c| c.canonical_fp).collect();
+        // Same window, same selector: the plan must be a no-op now.
+        let second = reoptimize(
+            &w.catalog,
+            &analysis,
+            WindowSnapshot::new(&plans, &costs),
+            &est,
+            &selector,
+            &live,
+            Pricing::paper_defaults(),
+        )
+        .expect("second");
+        assert!(second.is_noop(), "unchanged window => no-op plan");
+        assert_eq!(second.keep.len(), live.len());
+    }
+
+    #[test]
+    fn stale_live_views_are_dropped() {
+        let (w, analysis, plans, costs) = analyzed(34);
+        let est = OptimizerEstimator::default();
+        // A fingerprint no candidate has: must land in `drop`.
+        let ghost = Fingerprint::of(
+            &av_plan::PlanBuilder::scan("__nonexistent__", "g").build(),
+        );
+        let plan = reoptimize(
+            &w.catalog,
+            &analysis,
+            WindowSnapshot::new(&plans, &costs),
+            &est,
+            &OnlineSelector::IterView(IterViewConfig {
+                iterations: 20,
+                seed: 7,
+                freeze_after: None,
+            }),
+            &[ghost],
+            Pricing::paper_defaults(),
+        )
+        .expect("reoptimizes");
+        assert!(plan.drop.contains(&ghost));
+    }
+}

@@ -255,7 +255,7 @@ impl Parser {
         let items = self.select_list()?;
         self.expect_kw("from")?;
 
-        let mut from_items = vec![self.from_item(default_alias)?];
+        let mut from_items = vec![self.parse_from_item(default_alias)?];
         let mut join_conds = Vec::new();
         while self.eat_kw("join") || {
             if self.eat_kw("inner") {
@@ -265,7 +265,7 @@ impl Parser {
                 false
             }
         } {
-            from_items.push(self.from_item(None)?);
+            from_items.push(self.parse_from_item(None)?);
             self.expect_kw("on")?;
             join_conds.push(self.eq_list()?);
         }
@@ -286,7 +286,7 @@ impl Parser {
         self.assemble(from_items, join_conds, predicate, group_by, items)
     }
 
-    fn from_item(&mut self, default_alias: Option<&str>) -> Result<FromItem, ParseError> {
+    fn parse_from_item(&mut self, default_alias: Option<&str>) -> Result<FromItem, ParseError> {
         if self.eat_sym('(') {
             let alias_peek = None; // alias comes after the ')'
             let plan = self.query(alias_peek)?;

@@ -7,6 +7,9 @@ use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// Best-seen state during the loop: (utility, z, y, iteration).
+type BestState = (f64, Vec<bool>, Vec<Vec<bool>>, usize);
+
 /// Configuration for [`IterView`].
 #[derive(Debug, Clone)]
 pub struct IterViewConfig {
@@ -210,7 +213,7 @@ impl<'a> IterView<'a> {
     /// motivating RLView).
     pub fn run(mut self) -> SelectionResult {
         let mut trajectory = Vec::with_capacity(self.config.iterations);
-        let mut best: Option<(f64, Vec<bool>, Vec<Vec<bool>>, usize)> = None;
+        let mut best: Option<BestState> = None;
         for iter in 0..self.config.iterations {
             let tau: f64 = self.rng.gen_range(0.0..1.0);
             let frozen = self
@@ -358,7 +361,6 @@ mod tests {
             iterations: 40,
             freeze_after: Some(0),
             seed: 7,
-            ..IterViewConfig::default()
         };
         let mut iv = IterView::new(&m, cfg);
         let initial: Vec<bool> = iv.z.clone();
@@ -366,8 +368,8 @@ mod tests {
             iv.z_opt(0.0, true); // tau 0 → every eligible flip fires
             iv.y_opt();
         }
-        for j in 0..m.num_candidates() {
-            if initial[j] {
+        for (j, &was_selected) in initial.iter().enumerate() {
+            if was_selected {
                 assert!(iv.z[j], "frozen candidate {j} was unselected");
             }
         }

@@ -243,7 +243,7 @@ impl RlView {
 
                 // Fine-tune once the memory is warm (Algorithm 2 line 16).
                 if memory.len() >= config.memory_size
-                    && t % config.train_every.max(1) == 0
+                    && t.is_multiple_of(config.train_every.max(1))
                 {
                     let bs = config.batch_size.min(memory.len());
                     let picks: Vec<&Transition> = (0..bs)

@@ -107,12 +107,18 @@ pub fn generate(config: &GeneratorConfig) -> Workload {
     let mut table_names: Vec<String> = Vec::with_capacity(config.tables);
     let mut table_project: Vec<usize> = Vec::with_capacity(config.tables);
     let mut table_rows: Vec<usize> = Vec::with_capacity(config.tables);
-    for t in 0..config.tables {
+    // Size draws happen up front so the sequence of uniforms depends only on
+    // the seed and table count, not on how many data values each table
+    // consumes. Two configs differing only in `skew` therefore see the same
+    // underlying u's, making skew's effect on the size spread monotone.
+    let size_u: Vec<f64> = (0..config.tables)
+        .map(|_| rng.gen_range(0.0..1.0))
+        .collect();
+    for (t, &u) in size_u.iter().enumerate() {
         let project = t % config.projects.max(1);
         let name = format!("{}_p{}_t{}", config.name, project, t);
         let (lo, hi) = config.rows_range;
         // Skewed size draw: u^skew stretches the distribution's tail.
-        let u: f64 = rng.gen_range(0.0..1.0);
         let rows = lo + ((hi - lo) as f64 * u.powf(config.skew)) as usize;
         let parent_rows = table_rows.last().copied().unwrap_or(rows).max(1);
         let id: Vec<i64> = (0..rows as i64).collect();

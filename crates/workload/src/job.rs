@@ -202,7 +202,7 @@ fn build_template(
     // small pool, so the *whole join* recurs across templates (with
     // different tops) — that containment is what creates the paper's
     // overlapping candidate pairs.
-    let shared_join = template % 3 == 0;
+    let shared_join = template.is_multiple_of(3);
     let parent_lit = if shared_join {
         1950 + (template as i64 % 8) * 9
     } else {
@@ -259,7 +259,7 @@ fn build_template(
         };
         join.aggregate(&[&format!("{parent_alias}.kind_id")], vec![agg])
             .build()
-    } else if template % 2 == 0 {
+    } else if template.is_multiple_of(2) {
         join.aggregate(
             &[&format!("{parent_alias}.kind_id")],
             vec![AggExpr {

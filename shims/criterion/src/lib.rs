@@ -1,0 +1,109 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `Criterion::bench_function` / `Bencher::iter` surface and
+//! the `criterion_group!` / `criterion_main!` macros. Each benchmark is
+//! warmed up briefly, then timed over a scaled batch and reported as
+//! mean ns/iter on stdout — enough to compare hot paths locally without
+//! the statistical machinery of the real crate.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for code that imports `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Benchmark runner handle passed to each registered function.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(150),
+            measure: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warmup pass: run until the warmup budget is spent to estimate cost.
+        let mut warm = Bencher {
+            mode: Mode::Budget(self.warmup),
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut warm);
+        let per_iter = warm.elapsed.as_nanos().max(1) / warm.iters.max(1) as u128;
+        let target = (self.measure.as_nanos() / per_iter.max(1)).clamp(10, 5_000_000) as u64;
+
+        // Measurement pass: fixed iteration count sized to fill the budget.
+        let mut meas = Bencher {
+            mode: Mode::Fixed(target),
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut meas);
+        let mean_ns = meas.elapsed.as_nanos() as f64 / meas.iters.max(1) as f64;
+        println!("{name:<40} {mean_ns:>12.1} ns/iter ({} iters)", meas.iters);
+        self
+    }
+}
+
+enum Mode {
+    Budget(Duration),
+    Fixed(u64),
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::Budget(budget) => {
+                let start = Instant::now();
+                while start.elapsed() < budget {
+                    black_box(routine());
+                    self.iters += 1;
+                }
+                self.elapsed = start.elapsed();
+            }
+            Mode::Fixed(n) => {
+                let start = Instant::now();
+                for _ in 0..n {
+                    black_box(routine());
+                }
+                self.elapsed = start.elapsed();
+                self.iters = n;
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

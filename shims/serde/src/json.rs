@@ -1,0 +1,363 @@
+//! The JSON document model, writer and parser behind the serde shim.
+
+/// A JSON value. Objects keep insertion order (serialization is stable).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_num(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9.0e15 {
+        // Integers print without a fractional part for round-trip fidelity.
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        // `{:?}` is Rust's shortest round-trip float form; valid JSON too.
+        out.push_str(&format!("{n:?}"));
+    }
+}
+
+/// Serialize a [`Json`] document. `indent = None` is compact; `Some(width)`
+/// pretty-prints with that indent step.
+pub fn write_json(v: &Json, indent: Option<usize>) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, indent, 0);
+    out
+}
+
+fn write_value(out: &mut String, v: &Json, indent: Option<usize>, depth: usize) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => write_num(out, *n),
+        Json::Str(s) => write_escaped(out, s),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Json::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(format!("unexpected {:?} at byte {}", other.map(|c| c as char), self.pos)),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err("dangling escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("short \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundary for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end]).map_err(|e| e.to_string())?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.parse_value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+}
+
+/// Parse a JSON document.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_document() {
+        let doc = Json::Obj(vec![
+            ("a".into(), Json::Num(1.5)),
+            ("b".into(), Json::Arr(vec![Json::Null, Json::Bool(true)])),
+            ("c".into(), Json::Str("x\"y\\z\né".into())),
+            ("big".into(), Json::Num(123456789.0)),
+        ]);
+        for indent in [None, Some(2)] {
+            let text = write_json(&doc, indent);
+            assert_eq!(parse_json(&text).expect("parses"), doc, "indent={indent:?}");
+        }
+    }
+
+    #[test]
+    fn float_precision_round_trips() {
+        let n = 0.123_456_789_012_345_68;
+        let text = write_json(&Json::Num(n), None);
+        match parse_json(&text).unwrap() {
+            Json::Num(back) => assert_eq!(back, n),
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2,]").is_err());
+        assert!(parse_json("true false").is_err());
+    }
+}

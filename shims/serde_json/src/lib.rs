@@ -1,0 +1,45 @@
+//! Offline stand-in for `serde_json`: string front-end over the shim
+//! `serde` crate's [`Json`] document model.
+
+pub use serde::Json as Value;
+use serde::{parse_json, write_json, DeError, Deserialize, Serialize};
+
+/// Error type shared by serialization and deserialization.
+pub type Error = DeError;
+
+/// Compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write_json(&value.to_json(), None))
+}
+
+/// Two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write_json(&value.to_json(), Some(2)))
+}
+
+/// Parse a value back from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let doc = parse_json(text).map_err(DeError::new)?;
+    T::from_json(&doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_of_pairs_round_trips() {
+        let v: Vec<(usize, f64)> = vec![(1, 0.5), (2, -3.25)];
+        let text = to_string_pretty(&v).unwrap();
+        let back: Vec<(usize, f64)> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn option_null_round_trips() {
+        let v: Vec<Option<String>> = vec![Some("a".into()), None];
+        let text = to_string(&v).unwrap();
+        let back: Vec<Option<String>> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+}
