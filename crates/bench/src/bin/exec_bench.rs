@@ -1,0 +1,222 @@
+//! Executor micro-benchmark: rows/sec for scan / filter / join / aggregate
+//! over the JOB-scale tables, serial vs. chunked-parallel, plus the
+//! plan-result cache's hit-rate and speedup on a full workload replay.
+//!
+//! Writes `BENCH_exec.json` (machine-readable, consumed by CI) next to the
+//! working directory and prints the same numbers as a table.
+//!
+//! Knobs: `AV_JOB_SCALE` (table scale, default 0.05), `AV_EXEC_SCALE`
+//! (extra multiplier for the micro tables, default 20 so batches far exceed
+//! the 1024-row parallel chunk), `AV_EXEC_REPS` (default 20),
+//! `AV_EXEC_THREADS` (parallel thread count, default 4), `AV_SEED`.
+
+use av_bench::{render_table, BenchConfig};
+use av_engine::{ExecCache, Executor, Pricing};
+use av_plan::{AggExpr, AggFunc, CmpOp, Expr, PlanBuilder, PlanRef};
+use av_workload::job::job_workload;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Serialize)]
+struct MicroResult {
+    op: String,
+    /// Input rows driven through the operator per iteration.
+    rows: usize,
+    serial_rows_per_sec: f64,
+    parallel_rows_per_sec: f64,
+    /// parallel / serial (>1 means the chunked path wins).
+    speedup: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct CacheResult {
+    queries: usize,
+    cold_seconds: f64,
+    warm_seconds: f64,
+    hit_rate: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ExecBenchReport {
+    job_scale: f64,
+    exec_scale: f64,
+    reps: usize,
+    threads: usize,
+    micro: Vec<MicroResult>,
+    cache: CacheResult,
+}
+
+fn envf(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Median-of-runs wall time for `reps` executions of `plan`.
+fn time_plan(exec: &Executor<'_>, plan: &PlanRef, reps: usize) -> f64 {
+    // One warm-up run keeps allocator noise out of the first sample.
+    exec.run(plan).expect("benchmark plan executes");
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            exec.run(plan).expect("benchmark plan executes");
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let exec_scale = envf("AV_EXEC_SCALE", 20.0);
+    let reps = envf("AV_EXEC_REPS", 20.0) as usize;
+    let threads = envf("AV_EXEC_THREADS", 4.0) as usize;
+    let pricing = Pricing::paper_defaults();
+
+    // Micro tables: the JOB schema scaled up so every batch dwarfs the
+    // 1024-row chunk size and per-operator throughput is measurable.
+    let micro_w = job_workload(cfg.job_scale * exec_scale, cfg.seed);
+    let cast_rows = micro_w
+        .catalog
+        .table("cast_info")
+        .expect("JOB schema")
+        .row_count();
+    let title_rows = micro_w
+        .catalog
+        .table("title")
+        .expect("JOB schema")
+        .row_count();
+
+    let scan = PlanBuilder::scan("cast_info", "c").build();
+    let filter = PlanBuilder::scan("cast_info", "c")
+        .filter(Expr::col("c.production_year").cmp(CmpOp::Gt, Expr::int(1990)))
+        .build();
+    let join = PlanBuilder::scan("cast_info", "c")
+        .join(PlanBuilder::scan("title", "t"), &[("c.movie_id", "t.id")])
+        .build();
+    let aggregate = PlanBuilder::scan("cast_info", "c")
+        .aggregate(
+            &["c.kind_id"],
+            vec![
+                AggExpr {
+                    func: AggFunc::Count,
+                    input: None,
+                    output: "n".into(),
+                },
+                AggExpr {
+                    func: AggFunc::Sum,
+                    input: Some("c.production_year".into()),
+                    output: "s".into(),
+                },
+                AggExpr {
+                    func: AggFunc::Min,
+                    input: Some("c.note".into()),
+                    output: "lo".into(),
+                },
+                AggExpr {
+                    func: AggFunc::Max,
+                    input: Some("c.note".into()),
+                    output: "hi".into(),
+                },
+            ],
+        )
+        .build();
+
+    let micros: Vec<(&str, usize, PlanRef)> = vec![
+        ("scan", cast_rows, scan),
+        ("filter", cast_rows, filter),
+        ("join", cast_rows + title_rows, join),
+        ("aggregate", cast_rows, aggregate),
+    ];
+
+    let serial = Executor::new(&micro_w.catalog, pricing).with_threads(1);
+    let parallel = Executor::new(&micro_w.catalog, pricing).with_threads(threads);
+    let mut micro = Vec::with_capacity(micros.len());
+    for (op, rows, plan) in &micros {
+        let ts = time_plan(&serial, plan, reps);
+        let tp = time_plan(&parallel, plan, reps);
+        micro.push(MicroResult {
+            op: op.to_string(),
+            rows: *rows,
+            serial_rows_per_sec: *rows as f64 / ts,
+            parallel_rows_per_sec: *rows as f64 / tp,
+            speedup: ts / tp,
+        });
+    }
+
+    // Cache replay: the full JOB workload cold, then warm. Every plan is
+    // distinct, so the warm pass's hit-rate is exactly 1/2 overall.
+    let replay_w = job_workload(cfg.job_scale, cfg.seed);
+    let plans = replay_w.plans();
+    let cache = ExecCache::new(pricing);
+    let start = Instant::now();
+    for p in &plans {
+        cache.run(&replay_w.catalog, p).expect("query executes");
+    }
+    let cold_seconds = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    for p in &plans {
+        cache.run(&replay_w.catalog, p).expect("query executes");
+    }
+    let warm_seconds = start.elapsed().as_secs_f64();
+    let stats = cache.stats();
+    let cache_result = CacheResult {
+        queries: plans.len(),
+        cold_seconds,
+        warm_seconds,
+        hit_rate: stats.hit_rate(),
+        speedup: cold_seconds / warm_seconds.max(1e-12),
+    };
+
+    let report = ExecBenchReport {
+        job_scale: cfg.job_scale,
+        exec_scale,
+        reps,
+        threads,
+        micro: micro.clone(),
+        cache: cache_result.clone(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_exec.json", &json).expect("BENCH_exec.json written");
+
+    let rows: Vec<Vec<String>> = micro
+        .iter()
+        .map(|m| {
+            vec![
+                m.op.clone(),
+                m.rows.to_string(),
+                format!("{:.0}", m.serial_rows_per_sec),
+                format!("{:.0}", m.parallel_rows_per_sec),
+                format!("{:.2}x", m.speedup),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["op", "rows", "serial rows/s", "par rows/s", "par speedup"],
+            &rows,
+        )
+    );
+    println!(
+        "\ncache replay: {} queries, cold {:.3}s, warm {:.3}s ({:.0}x), hit-rate {:.2}",
+        cache_result.queries,
+        cache_result.cold_seconds,
+        cache_result.warm_seconds,
+        cache_result.speedup,
+        cache_result.hit_rate,
+    );
+    println!("\nwrote BENCH_exec.json");
+
+    assert!(
+        cache_result.hit_rate >= 0.49,
+        "warm replay must be cache-served"
+    );
+    assert!(
+        cache_result.speedup > 1.0,
+        "cache hits must be cheaper than execution"
+    );
+}

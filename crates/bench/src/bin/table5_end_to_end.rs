@@ -39,7 +39,7 @@ fn main() {
         // Shared measurement across the four combos.
         let mut catalog = workload.catalog.clone();
         let pre = preprocess_and_measure(&mut catalog, &plans, pricing).expect("preprocess");
-        let pairs = collect_pair_truth(&catalog, &pre, &plans, pricing, cfg.train_pairs, cfg.seed)
+        let pairs = collect_pair_truth(&catalog, &pre, &plans, cfg.train_pairs, cfg.seed)
             .expect("pairs");
         eprintln!(
             "{label}: {} queries, {} candidates, {} training pairs",

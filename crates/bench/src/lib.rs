@@ -97,7 +97,7 @@ pub fn setup_experiment(which: &str, cfg: &BenchConfig, pair_limit: usize) -> Ex
     let plans = workload.plans();
     let pre = preprocess_and_measure(&mut catalog, &plans, pricing)
         .expect("generated workloads execute");
-    let pairs = collect_pair_truth(&catalog, &pre, &plans, pricing, pair_limit, cfg.seed)
+    let pairs = collect_pair_truth(&catalog, &pre, &plans, pair_limit, cfg.seed)
         .expect("pair truth collection");
     let actual = actual_instance(&pre, &pairs, plans.len());
     Experiment {

@@ -5,7 +5,7 @@ use crate::truth::{collect_pair_truth, preprocess_and_measure, rewrite_pair, tab
 use av_cost::{
     CostEstimator, FeatureInput, OptimizerEstimator, WideDeep, WideDeepConfig,
 };
-use av_engine::{Catalog, EngineError, Executor, Pricing};
+use av_engine::{Catalog, EngineError, Pricing};
 use av_ilp::MvsInstance;
 use av_plan::PlanRef;
 use av_select::{
@@ -142,7 +142,6 @@ impl AutoViewSystem {
             &self.catalog,
             &pre,
             &self.queries,
-            pricing,
             self.config.max_training_pairs,
             self.config.seed,
         )?;
@@ -207,9 +206,6 @@ impl AutoViewSystem {
         pre: &Preprocessed,
         selection: &SelectionResult,
     ) -> Result<EndToEndReport, EngineError> {
-        let pricing = self.config.pricing;
-        let exec = Executor::new(&self.catalog, pricing);
-
         let num_views = selection.num_materialized();
         let view_overhead: f64 = selection
             .z
@@ -234,7 +230,9 @@ impl AutoViewSystem {
                 }
             }
             if used_any {
-                let r = exec.run(&plan)?;
+                // Training-pair collection likely already executed this
+                // rewritten shape; the shared cache makes deployment free.
+                let r = pre.cache.run(&self.catalog, &plan)?;
                 num_rewritten += 1;
                 benefit += pre.query_costs[i] - r.report.cost_dollars;
                 rewritten_latency += r.report.usage.latency_seconds;
@@ -337,7 +335,6 @@ impl OnlineSystem {
             &scratch,
             &pre,
             warmup_queries,
-            pricing,
             config.max_training_pairs,
             config.seed,
         )?;

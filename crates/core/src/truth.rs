@@ -3,7 +3,7 @@
 
 use av_cost::{FeatureInput, PairSample};
 use av_engine::{
-    rewrite_subtree_with_view, Catalog, EngineError, Executor, Pricing, ViewStore,
+    rewrite_subtree_with_view, Catalog, EngineError, ExecCache, Pricing, ViewStore,
 };
 use av_equiv::{Analyzer, WorkloadAnalysis};
 use av_plan::PlanRef;
@@ -25,6 +25,10 @@ pub struct Preprocessed {
     pub query_latencies: Vec<f64>,
     /// Measured cost of scanning each candidate's materialized table.
     pub view_scan_costs: Vec<f64>,
+    /// Fingerprint-keyed result cache shared by every later measurement
+    /// (pair truth, selection deployment). Execution is deterministic and
+    /// the catalog epoch keys out staleness, so reuse is exact.
+    pub cache: ExecCache,
 }
 
 /// Run the pre-process pipeline and measure everything the later stages
@@ -39,15 +43,13 @@ pub fn preprocess_and_measure(
     analyzer.min_query_frequency = 2;
     let analysis = analyzer.analyze(queries);
 
+    let cache = ExecCache::new(pricing);
     let mut query_costs = Vec::with_capacity(queries.len());
     let mut query_latencies = Vec::with_capacity(queries.len());
-    {
-        let exec = Executor::new(catalog, pricing);
-        for q in queries {
-            let r = exec.run(q)?;
-            query_costs.push(r.report.cost_dollars);
-            query_latencies.push(r.report.usage.latency_seconds);
-        }
+    for q in queries {
+        let r = cache.run(catalog, q)?;
+        query_costs.push(r.report.cost_dollars);
+        query_latencies.push(r.report.usage.latency_seconds);
     }
 
     let mut views = ViewStore::new();
@@ -62,7 +64,7 @@ pub fn preprocess_and_measure(
             alias: String::new(),
         }
         .into_ref();
-        let scan_cost = Executor::new(catalog, pricing).cost(&scan_plan)?;
+        let scan_cost = cache.cost(catalog, &scan_plan)?;
         view_scan_costs.push(scan_cost);
     }
 
@@ -73,6 +75,7 @@ pub fn preprocess_and_measure(
         query_costs,
         query_latencies,
         view_scan_costs,
+        cache,
     })
 }
 
@@ -132,11 +135,12 @@ pub use av_cost::tables_meta;
 /// Execute rewritten queries for (up to `limit`) usable (query, candidate)
 /// pairs, producing labelled samples and actual benefits. Pairs are
 /// subsampled deterministically when the workload exceeds the limit.
+/// Execution goes through `pre.cache` (which carries the measurement
+/// pricing), so repeated rewritten shapes cost one run.
 pub fn collect_pair_truth(
     catalog: &Catalog,
     pre: &Preprocessed,
     queries: &[PlanRef],
-    pricing: Pricing,
     limit: usize,
     seed: u64,
 ) -> Result<Vec<PairTruth>, EngineError> {
@@ -153,13 +157,14 @@ pub fn collect_pair_truth(
         all_pairs.sort_unstable();
     }
 
-    let exec = Executor::new(catalog, pricing);
     let mut out = Vec::with_capacity(all_pairs.len());
     for (i, j) in all_pairs {
         let Some(rewritten) = rewrite_pair(catalog, pre, &queries[i], i, j) else {
             continue;
         };
-        let cost_qv = exec.cost(&rewritten)?;
+        // Different queries often rewrite to the same plan shape; the
+        // shared cache collapses those repeats into one execution.
+        let cost_qv = pre.cache.cost(catalog, &rewritten)?;
         let cand = &pre.analysis.candidates[j];
         let view = pre.views.view(av_engine::ViewId(j)).expect("materialized");
         let sample = PairSample {
@@ -217,7 +222,7 @@ mod tests {
         let plans = w.plans();
         let pre = preprocess_and_measure(&mut catalog, &plans, Pricing::paper_defaults())
             .expect("preprocess");
-        let pairs = collect_pair_truth(&catalog, &pre, &plans, Pricing::paper_defaults(), 50, 1)
+        let pairs = collect_pair_truth(&catalog, &pre, &plans, 50, 1)
             .expect("pairs");
         assert!(!pairs.is_empty(), "mini workload must have usable pairs");
         for p in &pairs {
@@ -239,7 +244,7 @@ mod tests {
         let plans = w.plans();
         let pre = preprocess_and_measure(&mut catalog, &plans, Pricing::paper_defaults())
             .expect("preprocess");
-        let exec = Executor::new(&catalog, Pricing::paper_defaults());
+        let exec = av_engine::Executor::new(&catalog, Pricing::paper_defaults());
         let mut checked = 0;
         for (i, ms) in pre.analysis.query_matches.iter().enumerate() {
             for m in ms.iter().take(1) {
@@ -265,7 +270,7 @@ mod tests {
         let plans = w.plans();
         let pre = preprocess_and_measure(&mut catalog, &plans, Pricing::paper_defaults())
             .expect("preprocess");
-        let pairs = collect_pair_truth(&catalog, &pre, &plans, Pricing::paper_defaults(), 3, 1)
+        let pairs = collect_pair_truth(&catalog, &pre, &plans, 3, 1)
             .expect("pairs");
         assert!(pairs.len() <= 3);
     }

@@ -2,17 +2,28 @@
 
 use av_plan::Value;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A typed column of values. Columns never store NULLs; NULL only arises
 /// transiently during expression evaluation (e.g. division by zero).
+///
+/// String payloads sit behind an `Arc`: scans and the plan-result cache
+/// clone whole columns constantly, and sharing makes that O(1) instead of a
+/// per-string heap copy. Mutation goes through [`Arc::make_mut`], so an
+/// unshared column (the only kind builders ever hold) mutates in place.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Column {
     Int(Vec<i64>),
     Float(Vec<f64>),
-    Str(Vec<String>),
+    Str(Arc<Vec<String>>),
 }
 
 impl Column {
+    /// String column from owned values (wraps them in the shared `Arc`).
+    pub fn str(values: Vec<String>) -> Column {
+        Column::Str(Arc::new(values))
+    }
+
     /// Number of values.
     pub fn len(&self) -> usize {
         match self {
@@ -41,7 +52,7 @@ impl Column {
         match self {
             Column::Int(_) => Column::Int(Vec::new()),
             Column::Float(_) => Column::Float(Vec::new()),
-            Column::Str(_) => Column::Str(Vec::new()),
+            Column::Str(_) => Column::Str(Arc::new(Vec::new())),
         }
     }
 
@@ -53,7 +64,7 @@ impl Column {
         match (self, src) {
             (Column::Int(d), Column::Int(s)) => d.push(s[row]),
             (Column::Float(d), Column::Float(s)) => d.push(s[row]),
-            (Column::Str(d), Column::Str(s)) => d.push(s[row].clone()),
+            (Column::Str(d), Column::Str(s)) => Arc::make_mut(d).push(s[row].clone()),
             _ => panic!("push_from across mismatched column types"),
         }
     }
@@ -68,7 +79,7 @@ impl Column {
             (Column::Int(d), Value::Float(f)) => d.push(*f as i64),
             (Column::Float(d), Value::Float(f)) => d.push(*f),
             (Column::Float(d), Value::Int(i)) => d.push(*i as f64),
-            (Column::Str(d), Value::Str(s)) => d.push(s.clone()),
+            (Column::Str(d), Value::Str(s)) => Arc::make_mut(d).push(s.clone()),
             (col, v) => panic!("cannot push {v:?} into {col:?}"),
         }
     }
@@ -97,13 +108,13 @@ impl Column {
                     .filter_map(|(x, &m)| m.then_some(*x))
                     .collect(),
             ),
-            Column::Str(v) => Column::Str(
+            Column::Str(v) => Column::Str(Arc::new(
                 v.iter()
                     .zip(mask)
                     .filter(|&(_, &m)| m)
                     .map(|(x, _)| x.clone())
                     .collect(),
-            ),
+            )),
         }
     }
 
@@ -112,7 +123,39 @@ impl Column {
         match self {
             Column::Int(v) => Column::Int(indices.iter().map(|&i| v[i]).collect()),
             Column::Float(v) => Column::Float(indices.iter().map(|&i| v[i]).collect()),
-            Column::Str(v) => Column::Str(indices.iter().map(|&i| v[i].clone()).collect()),
+            Column::Str(v) => Column::Str(Arc::new(indices.iter().map(|&i| v[i].clone()).collect())),
+        }
+    }
+
+    /// Gather rows by index, emitting the type's default value (`0`, `0.0`,
+    /// `""`) wherever the index is `usize::MAX`. Used to pad the build side
+    /// of left joins for unmatched probe rows.
+    pub fn take_with_default(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(
+                indices
+                    .iter()
+                    .map(|&i| if i == usize::MAX { 0 } else { v[i] })
+                    .collect(),
+            ),
+            Column::Float(v) => Column::Float(
+                indices
+                    .iter()
+                    .map(|&i| if i == usize::MAX { 0.0 } else { v[i] })
+                    .collect(),
+            ),
+            Column::Str(v) => Column::Str(Arc::new(
+                indices
+                    .iter()
+                    .map(|&i| {
+                        if i == usize::MAX {
+                            String::new()
+                        } else {
+                            v[i].clone()
+                        }
+                    })
+                    .collect(),
+            )),
         }
     }
 }
@@ -177,7 +220,7 @@ mod tests {
             names: vec!["a.id".into(), "a.name".into()],
             columns: vec![
                 Column::Int(vec![1, 2, 3]),
-                Column::Str(vec!["x".into(), "y".into(), "z".into()]),
+                Column::str(vec!["x".into(), "y".into(), "z".into()]),
             ],
         }
     }
@@ -193,16 +236,16 @@ mod tests {
 
     #[test]
     fn take_gathers_with_repeats() {
-        let c = Column::Str(vec!["a".into(), "b".into()]);
+        let c = Column::str(vec!["a".into(), "b".into()]);
         assert_eq!(
             c.take(&[1, 1, 0]),
-            Column::Str(vec!["b".into(), "b".into(), "a".into()])
+            Column::str(vec!["b".into(), "b".into(), "a".into()])
         );
     }
 
     #[test]
     fn byte_size_counts_string_payload() {
-        let c = Column::Str(vec!["abcd".into()]);
+        let c = Column::str(vec!["abcd".into()]);
         assert_eq!(c.byte_size(), 4 + 24);
         assert_eq!(Column::Int(vec![1, 2]).byte_size(), 16);
     }

@@ -1,0 +1,234 @@
+//! Fingerprint-keyed execution-result cache.
+//!
+//! The learning loops re-execute the same plans constantly: `av-core`'s
+//! ground-truth measurement runs every (query, view) pair, and `av-online`'s
+//! re-optimization dry-runs each candidate selection against the window.
+//! Execution is deterministic, so a plan's result only changes when the
+//! catalog changes — and every catalog mutation (table added, view
+//! materialized or dropped) bumps [`Catalog::epoch`]. Caching on
+//! `(plan fingerprint, catalog epoch)` is therefore sound: a stale entry can
+//! never be returned, it simply stops being reachable after the epoch bump.
+//!
+//! The cache is interior-mutable (`&self` everywhere) and thread-safe, so
+//! one instance can serve a whole preprocessing pipeline.
+
+use crate::catalog::Catalog;
+use crate::error::EngineError;
+use crate::exec::{ExecResult, Executor};
+use crate::meter::Pricing;
+use av_plan::{Fingerprint, PlanNode};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Hit/miss counters, readable at any time via [`ExecCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when never used).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    map: HashMap<(Fingerprint, u64), ExecResult>,
+    stats: CacheStats,
+}
+
+/// A caching wrapper around [`Executor`]: same results, same reports, but a
+/// repeated `(plan, catalog epoch)` pair returns a clone of the first run.
+#[derive(Debug)]
+pub struct ExecCache {
+    pricing: Pricing,
+    threads: Option<usize>,
+    max_entries: usize,
+    state: Mutex<CacheState>,
+}
+
+impl ExecCache {
+    /// New cache with a default entry cap.
+    pub fn new(pricing: Pricing) -> ExecCache {
+        ExecCache {
+            pricing,
+            threads: None,
+            max_entries: 4096,
+            state: Mutex::new(CacheState::default()),
+        }
+    }
+
+    /// Override the entry cap (minimum 1).
+    pub fn with_capacity(mut self, max_entries: usize) -> ExecCache {
+        self.max_entries = max_entries.max(1);
+        self
+    }
+
+    /// Pin the executor thread count (results are identical either way; see
+    /// [`Executor::with_threads`]).
+    pub fn with_threads(mut self, threads: usize) -> ExecCache {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The pricing model every cached execution is metered under.
+    pub fn pricing(&self) -> Pricing {
+        self.pricing
+    }
+
+    /// Execute `plan` against `catalog`, reusing a cached result when this
+    /// exact plan already ran at the catalog's current epoch.
+    pub fn run(&self, catalog: &Catalog, plan: &PlanNode) -> Result<ExecResult, EngineError> {
+        let key = (Fingerprint::of(plan), catalog.epoch());
+        {
+            let mut state = self.state.lock().expect("cache lock");
+            if let Some(hit) = state.map.get(&key) {
+                let hit = hit.clone();
+                state.stats.hits += 1;
+                return Ok(hit);
+            }
+            state.stats.misses += 1;
+        }
+
+        // Execute outside the lock; concurrent misses on the same key just
+        // compute the identical result twice.
+        let mut exec = Executor::new(catalog, self.pricing);
+        if let Some(t) = self.threads {
+            exec = exec.with_threads(t);
+        }
+        let result = exec.run(plan)?;
+
+        let mut state = self.state.lock().expect("cache lock");
+        if state.map.len() >= self.max_entries && !state.map.contains_key(&key) {
+            // Entries from earlier epochs are unreachable — shed them first;
+            // if the current epoch alone fills the cap, start over.
+            let epoch = catalog.epoch();
+            state.map.retain(|(_, e), _| *e == epoch);
+            if state.map.len() >= self.max_entries {
+                state.map.clear();
+            }
+        }
+        state.map.insert(key, result.clone());
+        Ok(result)
+    }
+
+    /// Execute and return only the cost in dollars (`A_{β,γ}`), cached.
+    pub fn cost(&self, catalog: &Catalog, plan: &PlanNode) -> Result<f64, EngineError> {
+        Ok(self.run(catalog, plan)?.report.cost_dollars)
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.state.lock().expect("cache lock").stats
+    }
+
+    /// Number of cached results (across all epochs still held).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("cache lock").map.len()
+    }
+
+    /// True iff no results are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all cached results; counters are kept.
+    pub fn clear(&self) {
+        self.state.lock().expect("cache lock").map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Column;
+    use crate::catalog::Table;
+    use av_plan::{Expr, PlanBuilder};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            Table::new(
+                "t",
+                vec![
+                    ("id", Column::Int((0..50).collect())),
+                    ("v", Column::Int((0..50).map(|i| i % 5).collect())),
+                ],
+            )
+            .expect("valid"),
+        )
+        .expect("ok");
+        c
+    }
+
+    fn plan() -> av_plan::PlanRef {
+        PlanBuilder::scan("t", "a")
+            .filter(Expr::col("a.v").eq(Expr::int(3)))
+            .count_star(&[], "n")
+            .build()
+    }
+
+    #[test]
+    fn hit_returns_identical_batch_and_report() {
+        let c = catalog();
+        let cache = ExecCache::new(Pricing::paper_defaults());
+        let cold = cache.run(&c, &plan()).expect("cold run");
+        let warm = cache.run(&c, &plan()).expect("warm run");
+        assert_eq!(cold.batch, warm.batch);
+        assert_eq!(cold.report, warm.report);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn epoch_bump_invalidates() {
+        let mut c = catalog();
+        let cache = ExecCache::new(Pricing::paper_defaults());
+        cache.run(&c, &plan()).expect("cold");
+        c.add_table(Table::new("u", vec![("x", Column::Int(vec![1]))]).expect("ok"))
+            .expect("ok");
+        cache.run(&c, &plan()).expect("after mutation");
+        assert_eq!(
+            cache.stats(),
+            CacheStats { hits: 0, misses: 2 },
+            "catalog mutation must force a re-run"
+        );
+    }
+
+    #[test]
+    fn capacity_evicts_stale_epochs_first() {
+        let mut c = catalog();
+        let cache = ExecCache::new(Pricing::paper_defaults()).with_capacity(2);
+        let p1 = plan();
+        let p2 = PlanBuilder::scan("t", "a").count_star(&[], "n").build();
+        cache.run(&c, &p1).expect("ok");
+        cache.run(&c, &p2).expect("ok");
+        assert_eq!(cache.len(), 2);
+        // Bump the epoch, then insert at the new epoch: the two old-epoch
+        // entries are shed rather than current ones.
+        c.add_table(Table::new("u", vec![("x", Column::Int(vec![1]))]).expect("ok"))
+            .expect("ok");
+        cache.run(&c, &p1).expect("ok");
+        assert_eq!(cache.len(), 1);
+        cache.run(&c, &p1).expect("ok");
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn cost_matches_uncached_executor() {
+        let c = catalog();
+        let cache = ExecCache::new(Pricing::paper_defaults());
+        let direct = Executor::new(&c, Pricing::paper_defaults())
+            .cost(&plan())
+            .expect("direct");
+        let cached = cache.cost(&c, &plan()).expect("cached");
+        assert_eq!(direct, cached);
+    }
+}

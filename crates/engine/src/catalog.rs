@@ -146,6 +146,11 @@ fn compute_stats(data: &RecordBatch) -> TableStats {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Catalog {
     tables: HashMap<String, Table>,
+    /// Version counter bumped on every successful mutation (table added or
+    /// dropped, including view materialization). Cached execution results
+    /// keyed by `(plan fingerprint, epoch)` are invalidated by the bump.
+    #[serde(default)]
+    epoch: u64,
 }
 
 impl Catalog {
@@ -160,12 +165,24 @@ impl Catalog {
             return Err(EngineError::DuplicateTable(table.name.clone()));
         }
         self.tables.insert(table.name.clone(), table);
+        self.epoch += 1;
         Ok(())
     }
 
     /// Remove a table (used when dropping materialized views).
     pub fn drop_table(&mut self, name: &str) -> Option<Table> {
-        self.tables.remove(name)
+        let removed = self.tables.remove(name);
+        if removed.is_some() {
+            self.epoch += 1;
+        }
+        removed
+    }
+
+    /// Current version of the catalog contents. Two catalogs with the same
+    /// epoch that started from the same state hold the same tables, so the
+    /// epoch is a sound cache-invalidation key for execution results.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Look up a table.
@@ -255,7 +272,7 @@ mod tests {
         c.add_table(
             Table::new(
                 "t",
-                vec![("x", Column::Int(vec![])), ("y", Column::Str(vec![]))],
+                vec![("x", Column::Int(vec![])), ("y", Column::str(vec![]))],
             )
             .expect("ok"),
         )

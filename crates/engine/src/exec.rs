@@ -1,11 +1,31 @@
 //! Plan interpreter with cost metering.
+//!
+//! The hot path is organised around three ideas (see DESIGN.md, "executor
+//! internals"):
+//!
+//! - **Bound expressions** — column references are resolved to column
+//!   indices once per operator ([`BoundExpr`]), never per row;
+//! - **Interned keys** — join and group-by keys are encoded to fixed-width
+//!   `u64` codes ([`crate::keys`]) instead of hashing `Vec<Value>` per row;
+//! - **Deterministic chunked parallelism** — filter evaluation, join probe
+//!   and partial aggregation run over fixed 1024-row chunks
+//!   ([`crate::par`]), with per-chunk results (including any metered
+//!   counts) merged in chunk order so batches *and* [`ExecutionReport`]s
+//!   are bit-identical for every thread count.
+//!
+//! All cost charges are analytic functions of row counts applied on the
+//! driving thread, so the meter never observes scheduling order.
 
 use crate::batch::{Column, RecordBatch};
 use crate::catalog::Catalog;
 use crate::error::EngineError;
+use crate::keys::{self, KeyCol, KeyInterner};
 use crate::meter::{CostMeter, ExecutionReport, Pricing};
-use av_plan::{AggFunc, Expr, JoinType, PlanNode, Value};
-use std::collections::HashMap;
+use crate::par;
+use av_plan::expr::ArithOp;
+use av_plan::{AggFunc, CmpOp, Expr, JoinType, PlanNode, Value};
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
 
 /// Result of executing a plan: the data plus the priced execution report.
 #[derive(Debug, Clone)]
@@ -18,12 +38,25 @@ pub struct ExecResult {
 pub struct Executor<'a> {
     catalog: &'a Catalog,
     pricing: Pricing,
+    threads: usize,
 }
 
 impl<'a> Executor<'a> {
-    /// New executor over a catalog with a pricing model.
+    /// New executor over a catalog with a pricing model, using one worker
+    /// per available core.
     pub fn new(catalog: &'a Catalog, pricing: Pricing) -> Executor<'a> {
-        Executor { catalog, pricing }
+        Executor {
+            catalog,
+            pricing,
+            threads: par::default_threads(),
+        }
+    }
+
+    /// Override the worker-thread count (1 = fully serial). Results and
+    /// reports are identical for every setting; only wall-clock changes.
+    pub fn with_threads(mut self, threads: usize) -> Executor<'a> {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Execute a plan, returning the result batch and its execution report.
@@ -44,11 +77,11 @@ impl<'a> Executor<'a> {
             PlanNode::TableScan { table, alias } => self.exec_scan(table, alias, meter),
             PlanNode::Filter { input, predicate } => {
                 let batch = self.exec(input, meter)?;
-                exec_filter(batch, predicate, meter)
+                exec_filter(batch, predicate, meter, self.threads)
             }
             PlanNode::Project { input, exprs } => {
                 let batch = self.exec(input, meter)?;
-                exec_project(batch, exprs, meter)
+                exec_project(batch, exprs, meter, self.threads)
             }
             PlanNode::Join {
                 left,
@@ -58,7 +91,7 @@ impl<'a> Executor<'a> {
             } => {
                 let lb = self.exec(left, meter)?;
                 let rb = self.exec(right, meter)?;
-                exec_join(lb, rb, on, *join_type, meter)
+                exec_join(lb, rb, on, *join_type, meter, self.threads)
             }
             PlanNode::Aggregate {
                 input,
@@ -66,7 +99,7 @@ impl<'a> Executor<'a> {
                 aggs,
             } => {
                 let batch = self.exec(input, meter)?;
-                exec_aggregate(batch, group_by, aggs, meter)
+                exec_aggregate(batch, group_by, aggs, meter, self.threads)
             }
         }
     }
@@ -100,13 +133,166 @@ impl<'a> Executor<'a> {
     }
 }
 
-fn resolve_row<'b>(
-    batch: &'b RecordBatch,
-    row: usize,
-) -> impl Fn(&str) -> Value + 'b {
-    move |name: &str| match batch.column(name) {
-        Some(c) => c.get(row),
-        None => Value::Null,
+/// An [`Expr`] with every column reference resolved to a column index of one
+/// specific batch shape. Binding fails loudly on unknown columns (rather
+/// than treating typos as always-NULL) and happens once per operator, so
+/// per-row evaluation never searches names.
+#[derive(Debug, Clone)]
+enum BoundExpr {
+    Col(usize),
+    Lit(Value),
+    Cmp {
+        op: CmpOp,
+        left: Box<BoundExpr>,
+        right: Box<BoundExpr>,
+    },
+    And(Vec<BoundExpr>),
+    Or(Vec<BoundExpr>),
+    Not(Box<BoundExpr>),
+    Arith {
+        op: ArithOp,
+        left: Box<BoundExpr>,
+        right: Box<BoundExpr>,
+    },
+}
+
+impl BoundExpr {
+    fn bind(expr: &Expr, batch: &RecordBatch) -> Result<BoundExpr, EngineError> {
+        Ok(match expr {
+            Expr::Column(c) => BoundExpr::Col(require_column(batch, c)?),
+            Expr::Literal(v) => BoundExpr::Lit(v.clone()),
+            Expr::Cmp { op, left, right } => BoundExpr::Cmp {
+                op: *op,
+                left: Box::new(BoundExpr::bind(left, batch)?),
+                right: Box::new(BoundExpr::bind(right, batch)?),
+            },
+            Expr::And(v) => BoundExpr::And(
+                v.iter()
+                    .map(|e| BoundExpr::bind(e, batch))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Expr::Or(v) => BoundExpr::Or(
+                v.iter()
+                    .map(|e| BoundExpr::bind(e, batch))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Expr::Not(e) => BoundExpr::Not(Box::new(BoundExpr::bind(e, batch)?)),
+            Expr::Arith { op, left, right } => BoundExpr::Arith {
+                op: *op,
+                left: Box::new(BoundExpr::bind(left, batch)?),
+                right: Box::new(BoundExpr::bind(right, batch)?),
+            },
+        })
+    }
+
+    /// Evaluate against one row. Mirrors [`Expr::eval`] exactly.
+    fn eval(&self, batch: &RecordBatch, row: usize) -> Value {
+        match self {
+            BoundExpr::Col(i) => batch.columns[*i].get(row),
+            BoundExpr::Lit(v) => v.clone(),
+            BoundExpr::Cmp { op, left, right } => {
+                let l = left.eval(batch, row);
+                let r = right.eval(batch, row);
+                Value::Int(op.apply(&l, &r) as i64)
+            }
+            BoundExpr::And(v) => Value::Int(v.iter().all(|e| e.eval_bool(batch, row)) as i64),
+            BoundExpr::Or(v) => Value::Int(v.iter().any(|e| e.eval_bool(batch, row)) as i64),
+            BoundExpr::Not(e) => Value::Int(!e.eval_bool(batch, row) as i64),
+            BoundExpr::Arith { op, left, right } => {
+                let l = left.eval(batch, row);
+                let r = right.eval(batch, row);
+                match (l.as_f64(), r.as_f64()) {
+                    (Some(a), Some(b)) => {
+                        let out = match op {
+                            ArithOp::Add => a + b,
+                            ArithOp::Sub => a - b,
+                            ArithOp::Mul => a * b,
+                            ArithOp::Div => {
+                                if b == 0.0 {
+                                    return Value::Null;
+                                }
+                                a / b
+                            }
+                        };
+                        if matches!((&l, &r), (Value::Int(_), Value::Int(_)))
+                            && out.fract() == 0.0
+                            && !matches!(op, ArithOp::Div)
+                        {
+                            Value::Int(out as i64)
+                        } else {
+                            Value::Float(out)
+                        }
+                    }
+                    _ => Value::Null,
+                }
+            }
+        }
+    }
+
+    /// Evaluate as a predicate. The common `column op literal` shape skips
+    /// [`Value`] construction entirely (no string clone per row).
+    fn eval_bool(&self, batch: &RecordBatch, row: usize) -> bool {
+        match self {
+            BoundExpr::Cmp { op, left, right } => match (left.as_ref(), right.as_ref()) {
+                (BoundExpr::Col(i), BoundExpr::Lit(v)) => {
+                    cmp_col_lit(*op, &batch.columns[*i], row, v)
+                }
+                (BoundExpr::Lit(v), BoundExpr::Col(i)) => {
+                    cmp_col_lit(op.flipped(), &batch.columns[*i], row, v)
+                }
+                _ => {
+                    let l = left.eval(batch, row);
+                    let r = right.eval(batch, row);
+                    op.apply(&l, &r)
+                }
+            },
+            BoundExpr::And(v) => v.iter().all(|e| e.eval_bool(batch, row)),
+            BoundExpr::Or(v) => v.iter().any(|e| e.eval_bool(batch, row)),
+            BoundExpr::Not(e) => !e.eval_bool(batch, row),
+            other => match other.eval(batch, row) {
+                Value::Int(i) => i != 0,
+                Value::Float(f) => f != 0.0,
+                _ => false,
+            },
+        }
+    }
+}
+
+/// `Eq`/`Ne` under SQL equality, ordering ops from a total-order verdict —
+/// the same split [`CmpOp::apply`] makes.
+fn apply_ord(op: CmpOp, ord: Ordering, sql_equal: bool) -> bool {
+    match op {
+        CmpOp::Eq => sql_equal,
+        CmpOp::Ne => !sql_equal,
+        CmpOp::Lt => ord.is_lt(),
+        CmpOp::Le => ord.is_le(),
+        CmpOp::Gt => ord.is_gt(),
+        CmpOp::Ge => ord.is_ge(),
+    }
+}
+
+/// `column[row] op lit` without materialising a [`Value`] for the cell.
+/// Replicates [`CmpOp::apply`] for every column-type/literal pairing;
+/// stored cells are never NULL, so only the literal can short-circuit.
+fn cmp_col_lit(op: CmpOp, col: &Column, row: usize, lit: &Value) -> bool {
+    match (col, lit) {
+        (_, Value::Null) => false,
+        (Column::Int(d), Value::Int(b)) => apply_ord(op, d[row].cmp(b), d[row] == *b),
+        (Column::Int(d), Value::Float(b)) => {
+            let a = d[row] as f64;
+            apply_ord(op, a.total_cmp(b), a == *b)
+        }
+        (Column::Float(d), Value::Int(b)) => {
+            let b = *b as f64;
+            apply_ord(op, d[row].total_cmp(&b), d[row] == b)
+        }
+        (Column::Float(d), Value::Float(b)) => apply_ord(op, d[row].total_cmp(b), d[row] == *b),
+        (Column::Str(d), Value::Str(b)) => {
+            apply_ord(op, d[row].as_str().cmp(b.as_str()), d[row] == *b)
+        }
+        // Mixed string/number: never SQL-equal; strings sort after numbers.
+        (Column::Str(_), _) => apply_ord(op, Ordering::Greater, false),
+        (_, Value::Str(_)) => apply_ord(op, Ordering::Less, false),
     }
 }
 
@@ -120,20 +306,23 @@ fn exec_filter(
     batch: RecordBatch,
     predicate: &Expr,
     meter: &mut CostMeter,
+    threads: usize,
 ) -> Result<RecordBatch, EngineError> {
-    // Validate referenced columns exist to fail loudly rather than treating
-    // typos as always-NULL.
-    for c in predicate.referenced_columns() {
-        require_column(&batch, &c)?;
-    }
+    let bound = BoundExpr::bind(predicate, &batch)?;
     let rows = batch.num_rows();
     let pred_weight = predicate.referenced_columns().len().max(1) * 2;
     meter.charge_rows(rows, pred_weight);
 
-    let mut mask = vec![false; rows];
-    for (i, m) in mask.iter_mut().enumerate() {
-        *m = predicate.eval_bool(&resolve_row(&batch, i));
+    let chunk_masks = par::map_chunks(rows, threads, |_, range| {
+        range
+            .map(|i| bound.eval_bool(&batch, i))
+            .collect::<Vec<bool>>()
+    });
+    let mut mask = Vec::with_capacity(rows);
+    for m in chunk_masks {
+        mask.extend(m);
     }
+
     let in_bytes = batch.byte_size();
     let columns: Vec<Column> = batch.columns.iter().map(|c| c.filter(&mask)).collect();
     let out = RecordBatch {
@@ -149,6 +338,7 @@ fn exec_project(
     batch: RecordBatch,
     exprs: &[av_plan::ProjExpr],
     meter: &mut CostMeter,
+    threads: usize,
 ) -> Result<RecordBatch, EngineError> {
     let rows = batch.num_rows();
     meter.charge_rows(rows, exprs.len().max(1));
@@ -164,14 +354,17 @@ fn exec_project(
                 columns.push(batch.columns[idx].clone());
             }
             expr => {
-                for c in expr.referenced_columns() {
-                    require_column(&batch, &c)?;
-                }
+                let bound = BoundExpr::bind(expr, &batch)?;
                 // Computed column: evaluate per row; infer output type from
                 // the first row (empty input defaults to Float).
+                let chunk_vals = par::map_chunks(rows, threads, |_, range| {
+                    range
+                        .map(|i| bound.eval(&batch, i))
+                        .collect::<Vec<Value>>()
+                });
                 let mut vals = Vec::with_capacity(rows);
-                for i in 0..rows {
-                    vals.push(expr.eval(&resolve_row(&batch, i)));
+                for v in chunk_vals {
+                    vals.extend(v);
                 }
                 columns.push(values_to_column(&vals));
             }
@@ -187,7 +380,7 @@ fn exec_project(
 fn values_to_column(vals: &[Value]) -> Column {
     let mut col = match vals.iter().find(|v| !v.is_null()) {
         Some(Value::Int(_)) => Column::Int(Vec::with_capacity(vals.len())),
-        Some(Value::Str(_)) => Column::Str(Vec::with_capacity(vals.len())),
+        Some(Value::Str(_)) => Column::str(Vec::with_capacity(vals.len())),
         _ => Column::Float(Vec::with_capacity(vals.len())),
     };
     for v in vals {
@@ -197,10 +390,36 @@ fn values_to_column(vals: &[Value]) -> Column {
             (c, v) if !v.is_null() => c.push_value(v),
             (Column::Int(d), _) => d.push(0),
             (Column::Float(d), _) => d.push(0.0),
-            (Column::Str(d), _) => d.push(String::new()),
+            (Column::Str(d), _) => std::sync::Arc::make_mut(d).push(String::new()),
         }
     }
     col
+}
+
+/// Key-column views for one side of an equi-join, with ints promoted to
+/// float codes wherever the opposite side's column is a float. A `None`
+/// pairing means some key pair is string-vs-number, which can never be
+/// equal: the join short-circuits to zero matches.
+fn join_key_cols<'b>(
+    own: &'b RecordBatch,
+    own_keys: &[usize],
+    other: &RecordBatch,
+    other_keys: &[usize],
+) -> Option<Vec<KeyCol<'b>>> {
+    own_keys
+        .iter()
+        .zip(other_keys)
+        .map(|(&k, &ok)| {
+            let col = &own.columns[k];
+            let opposite = &other.columns[ok];
+            match (col, opposite) {
+                (Column::Str(_), Column::Str(_)) => Some(KeyCol::of(col, false)),
+                (Column::Str(_), _) | (_, Column::Str(_)) => None,
+                (Column::Int(_), Column::Float(_)) => Some(KeyCol::of(col, true)),
+                _ => Some(KeyCol::of(col, false)),
+            }
+        })
+        .collect()
 }
 
 fn exec_join(
@@ -209,6 +428,7 @@ fn exec_join(
     on: &[(String, String)],
     join_type: JoinType,
     meter: &mut CostMeter,
+    threads: usize,
 ) -> Result<RecordBatch, EngineError> {
     let lkeys: Vec<usize> = on
         .iter()
@@ -219,66 +439,191 @@ fn exec_join(
         .map(|(_, r)| require_column(&right, r))
         .collect::<Result<_, _>>()?;
 
-    // Build a hash table on the smaller side for CPU fairness, but always
-    // build on the right for deterministic output order; charge accordingly.
-    let build_rows = right.num_rows();
-    let probe_rows = left.num_rows();
+    // Build the hash table on the smaller side for inner joins (ties build
+    // right). Left joins must probe the left side to keep every probe row,
+    // so they always build right.
+    let build_right = match join_type {
+        JoinType::Left => true,
+        JoinType::Inner => right.num_rows() <= left.num_rows(),
+    };
+    let (build, probe, bkeys, pkeys) = if build_right {
+        (&right, &left, &rkeys, &lkeys)
+    } else {
+        (&left, &right, &lkeys, &rkeys)
+    };
+    let build_rows = build.num_rows();
+    let probe_rows = probe.num_rows();
     meter.charge_rows(build_rows, 4 * on.len().max(1)); // hash + insert
     meter.charge_rows(probe_rows, 4 * on.len().max(1)); // hash + probe
 
-    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build_rows);
-    for i in 0..build_rows {
-        let key: Vec<Value> = rkeys.iter().map(|&k| right.columns[k].get(i)).collect();
-        table.entry(key).or_default().push(i);
-    }
-    meter.alloc_bytes(build_rows * 16 * on.len().max(1));
+    // (probe row, build row) match pairs; usize::MAX marks a left-join miss.
+    let (pidx, bidx, table_bytes) = match (
+        join_key_cols(build, bkeys, probe, pkeys),
+        join_key_cols(probe, pkeys, build, bkeys),
+    ) {
+        (Some(bcols), Some(pcols)) => {
+            let mut interner = KeyInterner::new();
+            let codes = keys::encode_rows(&bcols, build_rows, &mut interner);
+            // Chained layout: code → (first, last) build row plus forward
+            // links in `next` — same ascending match order as per-key row
+            // vectors, without a heap allocation per distinct key.
+            let mut table: keys::CodeMap<u64, (usize, usize)> =
+                keys::CodeMap::with_capacity_and_hasher(build_rows, Default::default());
+            let mut next: Vec<usize> = vec![usize::MAX; build_rows];
+            for (i, &code) in codes.iter().enumerate() {
+                match table.entry(code) {
+                    Entry::Vacant(e) => {
+                        e.insert((i, i));
+                    }
+                    Entry::Occupied(mut e) => {
+                        let last = e.get().1;
+                        next[last] = i;
+                        e.get_mut().1 = i;
+                    }
+                }
+            }
+            // Real footprint: one bucket header per distinct key, one chain
+            // link per build row, plus the interner's dictionaries.
+            let table_bytes =
+                table.len() * 48 + build_rows * 8 + codes.len() * 8 + interner.approx_bytes();
 
-    let mut lidx = Vec::new();
-    let mut ridx: Vec<Option<usize>> = Vec::new();
-    for i in 0..probe_rows {
-        let key: Vec<Value> = lkeys.iter().map(|&k| left.columns[k].get(i)).collect();
-        match table.get(&key) {
-            Some(matches) => {
-                for &j in matches {
-                    lidx.push(i);
-                    ridx.push(Some(j));
+            let chunk_pairs = par::map_chunks(probe_rows, threads, |_, range| {
+                let mut pi: Vec<usize> = Vec::new();
+                let mut bi: Vec<usize> = Vec::new();
+                for i in range {
+                    match keys::probe_code(&pcols, i, &interner).and_then(|c| table.get(&c)) {
+                        Some(&(first, _)) => {
+                            let mut j = first;
+                            while j != usize::MAX {
+                                pi.push(i);
+                                bi.push(j);
+                                j = next[j];
+                            }
+                        }
+                        None => {
+                            if join_type == JoinType::Left {
+                                pi.push(i);
+                                bi.push(usize::MAX);
+                            }
+                        }
+                    }
                 }
+                (pi, bi)
+            });
+            let mut pidx = Vec::new();
+            let mut bidx = Vec::new();
+            for (pi, bi) in chunk_pairs {
+                pidx.extend(pi);
+                bidx.extend(bi);
             }
-            None => {
-                if join_type == JoinType::Left {
-                    lidx.push(i);
-                    ridx.push(None);
-                }
-            }
+            (pidx, bidx, table_bytes)
         }
-    }
-    meter.charge_rows(lidx.len(), left.num_columns() + right.num_columns());
+        // A string key against a numeric key can never match: inner joins
+        // produce nothing, left joins keep every probe row unmatched.
+        _ => {
+            let (pidx, bidx) = if join_type == JoinType::Left {
+                ((0..probe_rows).collect(), vec![usize::MAX; probe_rows])
+            } else {
+                (Vec::new(), Vec::new())
+            };
+            (pidx, bidx, 0)
+        }
+    };
+    meter.alloc_bytes(table_bytes);
+    meter.charge_rows(pidx.len(), left.num_columns() + right.num_columns());
 
+    // Assemble output in left-columns-then-right-columns order regardless
+    // of which side built the table.
+    let (lidx, ridx) = if build_right { (&pidx, &bidx) } else { (&bidx, &pidx) };
     let mut names = left.names.clone();
     names.extend(right.names.iter().cloned());
-    let mut columns: Vec<Column> = left.columns.iter().map(|c| c.take(&lidx)).collect();
-    for c in &right.columns {
-        // Left-join misses materialize as type-default values (no NULL
-        // storage); inner joins never hit the None branch.
-        let mut out = c.empty_like();
-        for r in &ridx {
-            match r {
-                Some(j) => out.push_from(c, *j),
-                None => match &mut out {
-                    Column::Int(d) => d.push(0),
-                    Column::Float(d) => d.push(0.0),
-                    Column::Str(d) => d.push(String::new()),
-                },
-            }
-        }
-        columns.push(out);
-    }
+    let mut columns: Vec<Column> = left
+        .columns
+        .iter()
+        .map(|c| c.take_with_default(lidx))
+        .collect();
+    columns.extend(right.columns.iter().map(|c| c.take_with_default(ridx)));
 
     let in_bytes = left.byte_size() + right.byte_size();
     let out = RecordBatch { names, columns };
     meter.alloc_bytes(out.byte_size());
-    meter.free_bytes(in_bytes + build_rows * 16 * on.len().max(1));
+    meter.free_bytes(in_bytes + table_bytes);
     Ok(out)
+}
+
+/// Running state of one aggregate within one group. Min/max track the row
+/// index of the current extremum (first occurrence wins ties), so values
+/// are only compared — never cloned — until output assembly.
+#[derive(Clone)]
+struct AggState {
+    count: usize,
+    sum: f64,
+    min_row: Option<usize>,
+    max_row: Option<usize>,
+}
+
+impl AggState {
+    fn new() -> AggState {
+        AggState {
+            count: 0,
+            sum: 0.0,
+            min_row: None,
+            max_row: None,
+        }
+    }
+
+    fn update(&mut self, col: Option<&Column>, row: usize) {
+        self.count += 1;
+        let Some(col) = col else { return };
+        match col {
+            Column::Int(d) => self.sum += d[row] as f64,
+            Column::Float(d) => self.sum += d[row],
+            Column::Str(_) => {}
+        }
+        if self.min_row.map(|m| col_lt(col, row, m)).unwrap_or(true) {
+            self.min_row = Some(row);
+        }
+        if self.max_row.map(|m| col_lt(col, m, row)).unwrap_or(true) {
+            self.max_row = Some(row);
+        }
+    }
+
+    /// Fold `other` (from a later chunk) into `self`. Sums accumulate in
+    /// chunk order; extrema replace only on strict improvement, preserving
+    /// first-occurrence tie-breaking.
+    fn merge(&mut self, other: &AggState, col: Option<&Column>) {
+        self.count += other.count;
+        self.sum += other.sum;
+        let Some(col) = col else { return };
+        if let Some(o) = other.min_row {
+            if self.min_row.map(|m| col_lt(col, o, m)).unwrap_or(true) {
+                self.min_row = Some(o);
+            }
+        }
+        if let Some(o) = other.max_row {
+            if self.max_row.map(|m| col_lt(col, m, o)).unwrap_or(true) {
+                self.max_row = Some(o);
+            }
+        }
+    }
+}
+
+/// Strict `col[a] < col[b]` under the engine's total order (floats by IEEE
+/// totalOrder, matching [`Value::total_cmp`] within one typed column).
+fn col_lt(col: &Column, a: usize, b: usize) -> bool {
+    match col {
+        Column::Int(d) => d[a] < d[b],
+        Column::Float(d) => d[a].total_cmp(&d[b]).is_lt(),
+        Column::Str(d) => d[a] < d[b],
+    }
+}
+
+/// Per-chunk partial aggregation result: group codes in chunk-local
+/// first-seen order, with the first row and per-aggregate states for each.
+struct ChunkAgg {
+    order: Vec<u64>,
+    first_rows: Vec<usize>,
+    states: Vec<Vec<AggState>>,
 }
 
 fn exec_aggregate(
@@ -286,6 +631,7 @@ fn exec_aggregate(
     group_by: &[String],
     aggs: &[av_plan::AggExpr],
     meter: &mut CostMeter,
+    threads: usize,
 ) -> Result<RecordBatch, EngineError> {
     let gidx: Vec<usize> = group_by
         .iter()
@@ -298,64 +644,65 @@ fn exec_aggregate(
             None => Ok(None),
         })
         .collect::<Result<_, _>>()?;
+    let acols: Vec<Option<&Column>> = ainput.iter().map(|ai| ai.map(|i| &batch.columns[i])).collect();
 
     let rows = batch.num_rows();
     meter.charge_rows(rows, (group_by.len() + aggs.len()).max(1) * 2);
 
-    /// Running state of one aggregate within one group.
-    #[derive(Clone)]
-    struct AggState {
-        count: usize,
-        sum: f64,
-        min: Option<Value>,
-        max: Option<Value>,
-    }
-    impl AggState {
-        fn new() -> AggState {
-            AggState {
-                count: 0,
-                sum: 0.0,
-                min: None,
-                max: None,
-            }
-        }
-        fn update(&mut self, v: Option<Value>) {
-            self.count += 1;
-            if let Some(v) = v {
-                if let Some(x) = v.as_f64() {
-                    self.sum += x;
-                }
-                if self.min.as_ref().map(|m| v.total_cmp(m).is_lt()).unwrap_or(true) {
-                    self.min = Some(v.clone());
-                }
-                if self.max.as_ref().map(|m| v.total_cmp(m).is_gt()).unwrap_or(true) {
-                    self.max = Some(v);
-                }
-            }
-        }
-    }
+    // Group keys become u64 codes once, up front; a column never mixes
+    // types, so per-column natural encoding matches Value equality exactly.
+    let mut interner = KeyInterner::new();
+    let kcols: Vec<KeyCol> = gidx
+        .iter()
+        .map(|&k| KeyCol::of(&batch.columns[k], false))
+        .collect();
+    let codes = keys::encode_rows(&kcols, rows, &mut interner);
 
-    // Group keys in first-seen order for deterministic output.
-    let mut key_order: Vec<Vec<Value>> = Vec::new();
-    let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
+    // Chunked partial aggregation, merged in chunk order: group order is
+    // global first-seen order and float sums accumulate identically for
+    // every thread count.
+    let partials = par::map_chunks(rows, threads, |_, range| {
+        let mut slot_of: keys::CodeMap<u64, usize> = keys::CodeMap::default();
+        let mut agg = ChunkAgg {
+            order: Vec::new(),
+            first_rows: Vec::new(),
+            states: Vec::new(),
+        };
+        for i in range {
+            let code = codes[i];
+            let slot = *slot_of.entry(code).or_insert_with(|| {
+                agg.order.push(code);
+                agg.first_rows.push(i);
+                agg.states.push(vec![AggState::new(); aggs.len()]);
+                agg.states.len() - 1
+            });
+            for (a, col) in acols.iter().enumerate() {
+                agg.states[slot][a].update(*col, i);
+            }
+        }
+        agg
+    });
+
+    let mut slot_of: keys::CodeMap<u64, usize> = keys::CodeMap::default();
+    let mut first_rows: Vec<usize> = Vec::new();
     let mut states: Vec<Vec<AggState>> = Vec::new();
-
-    for i in 0..rows {
-        let key: Vec<Value> = gidx.iter().map(|&k| batch.columns[k].get(i)).collect();
-        let slot = *groups.entry(key.clone()).or_insert_with(|| {
-            key_order.push(key);
-            states.push(vec![AggState::new(); aggs.len()]);
-            states.len() - 1
-        });
-        for (a, ai) in ainput.iter().enumerate() {
-            let v = ai.map(|idx| batch.columns[idx].get(i));
-            states[slot][a].update(v);
+    for chunk in partials {
+        for (local, &code) in chunk.order.iter().enumerate() {
+            let slot = *slot_of.entry(code).or_insert_with(|| {
+                first_rows.push(chunk.first_rows[local]);
+                states.push(vec![AggState::new(); aggs.len()]);
+                states.len() - 1
+            });
+            for (a, col) in acols.iter().enumerate() {
+                states[slot][a].merge(&chunk.states[local][a], *col);
+            }
         }
     }
 
     // A global aggregate (no GROUP BY) over empty input still yields one row.
-    if group_by.is_empty() && states.is_empty() {
-        key_order.push(Vec::new());
+    let empty_global = group_by.is_empty() && states.is_empty();
+    if empty_global {
+        first_rows.push(usize::MAX);
         states.push(vec![AggState::new(); aggs.len()]);
     }
 
@@ -366,36 +713,13 @@ fn exec_aggregate(
     names.extend(aggs.iter().map(|a| a.output.clone()));
 
     let mut columns: Vec<Column> = Vec::with_capacity(names.len());
-    // Group-key columns.
-    for (k, &src) in gidx.iter().enumerate() {
-        let mut col = batch.columns[src].empty_like();
-        for key in &key_order {
-            col.push_value(&key[k]);
-        }
-        columns.push(col);
+    // Group-key columns: the first-seen row of each group carries the key.
+    for &src in &gidx {
+        columns.push(batch.columns[src].take(&first_rows));
     }
     // Aggregate columns.
     for (a, agg) in aggs.iter().enumerate() {
-        let vals: Vec<Value> = states
-            .iter()
-            .map(|st| {
-                let s = &st[a];
-                match agg.func {
-                    AggFunc::Count => Value::Int(s.count as i64),
-                    AggFunc::Sum => Value::Float(s.sum),
-                    AggFunc::Avg => {
-                        if s.count == 0 {
-                            Value::Float(0.0)
-                        } else {
-                            Value::Float(s.sum / s.count as f64)
-                        }
-                    }
-                    AggFunc::Min => s.min.clone().unwrap_or(Value::Int(0)),
-                    AggFunc::Max => s.max.clone().unwrap_or(Value::Int(0)),
-                }
-            })
-            .collect();
-        columns.push(values_to_column(&vals));
+        columns.push(build_agg_column(agg.func, acols[a], &states, a));
     }
 
     let in_bytes = batch.byte_size();
@@ -403,6 +727,56 @@ fn exec_aggregate(
     meter.alloc_bytes(out.byte_size());
     meter.free_bytes(in_bytes);
     Ok(out)
+}
+
+/// Materialise one aggregate's output column. Min/max over a group with no
+/// input values (only possible for the empty-input global aggregate) emit
+/// the *input column's* typed default — `Str` columns yield `""`, `Float`
+/// columns `0.0` — instead of a hard-coded `Int(0)` that would panic or
+/// silently change the column type.
+fn build_agg_column(
+    func: AggFunc,
+    input: Option<&Column>,
+    states: &[Vec<AggState>],
+    a: usize,
+) -> Column {
+    match func {
+        AggFunc::Count => Column::Int(states.iter().map(|st| st[a].count as i64).collect()),
+        AggFunc::Sum => Column::Float(states.iter().map(|st| st[a].sum).collect()),
+        AggFunc::Avg => Column::Float(
+            states
+                .iter()
+                .map(|st| {
+                    let s = &st[a];
+                    if s.count == 0 {
+                        0.0
+                    } else {
+                        s.sum / s.count as f64
+                    }
+                })
+                .collect(),
+        ),
+        AggFunc::Min | AggFunc::Max => {
+            // MIN/MAX without an input column degenerates to a zero count
+            // column (COUNT(*) has no ordered value to pick).
+            let Some(col) = input else {
+                return Column::Int(vec![0; states.len()]);
+            };
+            let rows: Vec<usize> = states
+                .iter()
+                .map(|st| {
+                    let s = &st[a];
+                    let row = if func == AggFunc::Min {
+                        s.min_row
+                    } else {
+                        s.max_row
+                    };
+                    row.unwrap_or(usize::MAX)
+                })
+                .collect();
+            col.take_with_default(&rows)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -435,7 +809,7 @@ mod tests {
                     ("id", Column::Int((0..10).collect())),
                     (
                         "tier",
-                        Column::Str((0..10).map(|i| if i < 3 { "gold" } else { "basic" }.into()).collect()),
+                        Column::str((0..10).map(|i| if i < 3 { "gold" } else { "basic" }.into()).collect()),
                     ),
                 ],
             )
@@ -548,6 +922,101 @@ mod tests {
     }
 
     #[test]
+    fn left_join_on_string_keys_pads_defaults() {
+        let mut c = Catalog::new();
+        c.add_table(
+            Table::new(
+                "l",
+                vec![("k", Column::str(vec!["a".into(), "b".into(), "c".into()]))],
+            )
+            .expect("ok"),
+        )
+        .expect("ok");
+        c.add_table(
+            Table::new(
+                "r",
+                vec![
+                    ("k", Column::str(vec!["b".into()])),
+                    ("v", Column::str(vec!["hit".into()])),
+                ],
+            )
+            .expect("ok"),
+        )
+        .expect("ok");
+        let plan = PlanBuilder::scan("l", "l")
+            .join_typed(
+                PlanBuilder::scan("r", "r"),
+                &[("l.k", "r.k")],
+                JoinType::Left,
+            )
+            .build();
+        let r = run(&c, &plan);
+        assert_eq!(r.batch.num_rows(), 3);
+        let v = r.batch.column("r.v").expect("col");
+        assert_eq!(
+            *v,
+            Column::str(vec!["".into(), "hit".into(), "".into()]),
+            "misses pad with the type default, matches carry the value"
+        );
+    }
+
+    #[test]
+    fn inner_join_builds_on_smaller_side_with_same_rows() {
+        let c = catalog();
+        // orders (100 rows) joined to customers (10 rows): build side is
+        // customers whichever operand order is used, and both orders
+        // produce the same multiset of rows.
+        let small_right = PlanBuilder::scan("orders", "o")
+            .join(PlanBuilder::scan("customers", "c"), &[("o.cust", "c.id")])
+            .build();
+        let small_left = PlanBuilder::scan("customers", "c")
+            .join(PlanBuilder::scan("orders", "o"), &[("c.id", "o.cust")])
+            .build();
+        let a = run(&c, &small_right);
+        let b = run(&c, &small_left);
+        assert_eq!(a.batch.num_rows(), 100);
+        assert_eq!(b.batch.num_rows(), 100);
+    }
+
+    #[test]
+    fn join_of_string_key_against_numeric_key_matches_nothing() {
+        let mut c = Catalog::new();
+        c.add_table(
+            Table::new("l", vec![("k", Column::str(vec!["1".into(), "2".into()]))]).expect("ok"),
+        )
+        .expect("ok");
+        c.add_table(Table::new("r", vec![("k", Column::Int(vec![1, 2]))]).expect("ok"))
+            .expect("ok");
+        let inner = PlanBuilder::scan("l", "l")
+            .join(PlanBuilder::scan("r", "r"), &[("l.k", "r.k")])
+            .build();
+        assert_eq!(run(&c, &inner).batch.num_rows(), 0);
+        let left = PlanBuilder::scan("l", "l")
+            .join_typed(
+                PlanBuilder::scan("r", "r"),
+                &[("l.k", "r.k")],
+                JoinType::Left,
+            )
+            .build();
+        assert_eq!(run(&c, &left).batch.num_rows(), 2, "left join keeps probe rows");
+    }
+
+    #[test]
+    fn join_int_keys_meet_float_keys_numerically() {
+        let mut c = Catalog::new();
+        c.add_table(Table::new("l", vec![("k", Column::Int(vec![1, 2, 3]))]).expect("ok"))
+            .expect("ok");
+        c.add_table(
+            Table::new("r", vec![("k", Column::Float(vec![2.0, 3.5]))]).expect("ok"),
+        )
+        .expect("ok");
+        let plan = PlanBuilder::scan("l", "l")
+            .join(PlanBuilder::scan("r", "r"), &[("l.k", "r.k")])
+            .build();
+        assert_eq!(run(&c, &plan).batch.num_rows(), 1, "only Int(2) ↔ Float(2.0)");
+    }
+
+    #[test]
     fn aggregate_count_and_sum() {
         let c = catalog();
         let plan = PlanBuilder::scan("orders", "o").aggregate(
@@ -588,6 +1057,88 @@ mod tests {
         let r = run(&c, &plan);
         assert_eq!(r.batch.num_rows(), 1);
         assert_eq!(r.batch.column("n").expect("col").get(0), Value::Int(0));
+    }
+
+    #[test]
+    fn min_max_over_empty_str_input_yields_typed_default() {
+        let c = catalog();
+        // Empty filter result, then MIN/MAX over the Str tier column: the
+        // old executor fell back to Value::Int(0) and panicked pushing an
+        // Int into a Str column.
+        let plan = PlanBuilder::scan("customers", "c")
+            .filter(Expr::col("c.id").cmp(CmpOp::Lt, Expr::int(0)))
+            .aggregate(
+                &[],
+                vec![
+                    AggExpr {
+                        func: AggFunc::Min,
+                        input: Some("c.tier".into()),
+                        output: "lo".into(),
+                    },
+                    AggExpr {
+                        func: AggFunc::Max,
+                        input: Some("c.tier".into()),
+                        output: "hi".into(),
+                    },
+                ],
+            )
+            .build();
+        let r = run(&c, &plan);
+        assert_eq!(r.batch.num_rows(), 1);
+        assert_eq!(r.batch.column("lo").expect("col").get(0), Value::Str("".into()));
+        assert_eq!(r.batch.column("hi").expect("col").get(0), Value::Str("".into()));
+    }
+
+    #[test]
+    fn min_max_over_empty_float_input_stays_float() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("orders", "o")
+            .filter(Expr::col("o.id").cmp(CmpOp::Lt, Expr::int(0)))
+            .aggregate(
+                &[],
+                vec![AggExpr {
+                    func: AggFunc::Min,
+                    input: Some("o.amount".into()),
+                    output: "lo".into(),
+                }],
+            )
+            .build();
+        let r = run(&c, &plan);
+        // The old fallback coerced the column to Int; the typed default
+        // keeps it Float.
+        assert_eq!(r.batch.column("lo").expect("col").get(0), Value::Float(0.0));
+    }
+
+    #[test]
+    fn min_max_over_string_groups() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("customers", "c")
+            .aggregate(
+                &["c.tier"],
+                vec![
+                    AggExpr {
+                        func: AggFunc::Min,
+                        input: Some("c.id".into()),
+                        output: "lo".into(),
+                    },
+                    AggExpr {
+                        func: AggFunc::Max,
+                        input: Some("c.id".into()),
+                        output: "hi".into(),
+                    },
+                ],
+            )
+            .build();
+        let r = run(&c, &plan);
+        assert_eq!(r.batch.num_rows(), 2);
+        let tier = r.batch.column("c.tier").expect("col");
+        let lo = r.batch.column("lo").expect("col");
+        let hi = r.batch.column("hi").expect("col");
+        let gold = (0..2)
+            .find(|&i| tier.get(i) == Value::Str("gold".into()))
+            .expect("gold group");
+        assert_eq!(lo.get(gold), Value::Int(0));
+        assert_eq!(hi.get(gold), Value::Int(2));
     }
 
     #[test]
@@ -664,5 +1215,81 @@ mod tests {
         let b = run(&c, &plan);
         assert_eq!(a.batch, b.batch);
         assert_eq!(a.report.cost_dollars, b.report.cost_dollars);
+    }
+
+    #[test]
+    fn thread_count_never_changes_results_or_reports() {
+        // Large enough to span several 1024-row chunks.
+        let mut c = Catalog::new();
+        let n = 5000i64;
+        c.add_table(
+            Table::new(
+                "t",
+                vec![
+                    ("id", Column::Int((0..n).collect())),
+                    ("grp", Column::Int((0..n).map(|i| i % 37).collect())),
+                    (
+                        "x",
+                        Column::Float((0..n).map(|i| (i as f64) * 0.25 + 0.1).collect()),
+                    ),
+                    (
+                        "s",
+                        Column::str((0..n).map(|i| format!("s{}", i % 11)).collect()),
+                    ),
+                ],
+            )
+            .expect("valid"),
+        )
+        .expect("ok");
+        c.add_table(
+            Table::new(
+                "d",
+                vec![
+                    ("grp", Column::Int((0..37).collect())),
+                    ("name", Column::str((0..37).map(|i| format!("g{i}")).collect())),
+                ],
+            )
+            .expect("valid"),
+        )
+        .expect("ok");
+        let plan = PlanBuilder::scan("t", "t")
+            .filter(Expr::col("t.x").cmp(CmpOp::Gt, Expr::int(100)))
+            .join(PlanBuilder::scan("d", "d"), &[("t.grp", "d.grp")])
+            .aggregate(
+                &["d.name"],
+                vec![
+                    AggExpr {
+                        func: AggFunc::Sum,
+                        input: Some("t.x".into()),
+                        output: "sx".into(),
+                    },
+                    AggExpr {
+                        func: AggFunc::Min,
+                        input: Some("t.s".into()),
+                        output: "lo".into(),
+                    },
+                    AggExpr {
+                        func: AggFunc::Max,
+                        input: Some("t.x".into()),
+                        output: "hi".into(),
+                    },
+                ],
+            )
+            .build();
+        let serial = Executor::new(&c, Pricing::paper_defaults())
+            .with_threads(1)
+            .run(&plan)
+            .expect("serial");
+        for threads in [2, 4, 7] {
+            let par = Executor::new(&c, Pricing::paper_defaults())
+                .with_threads(threads)
+                .run(&plan)
+                .expect("parallel");
+            assert_eq!(serial.batch, par.batch, "{threads} threads: batch differs");
+            assert_eq!(
+                serial.report, par.report,
+                "{threads} threads: report differs"
+            );
+        }
     }
 }

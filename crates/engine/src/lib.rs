@@ -35,14 +35,18 @@
 //! ```
 
 pub mod batch;
+pub mod cache;
 pub mod catalog;
 pub mod error;
 pub mod exec;
+pub mod keys;
 pub mod meter;
+pub mod par;
 pub mod rewrite;
 pub mod view;
 
 pub use batch::{Column, RecordBatch};
+pub use cache::{CacheStats, ExecCache};
 pub use catalog::{Catalog, ColumnType, Table, TableStats};
 pub use error::EngineError;
 pub use exec::{ExecResult, Executor};

@@ -1,0 +1,120 @@
+//! Deterministic chunked data-parallelism over row ranges.
+//!
+//! Work is split into fixed-size chunks of [`CHUNK_ROWS`] rows. Chunk
+//! boundaries depend only on the row count — never on the thread count — and
+//! per-chunk results are combined in ascending chunk order, so any thread
+//! count (including 1) produces bit-identical output. Operators that meter
+//! cost per chunk accumulate plain integer counters per chunk and sum them
+//! in chunk order, which keeps [`crate::meter::ExecutionReport`]s identical
+//! between serial and parallel runs.
+//!
+//! Threads come from `std::thread::scope` — no external thread-pool
+//! dependency — and are only spawned when there is more than one chunk.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Rows per chunk. Fixed so that chunk boundaries (and therefore f64
+/// accumulation order inside partial aggregates) are independent of the
+/// thread count.
+pub const CHUNK_ROWS: usize = 1024;
+
+/// Default executor thread count: one worker per available core, capped to
+/// keep scoped-spawn overhead bounded on very wide machines.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// Number of chunks needed to cover `rows`.
+pub fn chunk_count(rows: usize) -> usize {
+    rows.div_ceil(CHUNK_ROWS)
+}
+
+fn chunk_range(idx: usize, rows: usize) -> Range<usize> {
+    let start = idx * CHUNK_ROWS;
+    start..rows.min(start + CHUNK_ROWS)
+}
+
+/// Apply `f` to every chunk of `0..rows` and return the per-chunk results in
+/// ascending chunk order.
+///
+/// With `threads <= 1` (or a single chunk) the chunks run sequentially on
+/// the calling thread; otherwise a scoped worker pool pulls chunk indices
+/// from an atomic counter. Either way the returned `Vec` is ordered by chunk
+/// index, so callers can concatenate or fold the results deterministically.
+pub fn map_chunks<T, F>(rows: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    let chunks = chunk_count(rows);
+    if threads <= 1 || chunks <= 1 {
+        return (0..chunks).map(|i| f(i, chunk_range(i, rows))).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(chunks));
+    let workers = threads.min(chunks);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= chunks {
+                        break;
+                    }
+                    local.push((i, f(i, chunk_range(i, rows))));
+                }
+                if !local.is_empty() {
+                    collected.lock().expect("worker panicked").extend(local);
+                }
+            });
+        }
+    });
+
+    let mut out = collected.into_inner().expect("worker panicked");
+    out.sort_unstable_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rows_yield_no_chunks() {
+        let r: Vec<usize> = map_chunks(0, 4, |_, range| range.len());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn chunks_cover_rows_exactly_once() {
+        let rows = 3 * CHUNK_ROWS + 17;
+        for threads in [1, 2, 5] {
+            let ranges = map_chunks(rows, threads, |i, range| (i, range));
+            assert_eq!(ranges.len(), chunk_count(rows));
+            let mut expect_start = 0;
+            for (k, (i, range)) in ranges.iter().enumerate() {
+                assert_eq!(*i, k, "results must be in chunk order");
+                assert_eq!(range.start, expect_start);
+                expect_start = range.end;
+            }
+            assert_eq!(expect_start, rows);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_any_thread_count() {
+        let rows = 2 * CHUNK_ROWS + 100;
+        let serial: Vec<u64> = map_chunks(rows, 1, |_, r| r.map(|x| x as u64).sum());
+        for threads in [2, 3, 8] {
+            let par: Vec<u64> = map_chunks(rows, threads, |_, r| r.map(|x| x as u64).sum());
+            assert_eq!(serial, par);
+        }
+    }
+}

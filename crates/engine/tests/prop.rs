@@ -28,6 +28,14 @@ fn exec(c: &Catalog, p: &av_plan::PlanRef) -> av_engine::ExecResult {
         .expect("plan executes")
 }
 
+fn agg(func: av_plan::AggFunc, input: Option<&str>, output: &str) -> av_plan::AggExpr {
+    av_plan::AggExpr {
+        func,
+        input: input.map(str::to_string),
+        output: output.to_string(),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -145,6 +153,71 @@ proptest! {
         prop_assert!(rp.report.cost_dollars <= rl.report.cost_dollars + 1e-12);
     }
 
+    /// The chunked-parallel executor is bit-identical to the serial one:
+    /// same batches AND same cost reports, for any thread count. Chunk
+    /// boundaries are fixed (1024 rows) and merges happen in chunk order,
+    /// so thread scheduling can never leak into results or meters.
+    #[test]
+    fn parallel_execution_matches_serial(
+        a in proptest::collection::vec(-6i64..6, 1..60),
+        b in proptest::collection::vec(-6i64..6, 1..60),
+        t in -5i64..5,
+        threads in 2usize..8,
+    ) {
+        let n = a.len();
+        let vals: Vec<i64> = a.iter().map(|&k| k.wrapping_mul(3) - 1).collect();
+        let c = catalog_from(a, vals[..n].to_vec(), b);
+        let plan = PlanBuilder::scan("ta", "a")
+            .filter(Expr::col("a.k").cmp(CmpOp::Gt, Expr::int(t)))
+            .join_typed(PlanBuilder::scan("tb", "b"), &[("a.k", "b.k")], JoinType::Left)
+            .aggregate(
+                &["b.k"],
+                vec![
+                    agg(av_plan::AggFunc::Count, None, "n"),
+                    agg(av_plan::AggFunc::Sum, Some("a.v"), "s"),
+                    agg(av_plan::AggFunc::Min, Some("a.v"), "lo"),
+                    agg(av_plan::AggFunc::Max, Some("a.v"), "hi"),
+                ],
+            )
+            .build();
+        let serial = Executor::new(&c, Pricing::paper_defaults())
+            .with_threads(1)
+            .run(&plan)
+            .expect("serial");
+        let par = Executor::new(&c, Pricing::paper_defaults())
+            .with_threads(threads)
+            .run(&plan)
+            .expect("parallel");
+        prop_assert_eq!(serial.batch, par.batch);
+        prop_assert_eq!(serial.report, par.report);
+    }
+
+    /// A cache hit returns the same batch and the same report as the cold
+    /// run, and never re-executes while the catalog is unchanged.
+    #[test]
+    fn cache_hit_reproduces_cold_run(
+        a in proptest::collection::vec(-6i64..6, 1..50),
+        t in -5i64..5,
+    ) {
+        let n = a.len();
+        let c = catalog_from(a, vec![1; n], vec![0]);
+        let plan = PlanBuilder::scan("ta", "a")
+            .filter(Expr::col("a.k").cmp(CmpOp::Le, Expr::int(t)))
+            .count_star(&["a.k"], "n")
+            .build();
+        let cache = av_engine::ExecCache::new(Pricing::paper_defaults());
+        let cold = cache.run(&c, &plan).expect("cold");
+        let warm = cache.run(&c, &plan).expect("warm");
+        prop_assert_eq!(&cold.batch, &warm.batch);
+        prop_assert_eq!(cold.report, warm.report);
+        prop_assert_eq!(cache.stats().hits, 1);
+        prop_assert_eq!(cache.stats().misses, 1);
+        // And the cached result matches a plain executor run.
+        let direct = exec(&c, &plan);
+        prop_assert_eq!(direct.batch, cold.batch);
+        prop_assert_eq!(direct.report, cold.report);
+    }
+
     /// Routing a query through a view admitted by the online lifecycle
     /// manager returns exactly the same rows as running it unrewritten —
     /// even when the view was defined under different table aliases.
@@ -186,4 +259,35 @@ proptest! {
         prop_assert!(hits > 0, "equivalent subtree must be routed");
         prop_assert_eq!(exec(&c, &query).batch, exec(&c, &routed).batch);
     }
+}
+
+/// End-to-end determinism on the JOB-like workload: every query produces the
+/// same batch and the same cost report under serial (1 thread) and parallel
+/// (4 threads) execution, and the cache echoes the cold report exactly.
+/// Tables at this scale exceed the 1024-row chunk size, so the parallel
+/// paths (filter mask, join probe, partial aggregates) really engage.
+#[test]
+fn job_workload_is_thread_count_invariant() {
+    let w = av_workload::job::job_workload(0.02, 7);
+    let plans = w.plans();
+    assert!(!plans.is_empty());
+    let serial = Executor::new(&w.catalog, Pricing::paper_defaults()).with_threads(1);
+    let par = Executor::new(&w.catalog, Pricing::paper_defaults()).with_threads(4);
+    let cache = av_engine::ExecCache::new(Pricing::paper_defaults()).with_threads(4);
+    for (i, p) in plans.iter().enumerate() {
+        let rs = serial.run(p).expect("serial run");
+        let rp = par.run(p).expect("parallel run");
+        assert_eq!(rs.batch, rp.batch, "query {i}: batches diverge");
+        assert_eq!(rs.report, rp.report, "query {i}: reports diverge");
+        let rc = cache.run(&w.catalog, p).expect("cached run");
+        assert_eq!(rs.report, rc.report, "query {i}: cache diverges");
+    }
+    // A second pass over the workload is served entirely from the cache.
+    for p in &plans {
+        cache.run(&w.catalog, p).expect("warm run");
+    }
+    assert!(
+        cache.stats().hits >= plans.len() as u64,
+        "replaying the workload must hit the cache"
+    );
 }

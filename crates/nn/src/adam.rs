@@ -34,9 +34,13 @@ impl Adam {
     /// Apply one update using each parameter's accumulated gradient (clipped
     /// to [`Adam::MAX_GRAD_NORM`]), then zero the gradients.
     pub fn step(&mut self, store: &mut ParamStore) {
-        self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        self.t = self.t.checked_add(1).expect("Adam timestep overflow");
+        // βᵗ in f64: `powi(t as i32)` would silently truncate t beyond
+        // i32::MAX, flipping the exponent negative and exploding the
+        // correction. f64 `powf` is exact enough (β < 1, so βᵗ → 0
+        // monotonically) and f32 precision is restored on the way out.
+        let bc1 = 1.0 - (f64::from(self.beta1).powf(self.t as f64)) as f32;
+        let bc2 = 1.0 - (f64::from(self.beta2).powf(self.t as f64)) as f32;
         for p in store.params_mut() {
             let mut g = p.grad.clone();
             let norm = g.norm();
@@ -96,6 +100,25 @@ mod tests {
         adam.step(&mut store);
         assert_eq!(store.param_mut(w).grad, Tensor::zeros(1, 1));
         assert_eq!(adam.steps(), 1);
+    }
+
+    #[test]
+    fn bias_correction_survives_timesteps_beyond_i32() {
+        // Regression: `powi(t as i32)` truncated t past i32::MAX, flipping
+        // the exponent negative (βᵗ ≫ 1 → bc ≤ 0) and corrupting updates.
+        let mut store = ParamStore::with_seed(0);
+        let w = store.add(Tensor::from_vec(1, 1, vec![0.0]));
+        let mut adam = Adam::new(0.01);
+        adam.t = i32::MAX as u64 + 7;
+        store.accumulate_grad(w, &Tensor::from_vec(1, 1, vec![1.0]));
+        adam.step(&mut store);
+        // At huge t the corrections are exactly 1 (βᵗ underflows to 0), so
+        // the step is finite and ≈ lr·m̂/√v̂ = lr·(1−β₁)/√(1−β₂) here.
+        let got = store.value(w).get(0, 0);
+        assert!(got.is_finite());
+        let expect = -0.01 * (1.0 - 0.9) / (1.0f32 - 0.999).sqrt();
+        assert!((got - expect).abs() < 1e-5, "got {got}, expected {expect}");
+        assert_eq!(adam.steps(), i32::MAX as u64 + 8);
     }
 
     #[test]

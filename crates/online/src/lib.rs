@@ -28,7 +28,7 @@ pub use reopt::{reoptimize, CandidateView, OnlineSelector, ReoptPlan, WindowSnap
 pub use stream::{ArrivedQuery, WorkloadStream};
 
 use av_cost::CostEstimator;
-use av_engine::{Catalog, EngineError, Executor, Pricing};
+use av_engine::{Catalog, EngineError, ExecCache, Pricing};
 use av_plan::PlanRef;
 
 /// Everything the online engine can be tuned with.
@@ -107,6 +107,10 @@ pub struct OnlineEngine {
     lifecycle: ViewLifecycleManager,
     metrics: Metrics,
     estimator: Box<dyn CostEstimator>,
+    /// Shared result cache: repeat arrivals of a window-resident query and
+    /// re-optimization dry-runs are priced once per catalog epoch. Admit /
+    /// evict bump the epoch, so routing changes invalidate it naturally.
+    cache: ExecCache,
     /// Whether the initial (bootstrap) selection has run.
     bootstrapped: bool,
     report: OnlineReport,
@@ -125,6 +129,7 @@ impl OnlineEngine {
             lifecycle: ViewLifecycleManager::new(config.lifecycle),
             metrics: Metrics::new(),
             estimator,
+            cache: ExecCache::new(config.pricing),
             bootstrapped: false,
             config,
             report: OnlineReport::default(),
@@ -141,10 +146,9 @@ impl OnlineEngine {
         self.metrics
             .record_seconds("route", start.elapsed().as_secs_f64());
 
-        let exec = Executor::new(&self.catalog, self.config.pricing);
-        let baseline_cost = exec.cost(plan)?;
+        let baseline_cost = self.cache.cost(&self.catalog, plan)?;
         let actual_cost = if hits > 0 {
-            exec.cost(&routed)?
+            self.cache.cost(&self.catalog, &routed)?
         } else {
             baseline_cost
         };
@@ -216,7 +220,7 @@ impl OnlineEngine {
             self.estimator.as_ref(),
             &self.config.selector,
             &self.lifecycle.live_fingerprints(),
-            self.config.pricing,
+            &self.cache,
         )?;
         self.metrics.inc("reopt_runs");
 
@@ -270,6 +274,11 @@ impl OnlineEngine {
 
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Hit/miss counters of the shared execution cache.
+    pub fn cache_stats(&self) -> av_engine::CacheStats {
+        self.cache.stats()
     }
 
     /// JSON snapshot of the metrics registry.

@@ -8,7 +8,7 @@
 //! to create, which live ones to drop, and which to keep.
 
 use av_cost::{tables_meta, CostEstimator, FeatureInput};
-use av_engine::{Catalog, EngineError, Executor, Pricing};
+use av_engine::{Catalog, EngineError, ExecCache};
 use av_equiv::WorkloadAnalysis;
 use av_ilp::MvsInstance;
 use av_plan::{Fingerprint, PlanRef};
@@ -93,20 +93,22 @@ impl<'a> WindowSnapshot<'a> {
 /// Build the window's MVS instance: predicted benefits per (query,
 /// candidate) pair and dry-run overheads per candidate. No catalog mutation
 /// — candidate subqueries are *executed* to price their materialization,
-/// but nothing is stored.
+/// but nothing is stored. Dry-runs go through `cache`, so candidates that
+/// survive across re-optimization rounds (the common case under mild drift)
+/// are priced once per catalog epoch.
 pub fn build_window_instance(
     catalog: &Catalog,
     analysis: &WorkloadAnalysis,
     window: WindowSnapshot<'_>,
     estimator: &dyn CostEstimator,
-    pricing: Pricing,
+    cache: &ExecCache,
 ) -> Result<MvsInstance, EngineError> {
     let WindowSnapshot { plans, costs } = window;
-    let exec = Executor::new(catalog, pricing);
+    let pricing = cache.pricing();
 
     let mut overheads = Vec::with_capacity(analysis.candidates.len());
     for cand in &analysis.candidates {
-        let result = exec.run(&cand.plan)?;
+        let result = cache.run(catalog, &cand.plan)?;
         overheads.push(
             result.report.cost_dollars + pricing.storage_dollars(result.report.output_bytes),
         );
@@ -143,9 +145,9 @@ pub fn reoptimize(
     estimator: &dyn CostEstimator,
     selector: &OnlineSelector,
     live_fps: &[Fingerprint],
-    pricing: Pricing,
+    cache: &ExecCache,
 ) -> Result<ReoptPlan, EngineError> {
-    let instance = build_window_instance(catalog, analysis, window, estimator, pricing)?;
+    let instance = build_window_instance(catalog, analysis, window, estimator, cache)?;
     let selection = selector.run(&instance);
 
     let mut plan = ReoptPlan {
@@ -196,8 +198,13 @@ pub fn reoptimize(
 mod tests {
     use super::*;
     use av_cost::OptimizerEstimator;
+    use av_engine::Pricing;
     use av_equiv::Analyzer;
     use av_workload::cloud::mini;
+
+    fn cache() -> ExecCache {
+        ExecCache::new(Pricing::paper_defaults())
+    }
 
     fn analyzed(seed: u64) -> (av_workload::Workload, WorkloadAnalysis, Vec<PlanRef>, Vec<f64>) {
         let w = mini(seed);
@@ -205,7 +212,7 @@ mod tests {
         let mut analyzer = Analyzer::new();
         analyzer.min_query_frequency = 2;
         let analysis = analyzer.analyze(&plans);
-        let exec = Executor::new(&w.catalog, Pricing::paper_defaults());
+        let exec = av_engine::Executor::new(&w.catalog, Pricing::paper_defaults());
         let costs: Vec<f64> = plans.iter().map(|p| exec.cost(p).expect("costs")).collect();
         (w, analysis, plans, costs)
     }
@@ -220,7 +227,7 @@ mod tests {
             &analysis,
             WindowSnapshot::new(&plans, &costs),
             &est,
-            Pricing::paper_defaults(),
+            &cache(),
         )
         .expect("builds");
         assert_eq!(w.catalog.len(), before, "no catalog mutation");
@@ -254,7 +261,7 @@ mod tests {
                 freeze_after: None,
             }),
             &[],
-            Pricing::paper_defaults(),
+            &cache(),
         )
         .expect("reoptimizes");
         assert!(!plan.create.is_empty(), "mini workload selects some views");
@@ -279,6 +286,7 @@ mod tests {
             seed: 7,
             freeze_after: None,
         });
+        let shared = cache();
         let first = reoptimize(
             &w.catalog,
             &analysis,
@@ -286,7 +294,7 @@ mod tests {
             &est,
             &selector,
             &[],
-            Pricing::paper_defaults(),
+            &shared,
         )
         .expect("first");
         let live: Vec<Fingerprint> = first.create.iter().map(|c| c.canonical_fp).collect();
@@ -298,11 +306,15 @@ mod tests {
             &est,
             &selector,
             &live,
-            Pricing::paper_defaults(),
+            &shared,
         )
         .expect("second");
         assert!(second.is_noop(), "unchanged window => no-op plan");
         assert_eq!(second.keep.len(), live.len());
+        // Round two dry-runs the identical candidate set at the same catalog
+        // epoch, so every execution is a cache hit.
+        let stats = shared.stats();
+        assert_eq!(stats.hits, stats.misses, "second round must be all hits");
     }
 
     #[test]
@@ -324,7 +336,7 @@ mod tests {
                 freeze_after: None,
             }),
             &[ghost],
-            Pricing::paper_defaults(),
+            &cache(),
         )
         .expect("reoptimizes");
         assert!(plan.drop.contains(&ghost));

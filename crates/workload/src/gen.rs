@@ -136,7 +136,7 @@ pub fn generate(config: &GeneratorConfig) -> Workload {
                 ("id", Column::Int(id)),
                 ("fk", Column::Int(fk)),
                 ("kind", Column::Int(kind)),
-                ("dt", Column::Str(dt)),
+                ("dt", Column::str(dt)),
                 ("val", Column::Float(val)),
             ],
         )

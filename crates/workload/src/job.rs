@@ -110,7 +110,7 @@ pub fn job_workload(scale: f64, seed: u64) -> Workload {
         ));
         cols.push((
             "note",
-            Column::Str(
+            Column::str(
                 (0..rows)
                     .map(|_| {
                         ["(producer)", "(writer)", "(uncredited)", "(voice)", ""]

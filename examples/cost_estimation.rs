@@ -24,7 +24,7 @@ fn main() {
 
     let pre = preprocess_and_measure(&mut catalog, &plans, pricing).expect("preprocess");
     let pairs =
-        collect_pair_truth(&catalog, &pre, &plans, pricing, 200, 1).expect("ground truth");
+        collect_pair_truth(&catalog, &pre, &plans, 200, 1).expect("ground truth");
     println!(
         "collected {} labelled (query, view) pairs from {} candidates",
         pairs.len(),

@@ -25,7 +25,7 @@ fn main() {
                     ("user_id", Column::Int((0..n).map(|i| i % 97).collect())),
                     (
                         "memo_type",
-                        Column::Str(
+                        Column::str(
                             (0..n)
                                 .map(|i| if i % 3 == 0 { "pen" } else { "note" }.to_string())
                                 .collect(),
@@ -33,7 +33,7 @@ fn main() {
                     ),
                     (
                         "dt",
-                        Column::Str(
+                        Column::str(
                             (0..n)
                                 .map(|i| if i % 2 == 0 { "1010" } else { "1009" }.to_string())
                                 .collect(),
@@ -53,7 +53,7 @@ fn main() {
                     ("type", Column::Int((0..n).map(|i| i % 4).collect())),
                     (
                         "dt",
-                        Column::Str(
+                        Column::str(
                             (0..n)
                                 .map(|i| if i % 2 == 0 { "1010" } else { "1008" }.to_string())
                                 .collect(),

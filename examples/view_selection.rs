@@ -23,7 +23,7 @@ fn main() {
     let plans = workload.plans();
     let pre = preprocess_and_measure(&mut catalog, &plans, pricing).expect("preprocess");
     let pairs =
-        collect_pair_truth(&catalog, &pre, &plans, pricing, usize::MAX, 3).expect("pairs");
+        collect_pair_truth(&catalog, &pre, &plans, usize::MAX, 3).expect("pairs");
 
     let nc = pre.analysis.candidates.len();
     let mut benefits = vec![vec![0.0; nc]; plans.len()];

@@ -86,7 +86,7 @@ fn selection_utility_accounting_is_consistent_across_selectors() {
     let plans = w.plans();
     let pre = preprocess_and_measure(&mut catalog, &plans, pricing).expect("preprocess");
     let pairs =
-        collect_pair_truth(&catalog, &pre, &plans, pricing, usize::MAX, 7).expect("pairs");
+        collect_pair_truth(&catalog, &pre, &plans, usize::MAX, 7).expect("pairs");
 
     let nc = pre.analysis.candidates.len();
     let mut benefits = vec![vec![0.0; nc]; plans.len()];
@@ -183,7 +183,7 @@ fn degenerate_workloads_produce_sane_selections() {
     let plans = w.plans();
     let pre = preprocess_and_measure(&mut catalog, &plans, pricing).expect("preprocess");
     let pairs =
-        collect_pair_truth(&catalog, &pre, &plans, pricing, usize::MAX, 2).expect("pairs");
+        collect_pair_truth(&catalog, &pre, &plans, usize::MAX, 2).expect("pairs");
     let nc = pre.analysis.candidates.len();
     let mut benefits = vec![vec![0.0; nc]; plans.len()];
     for p in &pairs {
