@@ -1,0 +1,55 @@
+//! `cargo run -p av-analyze --bin lint` — the determinism lint alone.
+//!
+//! Scans `crates/*/src`, reports findings, and checks the panic-site
+//! ratchet. `-- --write-baseline` regenerates
+//! `crates/analyze/unwrap-baseline.txt` from the current counts instead of
+//! checking it (use after converting panic sites to typed errors, so the
+//! ratchet tightens).
+
+use av_analyze::lint::{format_baseline, lint_repo, parse_baseline, ratchet_findings};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crate lives two levels below the repo root");
+    let baseline_path = root.join("crates/analyze/unwrap-baseline.txt");
+
+    let report = match lint_repo(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: cannot scan repo: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if std::env::args().any(|a| a == "--write-baseline") {
+        if let Err(e) = std::fs::write(&baseline_path, format_baseline(&report.unwrap_counts)) {
+            eprintln!("lint: cannot write baseline: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "lint: baseline rewritten with {} file(s)",
+            report.unwrap_counts.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .map(|t| parse_baseline(&t))
+        .unwrap_or_default();
+    let mut findings = report.findings;
+    findings.extend(ratchet_findings(&report.unwrap_counts, &baseline));
+    for f in &findings {
+        eprintln!("lint: {f}");
+    }
+    if findings.is_empty() {
+        println!("lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,34 @@
+//! `av-analyze` — static verification for the AutoView reproduction.
+//!
+//! Three passes, each usable as a library and wired into a binary:
+//!
+//! - **Plan verifier** ([`verify_plan`] / [`verify_rewrite`]): structural
+//!   checks plus bottom-up typed schema inference over the logical plan IR,
+//!   mirroring `av-engine`'s runtime semantics. Rejects unbound columns,
+//!   type-mismatched predicates and join keys, aggregates over incompatible
+//!   inputs, and view-rewrite substitutions whose output schema does not
+//!   cover the consumers' required columns. [`install_engine_gate`] hooks
+//!   it in front of every `Executor::run` in the process.
+//! - **NN graph checker** ([`nncheck::GraphSpec`]): symbolic shape/dtype
+//!   inference over the `av-nn` operator vocabulary, catching dimension
+//!   mismatches before any flop runs, dead (gradient-unreachable)
+//!   parameters, and `log`/`sqrt` domain hazards.
+//! - **Determinism lint** ([`lint`]): a hand-rolled scanner over
+//!   `crates/*/src` flagging unordered hash-container iteration that feeds
+//!   order-sensitive consumers, wall-clock reads in library code, and a
+//!   per-file panic-site ratchet.
+//!
+//! Binaries: `cargo run -p av-analyze` runs all passes plus full JOB
+//! workload verification; `cargo run -p av-analyze --bin lint` runs the
+//! determinism lint alone.
+
+#![forbid(unsafe_code)]
+
+pub mod lint;
+pub mod nncheck;
+pub mod schema;
+pub mod verify;
+
+pub use nncheck::{widedeep_spec, GraphSpec, NnFinding};
+pub use schema::{infer_schema, type_of_expr, Schema};
+pub use verify::{install_engine_gate, verify_plan, verify_rewrite};

@@ -1,0 +1,502 @@
+//! Determinism lint: a hand-rolled source scanner (no external parser)
+//! over `crates/*/src`.
+//!
+//! Three rules:
+//!
+//! 1. **unordered-iteration** — iterating a `HashMap`/`HashSet` binding
+//!    whose results feed anything order-sensitive. A flagged line is
+//!    exempt when an order-insensitive or ordering consumer (`.sum()`,
+//!    `.count()`, `.len()`, min/max, `all`/`any`/`fold`, a `sort`, or a
+//!    collect back into a hash/BTree container) appears on the same line
+//!    or within the next few lines, or when the site carries an explicit
+//!    `det-lint: allow` marker.
+//! 2. **wall-clock** — `SystemTime::now` in library code. Reproduction
+//!    runs must be replayable; wall-clock reads belong in binaries, if
+//!    anywhere.
+//! 3. **unwrap-ratchet** — the count of `.unwrap(` calls per file in
+//!    non-test code may only go *down* relative to the committed baseline
+//!    (`crates/analyze/unwrap-baseline.txt`).
+//!
+//! Test code is skipped: everything below a `#[cfg(test)]` attribute, and
+//! any path containing a `tests` or `benches` directory.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lint finding, with a stable rule name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Stable rule identifier.
+    pub rule: &'static str,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Everything the repo scan produces: per-line findings plus the per-file
+/// panic-site counts the ratchet compares against its baseline.
+pub struct LintReport {
+    pub findings: Vec<LintFinding>,
+    /// Repo-relative path → `.unwrap(` count in non-test code.
+    pub unwrap_counts: BTreeMap<String, usize>,
+}
+
+// Pattern strings are assembled from pieces so this file does not trip its
+// own scanner.
+fn wall_clock_pattern() -> String {
+    format!("SystemTime{}", "::now")
+}
+
+fn unwrap_pattern() -> String {
+    format!(".unw{}(", "rap")
+}
+
+const ALLOW_MARKER: &str = "det-lint: allow";
+
+/// Consumers that make hash-order irrelevant (order-insensitive folds) or
+/// that restore an order (sorts, ordered re-collection).
+const ORDER_SAFE: [&str; 14] = [
+    ".sum()",
+    ".sum::<",
+    ".count()",
+    ".len()",
+    ".min(",
+    ".max(",
+    ".min_by",
+    ".max_by",
+    ".all(",
+    ".any(",
+    ".fold(",
+    ".product()",
+    "sort",
+    "BTree",
+];
+
+/// Hash-container re-collection is also order-safe.
+const ORDER_SAFE_COLLECT: [&str; 4] = [
+    "collect::<HashMap",
+    "collect::<HashSet",
+    "collect::<std::collections::HashMap",
+    "collect::<std::collections::HashSet",
+];
+
+/// How many lines after a flagged iteration we look for an order-safe
+/// consumer (covers `let mut v: Vec<_> = m.keys().collect();` followed by
+/// a `v.sort();` a couple of lines later).
+const WINDOW: usize = 4;
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// The identifier ending at the end of `s`, if any.
+fn trailing_ident(s: &str) -> Option<&str> {
+    let end = s.len();
+    let start = s
+        .char_indices()
+        .rev()
+        .take_while(|&(_, c)| is_ident_char(c))
+        .last()
+        .map(|(i, _)| i)?;
+    let ident = &s[start..end];
+    ident.chars().next().filter(|c| !c.is_numeric())?;
+    Some(ident)
+}
+
+/// Identifiers this line binds to a `HashMap`/`HashSet` (let-bindings,
+/// struct fields, fn params).
+fn hash_bound_idents(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for marker in ["HashMap", "HashSet"] {
+        let mut from = 0;
+        while let Some(rel) = line[from..].find(marker) {
+            let pos = from + rel;
+            from = pos + marker.len();
+            let before = line[..pos].trim_end();
+            // `name: HashMap<..>` or `name = HashMap::new()`.
+            let Some(head) = before
+                .strip_suffix(':')
+                .or_else(|| before.strip_suffix('='))
+            else {
+                continue;
+            };
+            if let Some(ident) = trailing_ident(head.trim_end()) {
+                if !matches!(ident, "mut" | "pub" | "let" | "in" | "dyn" | "impl") {
+                    out.push(ident.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Does `line` iterate `ident` (a tracked hash container)?
+fn iterates(line: &str, ident: &str) -> bool {
+    let methods = [".keys()", ".values()", ".values_mut()", ".iter()", ".iter_mut()", ".into_iter()", ".drain("];
+    for m in methods {
+        let pat = format!("{ident}{m}");
+        if contains_bounded(line, &pat) {
+            return true;
+        }
+    }
+    // `for x in &ident {` / `in ident` / `in &self.ident` / `in &s.ident`:
+    // take the place expression after ` in `, strip borrows, and see
+    // whether its final path segment is the tracked ident.
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(" in ") {
+        let pos = from + rel + 4;
+        from = pos;
+        let rest = line[pos..].trim_start();
+        let rest = rest.strip_prefix('&').unwrap_or(rest);
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+        let expr: String = rest
+            .chars()
+            .take_while(|&c| is_ident_char(c) || c == '.')
+            .collect();
+        if expr == ident || expr.ends_with(&format!(".{ident}")) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Substring match where the character before the match is not part of a
+/// longer identifier (so `map.keys()` matches inside `self.map.keys()` but
+/// ident `ap` does not match `map`).
+fn contains_bounded(line: &str, pat: &str) -> bool {
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(pat) {
+        let pos = from + rel;
+        from = pos + pat.len();
+        let before_ok = line[..pos]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !is_ident_char(c));
+        if before_ok {
+            return true;
+        }
+    }
+    false
+}
+
+fn window_is_order_safe(lines: &[&str], at: usize) -> bool {
+    let end = (at + WINDOW).min(lines.len());
+    lines[at..end].iter().any(|l| {
+        ORDER_SAFE.iter().any(|p| l.contains(p))
+            || ORDER_SAFE_COLLECT.iter().any(|p| l.contains(p))
+            || l.contains(ALLOW_MARKER)
+    })
+}
+
+/// Lines of `src` before the first `#[cfg(test)]` attribute — the region
+/// the lint applies to. Comment lines (incl. doc examples) are blanked:
+/// they are not executable, so nothing in them is a finding.
+fn non_test_lines(src: &str) -> Vec<&str> {
+    src.lines()
+        .take_while(|l| !l.trim_start().starts_with("#[cfg(test)]"))
+        .map(|l| if l.trim_start().starts_with("//") { "" } else { l })
+        .collect()
+}
+
+/// Scan one file's source for unordered-iteration and wall-clock findings.
+/// `file` is used verbatim in the findings.
+pub fn lint_source(file: &str, src: &str) -> Vec<LintFinding> {
+    let lines = non_test_lines(src);
+    let wall_clock = wall_clock_pattern();
+    let mut findings = Vec::new();
+    let mut tracked: Vec<String> = Vec::new();
+
+    for (i, line) in lines.iter().enumerate() {
+        if line.contains(&wall_clock) && !line.contains(ALLOW_MARKER) {
+            findings.push(LintFinding {
+                file: file.to_string(),
+                line: i + 1,
+                rule: "wall-clock",
+                message: format!("{wall_clock} in library code breaks replayability"),
+            });
+        }
+        for ident in hash_bound_idents(line) {
+            if !tracked.contains(&ident) {
+                tracked.push(ident);
+            }
+        }
+        let hit = tracked.iter().find(|id| iterates(line, id));
+        if let Some(ident) = hit {
+            if !window_is_order_safe(&lines, i) {
+                findings.push(LintFinding {
+                    file: file.to_string(),
+                    line: i + 1,
+                    rule: "unordered-iteration",
+                    message: format!(
+                        "iteration over hash container `{ident}` with no ordering or \
+                         order-insensitive consumer nearby; sort it, switch to BTreeMap, \
+                         or mark `// {ALLOW_MARKER}: <reason>`"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Count panic sites (`.unwrap(`) in the non-test region of `src`.
+pub fn count_unwraps(src: &str) -> usize {
+    let pat = unwrap_pattern();
+    non_test_lines(src)
+        .iter()
+        .map(|l| l.matches(&pat).count())
+        .sum()
+}
+
+fn is_lintable(path: &Path) -> bool {
+    if path.extension().is_none_or(|e| e != "rs") {
+        return false;
+    }
+    !path
+        .components()
+        .any(|c| matches!(c.as_os_str().to_str(), Some("tests" | "benches" | "target")))
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            walk(&p, out)?;
+        } else if is_lintable(&p) {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Scan every `crates/*/src` tree under `root` (the repo root).
+pub fn lint_repo(root: &Path) -> io::Result<LintReport> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    crate_dirs.sort();
+    for c in crate_dirs {
+        let src = c.join("src");
+        if src.is_dir() {
+            walk(&src, &mut files)?;
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut unwrap_counts = BTreeMap::new();
+    for path in files {
+        let src = fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(lint_source(&rel, &src));
+        let n = count_unwraps(&src);
+        if n > 0 {
+            unwrap_counts.insert(rel, n);
+        }
+    }
+    Ok(LintReport {
+        findings,
+        unwrap_counts,
+    })
+}
+
+/// Parse a baseline file (`<count> <path>` per line, `#` comments).
+pub fn parse_baseline(text: &str) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((count, path)) = line.split_once(' ') {
+            if let Ok(n) = count.parse::<usize>() {
+                out.insert(path.trim().to_string(), n);
+            }
+        }
+    }
+    out
+}
+
+/// Serialize counts in the baseline format (stable order).
+pub fn format_baseline(counts: &BTreeMap<String, usize>) -> String {
+    let mut s = String::from(
+        "# Panic-site ratchet: `<count> <path>` of unwrap calls allowed in\n\
+         # non-test code. Counts may only decrease; regenerate with\n\
+         # `cargo run -p av-analyze --bin lint -- --write-baseline`.\n",
+    );
+    for (path, n) in counts {
+        s.push_str(&format!("{n} {path}\n"));
+    }
+    s
+}
+
+/// Ratchet check: every file's current count must be ≤ its baseline
+/// (absent = 0).
+pub fn ratchet_findings(
+    counts: &BTreeMap<String, usize>,
+    baseline: &BTreeMap<String, usize>,
+) -> Vec<LintFinding> {
+    counts
+        .iter()
+        .filter(|(path, &n)| n > baseline.get(*path).copied().unwrap_or(0))
+        .map(|(path, &n)| LintFinding {
+            file: path.clone(),
+            line: 0,
+            rule: "unwrap-ratchet",
+            message: format!(
+                "{n} panic site(s), baseline allows {}; convert to typed errors \
+                 or tighten the baseline",
+                baseline.get(path).copied().unwrap_or(0)
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsorted_hash_iteration_feeding_a_vec_is_flagged() {
+        let src = "\
+fn f() {
+    let m: HashMap<String, u32> = HashMap::new();
+    let v: Vec<&String> = m.keys().collect();
+    use_it(v);
+    other();
+    other();
+}
+";
+        let f = lint_source("x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unordered-iteration");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn sorted_iteration_is_exempt() {
+        let src = "\
+fn f() {
+    let m: HashMap<String, u32> = HashMap::new();
+    let mut v: Vec<&String> = m.keys().collect();
+    v.sort_unstable();
+}
+";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn order_insensitive_fold_is_exempt() {
+        let src = "\
+fn f(m: HashMap<String, u32>) -> u32 {
+    m.values().sum()
+}
+";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_is_exempt() {
+        let src = "\
+fn f(m: HashMap<String, u32>) {
+    for k in m.keys() { // det-lint: allow — order logged nowhere
+        side_effect(k);
+    }
+}
+";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn for_loop_over_hash_field_is_flagged() {
+        let src = "\
+struct S { tables: HashMap<String, u32> }
+fn f(s: &S, out: &mut Vec<String>) {
+    for (k, _) in &s.tables {
+        out.push(k.clone());
+    }
+    done();
+    done();
+}
+";
+        let f = lint_source("x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn recollecting_into_a_hash_container_is_exempt() {
+        let src = "\
+fn f(m: HashMap<String, u32>) -> HashMap<String, u32> {
+    m.into_iter().map(|(k, v)| (k, v + 1)).collect::<HashMap<_, _>>()
+}
+";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_read_is_flagged() {
+        let src = format!("fn f() {{ let t = SystemTime{}(); }}\n", "::now");
+        let f = lint_source("x.rs", &src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn test_module_is_skipped() {
+        let src = "\
+fn f() {}
+#[cfg(test)]
+mod tests {
+    fn g(m: HashMap<u8, u8>) { let v: Vec<_> = m.keys().collect(); use_it(v); }
+}
+";
+        assert!(lint_source("x.rs", src).is_empty());
+        assert_eq!(count_unwraps("fn f() {}\n#[cfg(test)]\nmod t { fn g() { x.unw\u{0072}ap(); } }"), 0);
+    }
+
+    #[test]
+    fn unwrap_ratchet_counts_and_compares() {
+        let pat = unwrap_pattern();
+        let src = format!("fn f() {{ a{pat}); b{pat}); }}\n");
+        assert_eq!(count_unwraps(&src), 2);
+        let mut counts = BTreeMap::new();
+        counts.insert("a.rs".to_string(), 2);
+        let mut baseline = BTreeMap::new();
+        baseline.insert("a.rs".to_string(), 2);
+        assert!(ratchet_findings(&counts, &baseline).is_empty());
+        baseline.insert("a.rs".to_string(), 1);
+        let f = ratchet_findings(&counts, &baseline);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "unwrap-ratchet");
+    }
+
+    #[test]
+    fn baseline_roundtrips() {
+        let mut counts = BTreeMap::new();
+        counts.insert("crates/a/src/x.rs".to_string(), 3);
+        counts.insert("crates/b/src/y.rs".to_string(), 1);
+        let text = format_baseline(&counts);
+        assert_eq!(parse_baseline(&text), counts);
+    }
+}

@@ -1,0 +1,168 @@
+//! `cargo run -p av-analyze` — the full static-analysis gate.
+//!
+//! Runs every pass and exits non-zero if any finding survives:
+//!
+//! 1. the determinism lint over `crates/*/src` (plus the panic-site
+//!    ratchet against `crates/analyze/unwrap-baseline.txt`),
+//! 2. the NN graph checker over the Wide-Deep cost-model spec,
+//! 3. the plan verifier over the full JOB workload (all 226 queries at
+//!    `AV_JOB_SCALE`, default 0.05), every candidate the equivalence
+//!    analyzer emits, and every view rewrite those candidates produce.
+
+use av_analyze::lint::{lint_repo, parse_baseline, ratchet_findings};
+use av_analyze::{verify_plan, verify_rewrite, widedeep_spec};
+use av_engine::{rewrite_subtree_with_view, Catalog, Pricing, ViewStore};
+use av_plan::{Fingerprint, PlanRef};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn repo_root() -> &'static Path {
+    // crates/analyze/ → repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crate lives two levels below the repo root")
+}
+
+fn find_subtree(plan: &PlanRef, fp: Fingerprint) -> Option<PlanRef> {
+    if Fingerprint::of(plan) == fp {
+        return Some(plan.clone());
+    }
+    plan.children().iter().find_map(|c| find_subtree(c, fp))
+}
+
+fn run_lint_pass(failures: &mut usize) {
+    let root = repo_root();
+    match lint_repo(root) {
+        Ok(report) => {
+            let baseline_path = root.join("crates/analyze/unwrap-baseline.txt");
+            let baseline = std::fs::read_to_string(&baseline_path)
+                .map(|t| parse_baseline(&t))
+                .unwrap_or_default();
+            let mut findings = report.findings;
+            findings.extend(ratchet_findings(&report.unwrap_counts, &baseline));
+            for f in &findings {
+                eprintln!("lint: {f}");
+            }
+            *failures += findings.len();
+            println!(
+                "lint: {} finding(s) over crates/*/src",
+                findings.len()
+            );
+        }
+        Err(e) => {
+            eprintln!("lint: cannot scan repo: {e}");
+            *failures += 1;
+        }
+    }
+}
+
+fn run_nn_pass(failures: &mut usize) {
+    // Representative Wide-Deep shapes: 10 plan features, 40-keyword vocab,
+    // 6 operators of 4 tokens, 8-char strings, 12 schema keywords.
+    let spec = widedeep_spec(10, 40, 6, 4, 8, 12);
+    let findings = spec.check();
+    for f in &findings {
+        eprintln!("nncheck: {f}");
+    }
+    *failures += findings.len();
+    println!("nncheck: {} finding(s) in the Wide-Deep spec", findings.len());
+}
+
+fn run_plan_pass(failures: &mut usize) {
+    let scale: f64 = std::env::var("AV_JOB_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let w = av_workload::job::job_workload(scale, 7);
+    let mut catalog: Catalog = w.catalog.clone();
+    let plans = w.plans();
+    println!(
+        "plans: verifying {} JOB queries at scale {scale}",
+        plans.len()
+    );
+
+    let mut bad = 0usize;
+    for (i, p) in plans.iter().enumerate() {
+        if let Err(e) = verify_plan(&catalog, p) {
+            eprintln!("plans: query {i} rejected: {e}");
+            bad += 1;
+        }
+    }
+
+    let analysis = av_equiv::analyze_workload(&plans);
+    for cand in &analysis.candidates {
+        if let Err(e) = verify_plan(&catalog, &cand.plan) {
+            eprintln!("plans: candidate {} rejected: {e}", cand.id);
+            bad += 1;
+        }
+    }
+
+    // Materialize every candidate and verify every rewrite it induces.
+    let mut views = ViewStore::new();
+    for cand in &analysis.candidates {
+        if let Err(e) = views.materialize(&mut catalog, cand.plan.clone(), Pricing::paper_defaults())
+        {
+            eprintln!("plans: candidate {} failed to materialize: {e}", cand.id);
+            bad += 1;
+        }
+    }
+    let mut rewrites = 0usize;
+    for (i, matches) in analysis.query_matches.iter().enumerate() {
+        for m in matches {
+            let Some(view) = views.view(av_engine::ViewId(m.candidate)) else {
+                continue;
+            };
+            let Some(subtree) = find_subtree(&plans[i], m.subtree_fp) else {
+                continue;
+            };
+            let cat_cols = |t: &str| catalog.table_columns(t);
+            let subtree_cols = subtree.output_columns(&cat_cols);
+            let Some(view_cols) = catalog.table(&view.table_name).map(|t| t.column_names.clone())
+            else {
+                continue;
+            };
+            if subtree_cols.len() != view_cols.len() {
+                continue;
+            }
+            let (rewritten, n) = rewrite_subtree_with_view(
+                &plans[i],
+                m.subtree_fp,
+                view,
+                &subtree_cols,
+                &view_cols,
+            );
+            if n == 0 {
+                continue;
+            }
+            rewrites += 1;
+            if let Err(e) = verify_rewrite(&catalog, &plans[i], &rewritten) {
+                eprintln!(
+                    "plans: rewrite of query {i} with candidate {} rejected: {e}",
+                    m.candidate
+                );
+                bad += 1;
+            }
+        }
+    }
+    println!(
+        "plans: {} queries, {} candidates, {rewrites} rewrites verified, {bad} failure(s)",
+        plans.len(),
+        analysis.candidates.len()
+    );
+    *failures += bad;
+}
+
+fn main() -> ExitCode {
+    let mut failures = 0usize;
+    run_lint_pass(&mut failures);
+    run_nn_pass(&mut failures);
+    run_plan_pass(&mut failures);
+    if failures == 0 {
+        println!("av-analyze: all passes clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("av-analyze: {failures} failure(s)");
+        ExitCode::FAILURE
+    }
+}

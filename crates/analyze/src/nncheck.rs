@@ -1,0 +1,694 @@
+//! Static shape checking of `av-nn` computation graphs.
+//!
+//! `av_nn::Graph` is an eager tape: building a mis-shaped graph panics in
+//! the middle of a forward pass. [`GraphSpec`] is the symbolic twin — the
+//! same operator vocabulary (matmul, add, add_row, slice_cols, conv3x1,
+//! norm_rows, ...) with *shapes only*, so an architecture can be verified
+//! before a single flop runs. On top of shape inference it detects
+//! parameters the loss gradient can never reach, and domain hazards
+//! (`log`/`sqrt` fed by inputs that are not bounded away from their
+//! singular points).
+
+use std::fmt;
+
+/// Node handle inside a [`GraphSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecId(usize);
+
+#[derive(Debug, Clone)]
+enum SpecOp {
+    Input,
+    Param { param: usize },
+    /// Gather `count` rows from an embedding-table param.
+    Embed { param: usize },
+    MatMul(SpecId, SpecId),
+    Add(SpecId, SpecId),
+    Sub(SpecId, SpecId),
+    Mul(SpecId, SpecId),
+    AddRow(SpecId, SpecId),
+    Scale(SpecId),
+    Relu(SpecId),
+    Sigmoid(SpecId),
+    Tanh(SpecId),
+    ConcatCols(Vec<SpecId>),
+    ConcatRows(Vec<SpecId>),
+    // Start/len are captured at construction time (shape already reflects
+    // them); kept in the op for Debug output only.
+    #[allow(dead_code)]
+    SliceCols(SpecId, usize, usize),
+    MeanRows(SpecId),
+    MeanAll(SpecId),
+    Conv3x1 { x: SpecId, w: SpecId, b: SpecId },
+    NormRows { x: SpecId, gamma: SpecId, beta: SpecId },
+    /// Elementwise natural log — singular at 0.
+    Log(SpecId),
+    /// Elementwise square root — singular (gradient) at 0, NaN below.
+    Sqrt(SpecId),
+    /// Elementwise `max(x, floor)` — the canonical domain guard.
+    ClampMin(SpecId, f64),
+}
+
+struct SpecNode {
+    op: SpecOp,
+    shape: (usize, usize),
+}
+
+/// One finding from [`GraphSpec::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnFinding {
+    /// Operand shapes are incompatible with the operator.
+    ShapeMismatch { node: usize, detail: String },
+    /// A declared parameter is unreachable from the output: its gradient
+    /// is identically zero and it silently never trains.
+    DeadParam { name: String },
+    /// `log`/`sqrt` applied to an input not bounded away from the
+    /// singularity by a guard (sigmoid, clamp, ...).
+    DomainHazard { node: usize, detail: String },
+    /// No output was declared, so nothing constrains the graph.
+    NoOutput,
+}
+
+impl fmt::Display for NnFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnFinding::ShapeMismatch { node, detail } => {
+                write!(f, "shape mismatch at node {node}: {detail}")
+            }
+            NnFinding::DeadParam { name } => {
+                write!(f, "dead parameter {name}: gradient-unreachable from the output")
+            }
+            NnFinding::DomainHazard { node, detail } => {
+                write!(f, "domain hazard at node {node}: {detail}")
+            }
+            NnFinding::NoOutput => write!(f, "graph has no declared output"),
+        }
+    }
+}
+
+/// Symbolic computation-graph specification with shape inference.
+#[derive(Default)]
+pub struct GraphSpec {
+    nodes: Vec<SpecNode>,
+    params: Vec<(String, (usize, usize))>,
+    /// Param index → first node that reads it (if any).
+    findings: Vec<NnFinding>,
+    output: Option<SpecId>,
+}
+
+impl GraphSpec {
+    /// Empty spec.
+    pub fn new() -> GraphSpec {
+        GraphSpec::default()
+    }
+
+    fn push(&mut self, op: SpecOp, shape: (usize, usize)) -> SpecId {
+        self.nodes.push(SpecNode { op, shape });
+        SpecId(self.nodes.len() - 1)
+    }
+
+    fn mismatch(&mut self, node: usize, detail: String) {
+        self.findings.push(NnFinding::ShapeMismatch { node, detail });
+    }
+
+    fn shape(&self, id: SpecId) -> (usize, usize) {
+        self.nodes[id.0].shape
+    }
+
+    /// A constant input of the given shape.
+    pub fn input(&mut self, rows: usize, cols: usize) -> SpecId {
+        self.push(SpecOp::Input, (rows, cols))
+    }
+
+    /// A named trainable parameter of the given shape.
+    pub fn param(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> SpecId {
+        self.params.push((name.into(), (rows, cols)));
+        let param = self.params.len() - 1;
+        self.push(SpecOp::Param { param }, (rows, cols))
+    }
+
+    /// Gather `count` rows from a `vocab×dim` embedding-table parameter.
+    pub fn embed(
+        &mut self,
+        name: impl Into<String>,
+        vocab: usize,
+        dim: usize,
+        count: usize,
+    ) -> SpecId {
+        self.params.push((name.into(), (vocab, dim)));
+        let param = self.params.len() - 1;
+        self.push(SpecOp::Embed { param }, (count, dim))
+    }
+
+    /// Matrix product `a × b`.
+    pub fn matmul(&mut self, a: SpecId, b: SpecId) -> SpecId {
+        let (ar, ac) = self.shape(a);
+        let (br, bc) = self.shape(b);
+        if ac != br {
+            let n = self.nodes.len();
+            self.mismatch(n, format!("matmul {ar}x{ac} × {br}x{bc}"));
+        }
+        self.push(SpecOp::MatMul(a, b), (ar, bc))
+    }
+
+    fn elementwise(&mut self, a: SpecId, b: SpecId, what: &str) -> (usize, usize) {
+        let sa = self.shape(a);
+        let sb = self.shape(b);
+        if sa != sb {
+            let n = self.nodes.len();
+            self.mismatch(
+                n,
+                format!("{what} {}x{} vs {}x{}", sa.0, sa.1, sb.0, sb.1),
+            );
+        }
+        sa
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: SpecId, b: SpecId) -> SpecId {
+        let s = self.elementwise(a, b, "add");
+        self.push(SpecOp::Add(a, b), s)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: SpecId, b: SpecId) -> SpecId {
+        let s = self.elementwise(a, b, "sub");
+        self.push(SpecOp::Sub(a, b), s)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: SpecId, b: SpecId) -> SpecId {
+        let s = self.elementwise(a, b, "mul");
+        self.push(SpecOp::Mul(a, b), s)
+    }
+
+    /// Broadcast-add a `1×c` row to every row of an `r×c` node.
+    pub fn add_row(&mut self, x: SpecId, row: SpecId) -> SpecId {
+        let (xr, xc) = self.shape(x);
+        let (rr, rc) = self.shape(row);
+        if rr != 1 || rc != xc {
+            let n = self.nodes.len();
+            self.mismatch(n, format!("add_row {xr}x{xc} + {rr}x{rc}"));
+        }
+        self.push(SpecOp::AddRow(x, row), (xr, xc))
+    }
+
+    /// Scalar multiple (shape-preserving).
+    pub fn scale(&mut self, x: SpecId) -> SpecId {
+        let s = self.shape(x);
+        self.push(SpecOp::Scale(x), s)
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, x: SpecId) -> SpecId {
+        let s = self.shape(x);
+        self.push(SpecOp::Relu(x), s)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: SpecId) -> SpecId {
+        let s = self.shape(x);
+        self.push(SpecOp::Sigmoid(x), s)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, x: SpecId) -> SpecId {
+        let s = self.shape(x);
+        self.push(SpecOp::Tanh(x), s)
+    }
+
+    /// Elementwise natural log (domain-checked, see [`GraphSpec::check`]).
+    pub fn log(&mut self, x: SpecId) -> SpecId {
+        let s = self.shape(x);
+        self.push(SpecOp::Log(x), s)
+    }
+
+    /// Elementwise square root (domain-checked).
+    pub fn sqrt(&mut self, x: SpecId) -> SpecId {
+        let s = self.shape(x);
+        self.push(SpecOp::Sqrt(x), s)
+    }
+
+    /// Elementwise `max(x, floor)` — guards a following `log`/`sqrt`.
+    pub fn clamp_min(&mut self, x: SpecId, floor: f64) -> SpecId {
+        let s = self.shape(x);
+        self.push(SpecOp::ClampMin(x, floor), s)
+    }
+
+    /// Column-wise concatenation (equal row counts).
+    pub fn concat_cols(&mut self, parts: &[SpecId]) -> SpecId {
+        let rows = parts.first().map_or(0, |&p| self.shape(p).0);
+        let mut cols = 0;
+        for &p in parts {
+            let (r, c) = self.shape(p);
+            if r != rows {
+                let n = self.nodes.len();
+                self.mismatch(n, format!("concat_cols rows {r} vs {rows}"));
+            }
+            cols += c;
+        }
+        self.push(SpecOp::ConcatCols(parts.to_vec()), (rows, cols))
+    }
+
+    /// Row-wise concatenation (equal column counts).
+    pub fn concat_rows(&mut self, parts: &[SpecId]) -> SpecId {
+        let cols = parts.first().map_or(0, |&p| self.shape(p).1);
+        let mut rows = 0;
+        for &p in parts {
+            let (r, c) = self.shape(p);
+            if c != cols {
+                let n = self.nodes.len();
+                self.mismatch(n, format!("concat_rows cols {c} vs {cols}"));
+            }
+            rows += r;
+        }
+        self.push(SpecOp::ConcatRows(parts.to_vec()), (rows, cols))
+    }
+
+    /// Columns `[start, start+len)` of `x`.
+    pub fn slice_cols(&mut self, x: SpecId, start: usize, len: usize) -> SpecId {
+        let (r, c) = self.shape(x);
+        if start + len > c {
+            let n = self.nodes.len();
+            self.mismatch(n, format!("slice_cols [{start}, {start}+{len}) of {r}x{c}"));
+        }
+        self.push(SpecOp::SliceCols(x, start, len), (r, len))
+    }
+
+    /// Column means: `r×c → 1×c`.
+    pub fn mean_rows(&mut self, x: SpecId) -> SpecId {
+        let (_, c) = self.shape(x);
+        self.push(SpecOp::MeanRows(x), (1, c))
+    }
+
+    /// Grand mean: `r×c → 1×1`.
+    pub fn mean_all(&mut self, x: SpecId) -> SpecId {
+        self.push(SpecOp::MeanAll(x), (1, 1))
+    }
+
+    /// Depthwise 3×1 convolution: `x r×c`, `w 3×c`, `b 1×c` → `r×c`.
+    pub fn conv3x1(&mut self, x: SpecId, w: SpecId, b: SpecId) -> SpecId {
+        let (xr, xc) = self.shape(x);
+        let sw = self.shape(w);
+        let sb = self.shape(b);
+        if sw != (3, xc) || sb != (1, xc) {
+            let n = self.nodes.len();
+            self.mismatch(
+                n,
+                format!(
+                    "conv3x1 over {xr}x{xc} needs w 3x{xc} (got {}x{}) and b 1x{xc} (got {}x{})",
+                    sw.0, sw.1, sb.0, sb.1
+                ),
+            );
+        }
+        self.push(SpecOp::Conv3x1 { x, w, b }, (xr, xc))
+    }
+
+    /// Per-column normalization with learned `gamma`/`beta` (`1×c` each).
+    pub fn norm_rows(&mut self, x: SpecId, gamma: SpecId, beta: SpecId) -> SpecId {
+        let (xr, xc) = self.shape(x);
+        let sg = self.shape(gamma);
+        let sb = self.shape(beta);
+        if sg != (1, xc) || sb != (1, xc) {
+            let n = self.nodes.len();
+            self.mismatch(
+                n,
+                format!(
+                    "norm_rows over {xr}x{xc} needs gamma/beta 1x{xc} (got {}x{} / {}x{})",
+                    sg.0, sg.1, sb.0, sb.1
+                ),
+            );
+        }
+        self.push(SpecOp::NormRows { x, gamma, beta }, (xr, xc))
+    }
+
+    /// Declare the graph's output (the node the loss is taken from).
+    pub fn set_output(&mut self, id: SpecId) {
+        self.output = Some(id);
+    }
+
+    /// Inferred shape of a node.
+    pub fn shape_of(&self, id: SpecId) -> (usize, usize) {
+        self.shape(id)
+    }
+
+    /// An unrolled single-layer LSTM over `steps` (each `1×input`),
+    /// mirroring `av_nn::Lstm` exactly (fused `[i|f|g|o]` gate matrices),
+    /// returning the final `1×hidden` state.
+    pub fn lstm(
+        &mut self,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        steps: &[SpecId],
+    ) -> SpecId {
+        let wx = self.param(format!("{name}.wx"), input, 4 * hidden);
+        let wh = self.param(format!("{name}.wh"), hidden, 4 * hidden);
+        let b = self.param(format!("{name}.b"), 1, 4 * hidden);
+        let mut h = self.input(1, hidden);
+        let mut c = self.input(1, hidden);
+        for &x in steps {
+            let xg = self.matmul(x, wx);
+            let hg = self.matmul(h, wh);
+            let s = self.add(xg, hg);
+            let gates = self.add_row(s, b);
+            let i = self.slice_cols(gates, 0, hidden);
+            let f = self.slice_cols(gates, hidden, hidden);
+            let gg = self.slice_cols(gates, 2 * hidden, hidden);
+            let o = self.slice_cols(gates, 3 * hidden, hidden);
+            let i = self.sigmoid(i);
+            let f = self.sigmoid(f);
+            let gg = self.tanh(gg);
+            let o = self.sigmoid(o);
+            let fc = self.mul(f, c);
+            let ig = self.mul(i, gg);
+            c = self.add(fc, ig);
+            let tc = self.tanh(c);
+            h = self.mul(o, tc);
+        }
+        h
+    }
+
+    /// A linear layer `x(r×in) × W(in×out) + b(1×out)`.
+    pub fn linear(&mut self, name: &str, x: SpecId, in_dim: usize, out_dim: usize) -> SpecId {
+        let w = self.param(format!("{name}.w"), in_dim, out_dim);
+        let b = self.param(format!("{name}.b"), 1, out_dim);
+        let xw = self.matmul(x, w);
+        self.add_row(xw, b)
+    }
+
+    /// Run all checks: shape findings collected during construction, dead
+    /// (gradient-unreachable) parameters, and `log`/`sqrt` domain hazards.
+    pub fn check(&self) -> Vec<NnFinding> {
+        let mut out = self.findings.clone();
+        let Some(output) = self.output else {
+            out.push(NnFinding::NoOutput);
+            return out;
+        };
+
+        // Reachability walk from the output.
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut stack = vec![output.0];
+        while let Some(i) = stack.pop() {
+            if std::mem::replace(&mut reachable[i], true) {
+                continue;
+            }
+            for dep in self.deps(i) {
+                stack.push(dep.0);
+            }
+        }
+        let mut live_params = vec![false; self.params.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !reachable[i] {
+                continue;
+            }
+            match n.op {
+                SpecOp::Param { param } | SpecOp::Embed { param } => live_params[param] = true,
+                _ => {}
+            }
+        }
+        for (p, (name, _)) in self.params.iter().enumerate() {
+            if !live_params[p] {
+                out.push(NnFinding::DeadParam { name: name.clone() });
+            }
+        }
+
+        // Domain hazards: log/sqrt whose operand is not a guard.
+        for (i, n) in self.nodes.iter().enumerate() {
+            let (kind, x) = match n.op {
+                SpecOp::Log(x) => ("log", x),
+                SpecOp::Sqrt(x) => ("sqrt", x),
+                _ => continue,
+            };
+            if !self.guarded(x, kind) {
+                out.push(NnFinding::DomainHazard {
+                    node: i,
+                    detail: format!(
+                        "{kind} input is not bounded away from its singularity \
+                         (guard with clamp_min or a sigmoid)"
+                    ),
+                });
+            }
+        }
+        out
+    }
+
+    /// True iff node `x` is guaranteed inside `kind`'s domain:
+    /// `log` needs a strictly positive input, `sqrt` a non-negative one.
+    fn guarded(&self, x: SpecId, kind: &str) -> bool {
+        match self.nodes[x.0].op {
+            SpecOp::Sigmoid(_) => true, // (0, 1)
+            SpecOp::ClampMin(_, floor) => {
+                if kind == "log" {
+                    floor > 0.0
+                } else {
+                    floor >= 0.0
+                }
+            }
+            SpecOp::Relu(_) => kind == "sqrt", // [0, ∞): fine for sqrt, not log
+            _ => false,
+        }
+    }
+
+    fn deps(&self, i: usize) -> Vec<SpecId> {
+        match &self.nodes[i].op {
+            SpecOp::Input | SpecOp::Param { .. } | SpecOp::Embed { .. } => vec![],
+            SpecOp::MatMul(a, b)
+            | SpecOp::Add(a, b)
+            | SpecOp::Sub(a, b)
+            | SpecOp::Mul(a, b)
+            | SpecOp::AddRow(a, b) => vec![*a, *b],
+            SpecOp::Scale(a)
+            | SpecOp::Relu(a)
+            | SpecOp::Sigmoid(a)
+            | SpecOp::Tanh(a)
+            | SpecOp::SliceCols(a, _, _)
+            | SpecOp::MeanRows(a)
+            | SpecOp::MeanAll(a)
+            | SpecOp::Log(a)
+            | SpecOp::Sqrt(a)
+            | SpecOp::ClampMin(a, _) => vec![*a],
+            SpecOp::ConcatCols(v) | SpecOp::ConcatRows(v) => v.clone(),
+            SpecOp::Conv3x1 { x, w, b } => vec![*x, *w, *b],
+            SpecOp::NormRows { x, gamma, beta } => vec![*x, *gamma, *beta],
+        }
+    }
+}
+
+/// Spec of the full Wide-Deep cost model (paper Fig. 5, default config:
+/// `embed_dim` 12, LSTM hiddens 16/16, `wide_dim` 8), mirroring
+/// `av_cost::WideDeep::forward` operator for operator for a representative
+/// input (`ops` operator rows of `toks` tokens each, one encoded string of
+/// `chars` characters, `schema_kws` schema keywords).
+pub fn widedeep_spec(
+    num_features: usize,
+    vocab: usize,
+    ops: usize,
+    toks: usize,
+    chars: usize,
+    schema_kws: usize,
+) -> GraphSpec {
+    let nd = 12; // embed_dim
+    let (h1, h2) = (16, 16); // lstm1_hidden, lstm2_hidden
+    let wide_dim = 8;
+    let dr = num_features + nd + 2 * h2;
+
+    let mut g = GraphSpec::new();
+
+    // Wide part.
+    let dc = g.input(1, num_features);
+    let dw = g.linear("wide", dc, num_features, wide_dim);
+
+    // Schema keyword embedding, average-pooled.
+    let schema_emb = g.embed("kw_embed", vocab, nd, schema_kws);
+    let dm = g.mean_rows(schema_emb);
+
+    // String encoder params are shared across both plan encoders.
+    let char_w = g.param("conv1.w", 3, nd);
+    let char_b = g.param("conv1.b", 1, nd);
+    let bn1_g = g.param("bn1.gamma", 1, nd);
+    let bn1_b = g.param("bn1.beta", 1, nd);
+    let conv2_w = g.param("conv2.w", 3, nd);
+    let conv2_b = g.param("conv2.b", 1, nd);
+    let bn2_g = g.param("bn2.gamma", 1, nd);
+    let bn2_b = g.param("bn2.beta", 1, nd);
+
+    let encode_plan = |g: &mut GraphSpec, which: &str| {
+        let mut op_vecs = Vec::with_capacity(ops);
+        for _ in 0..ops {
+            let mut tok_vecs = Vec::with_capacity(toks);
+            // One string token per row through the char-CNN (Fig. 6), the
+            // rest keyword embeddings.
+            let emb = g.embed("char_embed", 128, nd, chars);
+            let c1 = g.conv3x1(emb, char_w, char_b);
+            let b1 = g.norm_rows(c1, bn1_g, bn1_b);
+            let r1 = g.relu(b1);
+            let c2 = g.conv3x1(r1, conv2_w, conv2_b);
+            let b2 = g.norm_rows(c2, bn2_g, bn2_b);
+            let r2 = g.relu(b2);
+            tok_vecs.push(g.mean_rows(r2));
+            for _ in 1..toks.max(2) {
+                tok_vecs.push(g.embed("kw_embed", vocab, nd, 1));
+            }
+            op_vecs.push(g.lstm(&format!("lstm1.{which}"), nd, h1, &tok_vecs));
+        }
+        g.lstm(&format!("lstm2.{which}"), h1, h2, &op_vecs)
+    };
+    let de_q = encode_plan(&mut g, "q");
+    let de_v = encode_plan(&mut g, "v");
+
+    let dr_node = g.concat_cols(&[dc, dm, de_q, de_v]);
+
+    // Two ResNet blocks.
+    let h = g.linear("fc1", dr_node, dr, dr);
+    let h = g.relu(h);
+    let h = g.linear("fc2", h, dr, dr);
+    let h = g.relu(h);
+    let z1 = g.add(dr_node, h);
+    let h = g.linear("fc3", z1, dr, dr);
+    let h = g.relu(h);
+    let h = g.linear("fc4", h, dr, dr);
+    let h = g.relu(h);
+    let z2 = g.add(z1, h);
+
+    let merged = g.concat_cols(&[dw, z2]);
+    let h = g.linear("fc5", merged, wide_dim + dr, 16);
+    let h = g.relu(h);
+    let out = g.linear("fc6", h, 16, 1);
+    g.set_output(out);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widedeep_spec_checks_clean() {
+        let g = widedeep_spec(10, 40, 6, 4, 8, 12);
+        let findings = g.check();
+        assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let mut g = GraphSpec::new();
+        let x = g.input(1, 10);
+        let w = g.param("w", 11, 4); // wrong: 10-wide input vs 11-tall weight
+        let y = g.matmul(x, w);
+        g.set_output(y);
+        let findings = g.check();
+        assert!(
+            findings
+                .iter()
+                .any(|f| matches!(f, NnFinding::ShapeMismatch { .. })),
+            "got {findings:?}"
+        );
+    }
+
+    #[test]
+    fn dead_parameter_detected() {
+        let mut g = GraphSpec::new();
+        let x = g.input(1, 4);
+        let live = g.linear("live", x, 4, 2);
+        let _orphan = g.param("orphan", 4, 4); // never used
+        g.set_output(live);
+        let findings = g.check();
+        assert_eq!(
+            findings,
+            vec![NnFinding::DeadParam {
+                name: "orphan".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn disconnected_branch_parameter_is_dead() {
+        let mut g = GraphSpec::new();
+        let x = g.input(1, 4);
+        let main = g.linear("main", x, 4, 1);
+        // A whole computed branch that never reaches the output.
+        let side = g.linear("side", x, 4, 3);
+        let _side2 = g.relu(side);
+        g.set_output(main);
+        let findings = g.check();
+        let dead: Vec<&NnFinding> = findings
+            .iter()
+            .filter(|f| matches!(f, NnFinding::DeadParam { .. }))
+            .collect();
+        assert_eq!(dead.len(), 2, "side.w and side.b: {findings:?}");
+    }
+
+    #[test]
+    fn unclamped_log_flagged_and_guarded_log_passes() {
+        let mut g = GraphSpec::new();
+        let x = g.input(1, 4);
+        let h = g.linear("l", x, 4, 4);
+        let bad = g.log(h); // h can be ≤ 0
+        let out = g.mean_all(bad);
+        g.set_output(out);
+        assert!(
+            g.check()
+                .iter()
+                .any(|f| matches!(f, NnFinding::DomainHazard { .. })),
+        );
+
+        let mut g = GraphSpec::new();
+        let x = g.input(1, 4);
+        let h = g.linear("l", x, 4, 4);
+        let safe = g.clamp_min(h, 1e-6);
+        let ok = g.log(safe);
+        let out = g.mean_all(ok);
+        g.set_output(out);
+        assert!(g.check().is_empty());
+    }
+
+    #[test]
+    fn relu_guards_sqrt_but_not_log() {
+        let mut g = GraphSpec::new();
+        let x = g.input(1, 4);
+        let h = g.relu(x);
+        let s = g.sqrt(h);
+        let l = g.log(h);
+        let sum = g.add(s, l);
+        let out = g.mean_all(sum);
+        g.set_output(out);
+        let findings = g.check();
+        assert_eq!(
+            findings.len(),
+            1,
+            "only the log should be flagged: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn no_output_is_a_finding() {
+        let mut g = GraphSpec::new();
+        let _ = g.input(1, 1);
+        assert!(g.check().contains(&NnFinding::NoOutput));
+    }
+
+    #[test]
+    fn spec_shapes_agree_with_the_real_autograd_graph() {
+        // Build the same tiny model symbolically and eagerly; the spec's
+        // inferred output shape must match what av-nn actually produces.
+        use av_nn::{Graph, Linear, Lstm, ParamStore, Tensor};
+
+        let (input, hidden, steps) = (5, 7, 3);
+
+        let mut spec = GraphSpec::new();
+        let xs: Vec<SpecId> = (0..steps).map(|_| spec.input(1, input)).collect();
+        let h = spec.lstm("lstm", input, hidden, &xs);
+        let y = spec.linear("out", h, hidden, 2);
+        spec.set_output(y);
+        assert!(spec.check().is_empty());
+
+        let mut store = ParamStore::with_seed(3);
+        let lstm = Lstm::new(&mut store, input, hidden);
+        let lin = Linear::new(&mut store, hidden, 2);
+        let mut g = Graph::new();
+        let xs: Vec<_> = (0..steps).map(|_| g.input(Tensor::zeros(1, input))).collect();
+        let h = lstm.forward_with(&mut g, &store, &xs);
+        let out = lin.forward_with(&mut g, &store, h);
+        assert_eq!(spec.shape_of(y), g.value(out).shape());
+    }
+}

@@ -70,6 +70,11 @@ fn time_plan(exec: &Executor<'_>, plan: &PlanRef, reps: usize) -> f64 {
 }
 
 fn main() {
+    // Debug runs schema-verify every executed plan (no-op in release, so
+    // measured throughput is unaffected where it matters).
+    if cfg!(debug_assertions) {
+        av_analyze::install_engine_gate();
+    }
     let cfg = BenchConfig::from_env();
     let exec_scale = envf("AV_EXEC_SCALE", 20.0);
     let reps = envf("AV_EXEC_REPS", 20.0) as usize;

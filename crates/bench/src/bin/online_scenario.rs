@@ -64,6 +64,9 @@ fn stream(eng: &mut OnlineEngine, phases: &[&[PlanRef]]) {
 }
 
 fn main() {
+    if cfg!(debug_assertions) {
+        av_analyze::install_engine_gate();
+    }
     let cfg = BenchConfig::from_env();
     let w = job_workload(cfg.job_scale, cfg.seed);
     let plans = w.plans();

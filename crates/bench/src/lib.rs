@@ -26,6 +26,8 @@
 //! simulator); the *shapes* — who wins, where curves peak, which method
 //! converges — are the reproduction target (see EXPERIMENTS.md).
 
+#![forbid(unsafe_code)]
+
 use av_core::{collect_pair_truth, preprocess_and_measure, PairTruth, Preprocessed};
 use av_engine::{Catalog, Pricing};
 use av_ilp::MvsInstance;

@@ -14,6 +14,8 @@
 //! 4. **Deploy & execute**: materialize the chosen views, rewrite the
 //!    workload, execute it, and report the end-to-end numbers of Table V.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod metadata;
 pub mod system;

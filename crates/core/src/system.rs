@@ -122,7 +122,14 @@ pub struct AutoViewSystem {
 
 impl AutoViewSystem {
     /// Build a system over a catalog and workload.
+    ///
+    /// Debug builds install the `av-analyze` plan verifier as the engine's
+    /// preflight gate: every plan the pipeline executes is schema-checked
+    /// before touching data. Release builds skip the gate.
     pub fn new(catalog: Catalog, queries: Vec<PlanRef>, config: AutoViewConfig) -> AutoViewSystem {
+        if cfg!(debug_assertions) {
+            av_analyze::install_engine_gate();
+        }
         AutoViewSystem {
             catalog,
             queries,
@@ -308,6 +315,9 @@ impl OnlineSystem {
         warmup_queries: &[PlanRef],
         config: OnlineSystemConfig,
     ) -> Result<OnlineSystem, EngineError> {
+        if cfg!(debug_assertions) {
+            av_analyze::install_engine_gate();
+        }
         let estimator = Self::build_estimator(&catalog, warmup_queries, &config)?;
         Ok(OnlineSystem {
             engine: av_online::OnlineEngine::new(catalog, estimator, config.online),

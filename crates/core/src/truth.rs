@@ -112,7 +112,16 @@ pub fn rewrite_pair(
     }
     let (rewritten, n) =
         rewrite_subtree_with_view(query_plan, m.subtree_fp, view, &subtree_cols, &view_cols);
-    (n > 0).then_some(rewritten)
+    if n == 0 {
+        return None;
+    }
+    // Debug builds verify every rewrite: the substituted view's schema must
+    // cover exactly what the original plan's consumers require.
+    #[cfg(debug_assertions)]
+    if let Err(e) = av_analyze::verify_rewrite(catalog, query_plan, &rewritten) {
+        panic!("rewrite of query {query} with candidate {candidate} fails verification: {e}");
+    }
+    Some(rewritten)
 }
 
 fn find_subtree(plan: &PlanRef, fp: av_plan::Fingerprint) -> Option<PlanRef> {

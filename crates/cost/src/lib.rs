@@ -21,6 +21,8 @@
 //! - Wide-Deep ablations **N-Kw**, **N-Str**, **N-Exp**
 //!   ([`widedeep::Ablation`]).
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod features;
 pub mod gbm;

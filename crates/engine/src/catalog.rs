@@ -190,9 +190,11 @@ impl Catalog {
         self.tables.get(name)
     }
 
-    /// Names of all registered tables (unordered).
+    /// Names of all registered tables, in sorted (deterministic) order.
     pub fn table_names(&self) -> impl Iterator<Item = &str> {
-        self.tables.keys().map(|s| s.as_str())
+        let mut names: Vec<&str> = self.tables.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        names.into_iter()
     }
 
     /// Number of registered tables.

@@ -15,6 +15,9 @@ pub enum EngineError {
     DuplicateTable(String),
     /// Aggregate over a non-numeric column where numbers are required.
     TypeError(String),
+    /// An installed preflight verifier (see [`crate::preflight`]) rejected
+    /// the plan before execution.
+    Preflight(String),
 }
 
 impl fmt::Display for EngineError {
@@ -27,6 +30,7 @@ impl fmt::Display for EngineError {
             }
             EngineError::DuplicateTable(t) => write!(f, "table already exists: {t}"),
             EngineError::TypeError(m) => write!(f, "type error: {m}"),
+            EngineError::Preflight(m) => write!(f, "plan rejected by preflight verifier: {m}"),
         }
     }
 }

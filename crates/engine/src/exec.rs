@@ -60,7 +60,11 @@ impl<'a> Executor<'a> {
     }
 
     /// Execute a plan, returning the result batch and its execution report.
+    ///
+    /// If a preflight verifier is installed (see [`crate::preflight`]),
+    /// the plan is verified against the catalog before any operator runs.
     pub fn run(&self, plan: &PlanNode) -> Result<ExecResult, EngineError> {
+        crate::preflight::check(self.catalog, plan)?;
         let mut meter = CostMeter::new();
         let batch = self.exec(plan, &mut meter)?;
         let report = meter.report(&self.pricing, batch.byte_size(), batch.num_rows());

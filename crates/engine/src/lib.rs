@@ -34,6 +34,8 @@
 //! assert!(result.report.cost_dollars > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod cache;
 pub mod catalog;
@@ -42,6 +44,7 @@ pub mod exec;
 pub mod keys;
 pub mod meter;
 pub mod par;
+pub mod preflight;
 pub mod rewrite;
 pub mod view;
 
@@ -51,5 +54,6 @@ pub use catalog::{Catalog, ColumnType, Table, TableStats};
 pub use error::EngineError;
 pub use exec::{ExecResult, Executor};
 pub use meter::{CostMeter, ExecutionReport, Pricing, ResourceUsage};
+pub use preflight::{install_preflight, preflight_installed, PreflightFn};
 pub use rewrite::{rewrite_subtree_with_view, rewrite_with_view, rewrite_with_views};
 pub use view::{MaterializedView, ViewId, ViewStore};

@@ -29,6 +29,8 @@
 //! assert!(are_equivalent(&a, &b));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod canon;
 pub mod cluster;
 pub mod predtest;

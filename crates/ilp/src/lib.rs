@@ -19,6 +19,8 @@
 //! assert!((sol.objective - 5.0).abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod model;
 pub mod mvs;
 

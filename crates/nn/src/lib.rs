@@ -36,6 +36,8 @@
 //! assert!((g.value(y).get(0, 0) - 10.0).abs() < 0.1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod adam;
 pub mod graph;
 pub mod layers;

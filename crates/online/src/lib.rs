@@ -15,6 +15,8 @@
 //! admissions, evictions, rewrite hits, drift triggers and per-phase
 //! timings, exportable as a JSON snapshot.
 
+#![forbid(unsafe_code)]
+
 pub mod drift;
 pub mod lifecycle;
 pub mod metrics;

@@ -235,6 +235,14 @@ impl ViewLifecycleManager {
                 }
             }
         }
+        // Debug builds verify the routed plan against the original: the
+        // substituted views must reproduce the exact output schema.
+        #[cfg(debug_assertions)]
+        if hits > 0 {
+            if let Err(e) = av_analyze::verify_rewrite(catalog, plan, &current) {
+                panic!("view routing produced an invalid rewrite: {e}");
+            }
+        }
         (current, hits)
     }
 

@@ -133,8 +133,25 @@ impl PlanBuilder {
     }
 
     /// Finish and return the shared plan.
+    ///
+    /// In debug builds this is a gate: the structural checks of
+    /// [`crate::check`] run on the finished tree and a violation panics
+    /// with the typed [`crate::PlanError`] diagnostic. Release builds skip
+    /// the walk; use [`PlanBuilder::try_build`] to get the error as a
+    /// value in any profile.
     pub fn build(self) -> PlanRef {
+        #[cfg(debug_assertions)]
+        if let Err(e) = crate::check::check_structure(&self.plan) {
+            panic!("plan builder produced an ill-formed plan: {e}");
+        }
         self.plan
+    }
+
+    /// Finish, returning a typed error if the plan is structurally
+    /// ill-formed (see [`crate::check::check_structure`]).
+    pub fn try_build(self) -> Result<PlanRef, crate::PlanError> {
+        crate::check::check_structure(&self.plan)?;
+        Ok(self.plan)
     }
 }
 

@@ -20,8 +20,12 @@
 //! assert!(plan.display_indent().contains("Join"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
+pub mod check;
 pub mod display;
+pub mod error;
 pub mod expr;
 pub mod features;
 pub mod node;
@@ -30,6 +34,8 @@ pub mod subquery;
 pub mod value;
 
 pub use builder::PlanBuilder;
+pub use check::check_structure;
+pub use error::PlanError;
 pub use expr::{AggExpr, AggFunc, CmpOp, Expr};
 pub use features::{plan_feature_rows, FeatureRow, Token};
 pub use node::{JoinType, PlanNode, PlanRef, ProjExpr};

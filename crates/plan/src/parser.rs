@@ -374,27 +374,27 @@ impl Parser {
 
     // predicate := and_term (OR and_term)*
     fn predicate(&mut self) -> Result<Expr, ParseError> {
-        let mut terms = vec![self.and_term()?];
+        let first = self.and_term()?;
+        if !self.eat_kw("or") {
+            return Ok(first);
+        }
+        let mut terms = vec![first, self.and_term()?];
         while self.eat_kw("or") {
             terms.push(self.and_term()?);
         }
-        Ok(if terms.len() == 1 {
-            terms.pop().expect("one term")
-        } else {
-            Expr::Or(terms)
-        })
+        Ok(Expr::Or(terms))
     }
 
     fn and_term(&mut self) -> Result<Expr, ParseError> {
-        let mut terms = vec![self.atom()?];
+        let first = self.atom()?;
+        if !self.eat_kw("and") {
+            return Ok(first);
+        }
+        let mut terms = vec![first, self.atom()?];
         while self.eat_kw("and") {
             terms.push(self.atom()?);
         }
-        Ok(if terms.len() == 1 {
-            terms.pop().expect("one term")
-        } else {
-            Expr::And(terms)
-        })
+        Ok(Expr::And(terms))
     }
 
     fn atom(&mut self) -> Result<Expr, ParseError> {
@@ -539,7 +539,9 @@ impl Parser {
         }
 
         let mut iter = plans.into_iter();
-        let mut plan = iter.next().expect("at least one FROM item");
+        let Some(mut plan) = iter.next() else {
+            return self.err("query has no FROM items");
+        };
         for (right, on) in iter.zip(join_conds) {
             plan = PlanNode::Join {
                 left: plan,
@@ -599,19 +601,20 @@ impl Parser {
             }
             .into_ref();
         } else if !items.iter().any(|i| matches!(i, SelectItem::Star)) {
-            let exprs = items
-                .into_iter()
-                .map(|item| match item {
-                    SelectItem::Expr(expr, alias) => {
-                        let alias = alias.unwrap_or_else(|| match &expr {
-                            Expr::Column(c) => c.clone(),
-                            other => other.to_string(),
-                        });
-                        ProjExpr { expr, alias }
-                    }
-                    _ => unreachable!("agg/star handled above"),
-                })
-                .collect();
+            let mut exprs = Vec::with_capacity(items.len());
+            for item in items {
+                // `has_agg` and the Star scan above make these arms
+                // impossible, but a typed error beats a panic if the
+                // select-list grammar ever grows.
+                let SelectItem::Expr(expr, alias) = item else {
+                    return self.err("aggregate or * mixed into a plain select list");
+                };
+                let alias = alias.unwrap_or_else(|| match &expr {
+                    Expr::Column(c) => c.clone(),
+                    other => other.to_string(),
+                });
+                exprs.push(ProjExpr { expr, alias });
+            }
             plan = PlanNode::Project { input: plan, exprs }.into_ref();
         }
         Ok(plan)
@@ -626,7 +629,7 @@ fn single_owner(e: &Expr, aliases: &[String]) -> Option<usize> {
     }
     let mut owner: Option<usize> = None;
     for c in cols {
-        let prefix = c.split('.').next().expect("split yields at least one part");
+        let prefix = c.split('.').next()?;
         let idx = aliases.iter().position(|a| a == prefix)?;
         match owner {
             None => owner = Some(idx),

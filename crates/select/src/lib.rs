@@ -16,6 +16,8 @@
 //! achieved utility, and the per-iteration utility trajectory used by the
 //! paper's convergence study (Fig. 10).
 
+#![forbid(unsafe_code)]
+
 pub mod bigsub;
 pub mod greedy;
 pub mod iterview;

@@ -16,6 +16,8 @@
 //! All generation is seeded: the same seed yields byte-identical catalogs
 //! and plans.
 
+#![forbid(unsafe_code)]
+
 pub mod cloud;
 pub mod gen;
 pub mod job;

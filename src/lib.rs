@@ -3,6 +3,8 @@
 //! Re-exports the public API of every AutoView subsystem so examples and
 //! downstream users can depend on a single crate.
 
+#![forbid(unsafe_code)]
+
 pub use av_core as core;
 pub use av_cost as cost;
 pub use av_engine as engine;
