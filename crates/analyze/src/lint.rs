@@ -10,9 +10,11 @@
 //!    collect back into a hash/BTree container) appears on the same line
 //!    or within the next few lines, or when the site carries an explicit
 //!    `det-lint: allow` marker.
-//! 2. **wall-clock** — `SystemTime::now` in library code. Reproduction
-//!    runs must be replayable; wall-clock reads belong in binaries, if
-//!    anywhere.
+//! 2. **wall-clock** — `SystemTime::now` or `Instant::now` in library
+//!    code. Reproduction runs must be replayable; wall-clock reads belong
+//!    in binaries (paths under a `bin/` directory or a `main.rs`, which
+//!    this rule skips) or behind `av-trace`'s `Clock` trait, whose single
+//!    sanctioned call site carries a `det-lint: allow` marker.
 //! 3. **unwrap-ratchet** — the count of `.unwrap(` calls per file in
 //!    non-test code may only go *down* relative to the committed baseline
 //!    (`crates/analyze/unwrap-baseline.txt`).
@@ -55,8 +57,19 @@ pub struct LintReport {
 
 // Pattern strings are assembled from pieces so this file does not trip its
 // own scanner.
-fn wall_clock_pattern() -> String {
-    format!("SystemTime{}", "::now")
+fn wall_clock_patterns() -> [String; 2] {
+    [
+        format!("SystemTime{}", "::now"),
+        format!("Instant{}", "::now"),
+    ]
+}
+
+/// Binaries may read the wall clock (to time benchmarks, stamp manifests):
+/// anything under a `bin/` directory or a crate's `main.rs`.
+fn is_binary_path(file: &str) -> bool {
+    file.ends_with("/main.rs")
+        || file == "main.rs"
+        || file.split('/').any(|seg| seg == "bin")
 }
 
 fn unwrap_pattern() -> String {
@@ -214,18 +227,24 @@ fn non_test_lines(src: &str) -> Vec<&str> {
 /// `file` is used verbatim in the findings.
 pub fn lint_source(file: &str, src: &str) -> Vec<LintFinding> {
     let lines = non_test_lines(src);
-    let wall_clock = wall_clock_pattern();
+    let wall_clock = wall_clock_patterns();
+    let clock_exempt = is_binary_path(file);
     let mut findings = Vec::new();
     let mut tracked: Vec<String> = Vec::new();
 
     for (i, line) in lines.iter().enumerate() {
-        if line.contains(&wall_clock) && !line.contains(ALLOW_MARKER) {
-            findings.push(LintFinding {
-                file: file.to_string(),
-                line: i + 1,
-                rule: "wall-clock",
-                message: format!("{wall_clock} in library code breaks replayability"),
-            });
+        if !clock_exempt && !line.contains(ALLOW_MARKER) {
+            if let Some(pat) = wall_clock.iter().find(|p| line.contains(p.as_str())) {
+                findings.push(LintFinding {
+                    file: file.to_string(),
+                    line: i + 1,
+                    rule: "wall-clock",
+                    message: format!(
+                        "{pat} in library code breaks replayability; route time through \
+                         av-trace's Clock trait or move the read into a binary"
+                    ),
+                });
+            }
         }
         for ident in hash_bound_idents(line) {
             if !tracked.contains(&ident) {
@@ -460,6 +479,33 @@ fn f(m: HashMap<String, u32>) -> HashMap<String, u32> {
         let f = lint_source("x.rs", &src);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn instant_read_is_flagged_in_library_code() {
+        let src = format!("fn f() {{ let t = Instant{}(); }}\n", "::now");
+        let f = lint_source("crates/x/src/lib.rs", &src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn wall_clock_reads_in_binaries_are_exempt() {
+        let src = format!(
+            "fn main() {{ let a = Instant{0}(); let b = SystemTime{0}(); }}\n",
+            "::now"
+        );
+        assert!(lint_source("crates/bench/src/bin/exec_bench.rs", &src).is_empty());
+        assert!(lint_source("crates/x/src/main.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn marked_clock_trait_call_site_is_exempt() {
+        let src = format!(
+            "fn now() {{ origin: Instant{}(), // det-lint: allow — Clock trait\n}}\n",
+            "::now"
+        );
+        assert!(lint_source("crates/trace/src/clock.rs", &src).is_empty());
     }
 
     #[test]

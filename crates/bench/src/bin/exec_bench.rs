@@ -9,10 +9,16 @@
 //! (extra multiplier for the micro tables, default 20 so batches far exceed
 //! the 1024-row parallel chunk), `AV_EXEC_REPS` (default 20),
 //! `AV_EXEC_THREADS` (parallel thread count, default 4), `AV_SEED`.
+//!
+//! `--trace-out <path>` dumps one traced pass over the benched workload
+//! (micro plans + cold replay) as chrome://tracing-compatible JSON. With or
+//! without the flag, the report carries the span count and the traced vs.
+//! untraced overhead of that workload, plus the replay-only slice.
 
 use av_bench::{render_table, BenchConfig};
 use av_engine::{ExecCache, Executor, Pricing};
 use av_plan::{AggExpr, AggFunc, CmpOp, Expr, PlanBuilder, PlanRef};
+use av_trace::Tracer;
 use av_workload::job::job_workload;
 use serde::Serialize;
 use std::time::Instant;
@@ -38,6 +44,21 @@ struct CacheResult {
 }
 
 #[derive(Debug, Clone, Serialize)]
+struct TraceResult {
+    /// Spans recorded by one traced pass over the benched workload.
+    spans: usize,
+    /// Median wall time of one traced pass (micro plans + cold replay).
+    traced_seconds: f64,
+    /// Traced vs. untraced over the full benched workload — the < 5%
+    /// acceptance budget applies to this number.
+    overhead_pct: f64,
+    /// Same comparison restricted to the cold cache replay, the densest
+    /// span-per-microsecond slice (tiny queries, ~7 spans each). Expect
+    /// this to sit above `overhead_pct`; it is report-only.
+    replay_overhead_pct: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
 struct ExecBenchReport {
     job_scale: f64,
     exec_scale: f64,
@@ -45,6 +66,7 @@ struct ExecBenchReport {
     threads: usize,
     micro: Vec<MicroResult>,
     cache: CacheResult,
+    trace: TraceResult,
 }
 
 fn envf(key: &str, default: f64) -> f64 {
@@ -74,6 +96,14 @@ fn main() {
     // measured throughput is unaffected where it matters).
     if cfg!(debug_assertions) {
         av_analyze::install_engine_gate();
+    }
+    let mut trace_out: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--trace-out" => trace_out = Some(argv.next().expect("--trace-out needs a path")),
+            other => panic!("unknown argument {other:?} (expected --trace-out <path>)"),
+        }
     }
     let cfg = BenchConfig::from_env();
     let exec_scale = envf("AV_EXEC_SCALE", 20.0);
@@ -176,6 +206,71 @@ fn main() {
         speedup: cold_seconds / warm_seconds.max(1e-12),
     };
 
+    // Tracing overhead: one pass over everything this bench measures —
+    // each micro plan through the serial and parallel executors, then a
+    // cold cache replay (fresh cache each pass so every query executes) —
+    // with span recording off vs. on, interleaved pass-by-pass so
+    // clock-frequency and allocator drift hits both sides equally, then
+    // compared median-to-median. The replay slice is also timed on its
+    // own: its queries are microseconds long, so it is the worst case for
+    // per-span cost and is reported separately.
+    let workload_pass = |tracer: &Tracer| -> (f64, f64) {
+        let start = Instant::now();
+        let serial = Executor::new(&micro_w.catalog, pricing)
+            .with_threads(1)
+            .with_tracer(tracer.clone());
+        let parallel = Executor::new(&micro_w.catalog, pricing)
+            .with_threads(threads)
+            .with_tracer(tracer.clone());
+        for (_, _, plan) in &micros {
+            serial.run(plan).expect("benchmark plan executes");
+            parallel.run(plan).expect("benchmark plan executes");
+        }
+        let cache = ExecCache::new(pricing).with_tracer(tracer.clone());
+        let replay_start = Instant::now();
+        for p in &plans {
+            cache.run(&replay_w.catalog, p).expect("query executes");
+        }
+        let replay = replay_start.elapsed().as_secs_f64();
+        (start.elapsed().as_secs_f64(), replay)
+    };
+    let median = |samples: &mut Vec<f64>| -> f64 {
+        samples.sort_by(|a, b| a.total_cmp(b));
+        samples[samples.len() / 2]
+    };
+    let off = Tracer::disabled();
+    let on = Tracer::new();
+    let trace_reps = reps.max(5);
+    let (mut off_total, mut on_total) = (Vec::new(), Vec::new());
+    let (mut off_replay, mut on_replay) = (Vec::new(), Vec::new());
+    for _ in 0..trace_reps {
+        let (t, r) = workload_pass(&off);
+        off_total.push(t);
+        off_replay.push(r);
+        let (t, r) = workload_pass(&on);
+        on_total.push(t);
+        on_replay.push(r);
+    }
+    let traced_seconds = median(&mut on_total);
+    let untraced_seconds = median(&mut off_total);
+    let trace_result = TraceResult {
+        spans: on.span_count() / trace_reps,
+        traced_seconds,
+        overhead_pct: (traced_seconds / untraced_seconds.max(1e-12) - 1.0) * 100.0,
+        replay_overhead_pct: (median(&mut on_replay) / median(&mut off_replay).max(1e-12)
+            - 1.0)
+            * 100.0,
+    };
+    if let Some(path) = &trace_out {
+        // Dump one clean pass (fresh tracer) rather than the accumulated
+        // measurement spans, so the trace opens as a single workload run.
+        let dump = Tracer::new();
+        workload_pass(&dump);
+        let snap = dump.snapshot();
+        std::fs::write(path, av_trace::chrome_trace(&snap)).expect("trace written");
+        println!("wrote {path} ({} spans) — open in chrome://tracing", snap.spans.len());
+    }
+
     let report = ExecBenchReport {
         job_scale: cfg.job_scale,
         exec_scale,
@@ -183,6 +278,7 @@ fn main() {
         threads,
         micro: micro.clone(),
         cache: cache_result.clone(),
+        trace: trace_result.clone(),
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_exec.json", &json).expect("BENCH_exec.json written");
@@ -213,6 +309,13 @@ fn main() {
         cache_result.warm_seconds,
         cache_result.speedup,
         cache_result.hit_rate,
+    );
+    println!(
+        "traced workload: {} spans, {:.3}s ({:+.1}% vs untraced; replay slice {:+.1}%)",
+        trace_result.spans,
+        trace_result.traced_seconds,
+        trace_result.overhead_pct,
+        trace_result.replay_overhead_pct,
     );
     println!("\nwrote BENCH_exec.json");
 

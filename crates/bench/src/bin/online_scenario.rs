@@ -12,6 +12,8 @@
 //! the end.
 //!
 //! Deterministic for a fixed seed (`AV_SEED`); scale with `AV_JOB_SCALE`.
+//! `--trace-out <path>` dumps the adaptive engine's span tree as
+//! chrome://tracing JSON.
 
 use av_bench::{render_table, BenchConfig};
 use av_cost::OptimizerEstimator;
@@ -67,6 +69,14 @@ fn main() {
     if cfg!(debug_assertions) {
         av_analyze::install_engine_gate();
     }
+    let mut trace_out: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--trace-out" => trace_out = Some(argv.next().expect("--trace-out needs a path")),
+            other => panic!("unknown argument {other:?} (expected --trace-out <path>)"),
+        }
+    }
     let cfg = BenchConfig::from_env();
     let w = job_workload(cfg.job_scale, cfg.seed);
     let plans = w.plans();
@@ -108,11 +118,11 @@ fn main() {
                 format!("{:.4}", r.actual_cost),
                 format!("{:.4}", r.view_overhead),
                 format!("{:.4}", r.net_saving()),
-                m.counter("views_admitted").to_string(),
-                m.counter("views_evicted").to_string(),
-                m.counter("rewrite_hits").to_string(),
-                m.counter("drift_triggers").to_string(),
-                m.counter("reopt_runs").to_string(),
+                m.counter("online.views_admitted").to_string(),
+                m.counter("online.views_evicted").to_string(),
+                m.counter("online.rewrite_hits").to_string(),
+                m.counter("online.drift_triggers").to_string(),
+                m.counter("online.reopt_runs").to_string(),
             ]
         })
         .collect();
@@ -133,6 +143,17 @@ fn main() {
         gap > 0.0,
         "adaptive must beat static on a phase-shifted workload"
     );
+
+    if let Some(path) = &trace_out {
+        let snap = adaptive.tracer().snapshot();
+        std::fs::write(path, av_trace::chrome_trace(&snap)).expect("trace written");
+        println!(
+            "\nwrote {path} ({} spans, {} phases) — open in chrome://tracing",
+            snap.spans.len(),
+            snap.phase_names().len()
+        );
+        println!("\nper-phase profile:\n{}", av_trace::profile_tree(&snap));
+    }
 
     println!("\nadaptive metrics snapshot:\n{}", adaptive.metrics_json());
 }

@@ -1,7 +1,10 @@
 //! The end-to-end AutoView system and the Table V experiment loop.
 
 use crate::metadata::MetadataDb;
-use crate::truth::{collect_pair_truth, preprocess_and_measure, rewrite_pair, tables_meta, Preprocessed};
+use crate::truth::{
+    collect_pair_truth, preprocess_and_measure, preprocess_and_measure_traced, rewrite_pair,
+    tables_meta, Preprocessed,
+};
 use av_cost::{
     CostEstimator, FeatureInput, OptimizerEstimator, WideDeep, WideDeepConfig,
 };
@@ -12,6 +15,7 @@ use av_select::{
     greedy_best, BigSub, BigSubConfig, GreedyRank, IterView, IterViewConfig, RlView,
     RlViewConfig, SelectionResult,
 };
+use av_trace::Tracer;
 
 /// Which cost estimator drives the benefit matrix.
 #[derive(Debug, Clone)]
@@ -55,10 +59,19 @@ impl SelectorKind {
 
     /// Run the selector on an instance.
     pub fn run(&self, instance: &MvsInstance) -> SelectionResult {
+        self.run_traced(instance, &Tracer::disabled())
+    }
+
+    /// Run the selector with telemetry: RLView and IterView record episode
+    /// and iteration spans/metrics into `tracer`; the other selectors run
+    /// untraced (the caller's phase span still times them).
+    pub fn run_traced(&self, instance: &MvsInstance, tracer: &Tracer) -> SelectionResult {
         match self {
-            SelectorKind::RlView(cfg) => RlView::run(instance, cfg.clone()),
+            SelectorKind::RlView(cfg) => RlView::run_traced(instance, cfg.clone(), tracer),
             SelectorKind::BigSub(cfg) => BigSub::run(instance, cfg.clone()),
-            SelectorKind::IterView(cfg) => IterView::new(instance, cfg.clone()).run(),
+            SelectorKind::IterView(cfg) => {
+                IterView::new(instance, cfg.clone()).run_traced(tracer)
+            }
             SelectorKind::Greedy(rank) => greedy_best(instance, *rank).1,
         }
     }
@@ -118,6 +131,7 @@ pub struct AutoViewSystem {
     pub queries: Vec<PlanRef>,
     pub config: AutoViewConfig,
     pub metadata: MetadataDb,
+    tracer: Tracer,
 }
 
 impl AutoViewSystem {
@@ -126,6 +140,10 @@ impl AutoViewSystem {
     /// Debug builds install the `av-analyze` plan verifier as the engine's
     /// preflight gate: every plan the pipeline executes is schema-checked
     /// before touching data. Release builds skip the gate.
+    ///
+    /// Tracing is off by default; attach a live tracer with
+    /// [`AutoViewSystem::with_tracer`] to record the pipeline's span tree
+    /// (phases `pipeline.*`, operators `exec.*`) and metrics.
     pub fn new(catalog: Catalog, queries: Vec<PlanRef>, config: AutoViewConfig) -> AutoViewSystem {
         if cfg!(debug_assertions) {
             av_analyze::install_engine_gate();
@@ -135,46 +153,74 @@ impl AutoViewSystem {
             queries,
             config,
             metadata: MetadataDb::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach an observability tracer; every stage of [`AutoViewSystem::run`]
+    /// records into it.
+    pub fn with_tracer(mut self, tracer: Tracer) -> AutoViewSystem {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The system's tracer (disabled unless one was attached).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Run the full pipeline: pre-process → offline training → online
     /// recommendation → deploy → execute. Returns the Table V row.
+    ///
+    /// With a tracer attached, the run produces a span tree with one root
+    /// phase per stage: `pipeline.preprocess`, `pipeline.truth`,
+    /// `pipeline.train`, `pipeline.select`, `pipeline.deploy`.
     pub fn run(&mut self) -> Result<EndToEndReport, EngineError> {
         let pricing = self.config.pricing;
-        let pre = preprocess_and_measure(&mut self.catalog, &self.queries, pricing)?;
+        let tracer = self.tracer.clone();
+        let pre = tracer.time("pipeline.preprocess", || {
+            preprocess_and_measure_traced(&mut self.catalog, &self.queries, pricing, &tracer)
+        })?;
 
         // ---- offline: ground truth + estimator training ------------------
-        let pairs = collect_pair_truth(
-            &self.catalog,
-            &pre,
-            &self.queries,
-            self.config.max_training_pairs,
-            self.config.seed,
-        )?;
+        let pairs = tracer.time("pipeline.truth", || {
+            collect_pair_truth(
+                &self.catalog,
+                &pre,
+                &self.queries,
+                self.config.max_training_pairs,
+                self.config.seed,
+            )
+        })?;
         self.metadata.query_costs = pre.query_costs.clone();
         self.metadata.query_latencies = pre.query_latencies.clone();
         self.metadata.candidate_overheads = pre.overheads.clone();
         self.metadata.pair_index = pairs.iter().map(|p| (p.query, p.candidate)).collect();
         self.metadata.pair_samples = pairs.iter().map(|p| p.sample.clone()).collect();
 
-        let estimator: Box<dyn CostEstimator> = match &self.config.estimator {
-            EstimatorKind::Optimizer => Box::new(OptimizerEstimator::default()),
-            EstimatorKind::WideDeep(cfg) => {
-                let train: Vec<(FeatureInput, f64)> = pairs
-                    .iter()
-                    .map(|p| (p.sample.input.clone(), p.sample.cost_qv))
-                    .collect();
-                Box::new(WideDeep::fit(&train, cfg.clone()))
+        let estimator: Box<dyn CostEstimator> = tracer.time("pipeline.train", || {
+            match &self.config.estimator {
+                EstimatorKind::Optimizer => {
+                    Box::new(OptimizerEstimator::default()) as Box<dyn CostEstimator>
+                }
+                EstimatorKind::WideDeep(cfg) => {
+                    let train: Vec<(FeatureInput, f64)> = pairs
+                        .iter()
+                        .map(|p| (p.sample.input.clone(), p.sample.cost_qv))
+                        .collect();
+                    Box::new(WideDeep::fit_with_tracer(&train, cfg.clone(), &tracer).0)
+                }
             }
-        };
+        });
 
         // ---- online: benefit matrix + selection --------------------------
-        let instance = self.build_instance(&pre, estimator.as_ref());
-        let selection = self.config.selector.run(&instance);
+        let selection = tracer.time("pipeline.select", || {
+            let instance = self.build_instance(&pre, estimator.as_ref());
+            self.config.selector.run_traced(&instance, &tracer)
+        });
 
         // ---- deploy & execute ---------------------------------------------
-        let report = self.execute_selection(&pre, &selection)?;
+        let report = tracer.time("pipeline.deploy", || self.execute_selection(&pre, &selection))?;
         Ok(report)
     }
 
@@ -495,6 +541,60 @@ mod tests {
             "rewritten queries must be cheaper in aggregate: {r:?}"
         );
         assert!(sys.metadata.num_pairs() > 0, "metadata collected");
+    }
+
+    #[test]
+    fn traced_run_produces_phase_tree_and_chrome_trace() {
+        let w = mini(55);
+        let tracer = Tracer::new();
+        let mut sys = AutoViewSystem::new(
+            w.catalog.clone(),
+            w.plans(),
+            AutoViewConfig {
+                estimator: EstimatorKind::WideDeep(quick_wd()),
+                selector: SelectorKind::RlView(quick_rl()),
+                max_training_pairs: 30,
+                ..AutoViewConfig::default()
+            },
+        )
+        .with_tracer(tracer.clone());
+        sys.run().expect("pipeline runs");
+
+        let snap = tracer.snapshot();
+        // Root spans are the pipeline phases — the acceptance bar is >= 4.
+        let phases = snap.phase_names();
+        assert!(
+            phases.len() >= 4,
+            "expected >= 4 pipeline phases, got {phases:?}"
+        );
+        for expect in [
+            "pipeline.preprocess",
+            "pipeline.truth",
+            "pipeline.train",
+            "pipeline.select",
+            "pipeline.deploy",
+        ] {
+            assert!(phases.iter().any(|p| p == expect), "missing {expect}");
+        }
+        // Per-operator executor spans from the truth-collection executions.
+        assert!(
+            snap.spans.iter().any(|s| s.name == "exec.scan"),
+            "executor operator spans recorded"
+        );
+        // Training and RL telemetry landed in the registry.
+        assert!(snap.metrics.histograms.contains_key("cost.epoch_loss"));
+        assert!(snap.metrics.gauges.contains_key("select.epsilon"));
+        assert!(snap.metrics.counters.contains_key("engine.cache_miss"));
+
+        // The chrome-trace export is valid JSON with one event per span.
+        let text = av_trace::chrome_trace(&snap);
+        let doc: serde_json::Value = serde_json::from_str(&text).expect("valid chrome trace");
+        let events = doc
+            .as_obj()
+            .and_then(|o| o.iter().find(|(k, _)| k == "traceEvents"))
+            .and_then(|(_, v)| v.as_arr().map(|a| a.len()))
+            .expect("traceEvents array");
+        assert_eq!(events, snap.spans.len());
     }
 
     #[test]

@@ -39,33 +39,57 @@ pub fn preprocess_and_measure(
     queries: &[PlanRef],
     pricing: Pricing,
 ) -> Result<Preprocessed, EngineError> {
-    let mut analyzer = Analyzer::new();
-    analyzer.min_query_frequency = 2;
-    let analysis = analyzer.analyze(queries);
+    preprocess_and_measure_traced(catalog, queries, pricing, &av_trace::Tracer::disabled())
+}
 
-    let cache = ExecCache::new(pricing);
+/// [`preprocess_and_measure`] with observability: `core.analyze`,
+/// `core.measure_queries` and `core.materialize` sub-spans, and an
+/// execution cache that records per-operator spans and `engine.cache_*`
+/// counters into the same tracer (as does every later stage that reuses
+/// the returned cache).
+pub fn preprocess_and_measure_traced(
+    catalog: &mut Catalog,
+    queries: &[PlanRef],
+    pricing: Pricing,
+    tracer: &av_trace::Tracer,
+) -> Result<Preprocessed, EngineError> {
+    let analysis = tracer.time("core.analyze", || {
+        let mut analyzer = Analyzer::new();
+        analyzer.min_query_frequency = 2;
+        analyzer.analyze(queries)
+    });
+
+    let cache = ExecCache::new(pricing).with_tracer(tracer.clone());
     let mut query_costs = Vec::with_capacity(queries.len());
     let mut query_latencies = Vec::with_capacity(queries.len());
-    for q in queries {
-        let r = cache.run(catalog, q)?;
-        query_costs.push(r.report.cost_dollars);
-        query_latencies.push(r.report.usage.latency_seconds);
+    {
+        let span = tracer.span("core.measure_queries");
+        span.record_num("queries", queries.len() as f64);
+        for q in queries {
+            let r = cache.run(catalog, q)?;
+            query_costs.push(r.report.cost_dollars);
+            query_latencies.push(r.report.usage.latency_seconds);
+        }
     }
 
     let mut views = ViewStore::new();
     let mut overheads = Vec::with_capacity(analysis.candidates.len());
     let mut view_scan_costs = Vec::with_capacity(analysis.candidates.len());
-    for cand in &analysis.candidates {
-        let id = views.materialize(catalog, cand.plan.clone(), pricing)?;
-        let view = views.view(id).expect("just materialized");
-        overheads.push(view.total_overhead());
-        let scan_plan = av_plan::PlanNode::TableScan {
-            table: view.table_name.clone(),
-            alias: String::new(),
+    {
+        let span = tracer.span("core.materialize");
+        span.record_num("candidates", analysis.candidates.len() as f64);
+        for cand in &analysis.candidates {
+            let id = views.materialize(catalog, cand.plan.clone(), pricing)?;
+            let view = views.view(id).expect("just materialized");
+            overheads.push(view.total_overhead());
+            let scan_plan = av_plan::PlanNode::TableScan {
+                table: view.table_name.clone(),
+                alias: String::new(),
+            }
+            .into_ref();
+            let scan_cost = cache.cost(catalog, &scan_plan)?;
+            view_scan_costs.push(scan_cost);
         }
-        .into_ref();
-        let scan_cost = cache.cost(catalog, &scan_plan)?;
-        view_scan_costs.push(scan_cost);
     }
 
     Ok(Preprocessed {

@@ -136,6 +136,18 @@ impl WideDeep {
         samples: &[(FeatureInput, f64)],
         config: WideDeepConfig,
     ) -> (WideDeep, Vec<f64>) {
+        Self::fit_with_tracer(samples, config, &av_trace::Tracer::disabled())
+    }
+
+    /// Train with full observability: one `cost.epoch` span per epoch
+    /// (carrying mean loss and the last batch's gradient norm), per-batch
+    /// `cost.adam_step` timings, and `cost.epoch_loss` / `cost.grad_norm`
+    /// histograms in the tracer's metrics registry.
+    pub fn fit_with_tracer(
+        samples: &[(FeatureInput, f64)],
+        config: WideDeepConfig,
+        tracer: &av_trace::Tracer,
+    ) -> (WideDeep, Vec<f64>) {
         // Vocabulary from the training split only.
         let mut vocab = Vocab::new();
         for (inp, _) in samples {
@@ -173,9 +185,12 @@ impl WideDeep {
         let mut order: Vec<usize> = (0..samples.len()).collect();
         let mut trace = Vec::with_capacity(model.config.epochs);
 
-        for _epoch in 0..model.config.epochs {
+        for epoch in 0..model.config.epochs {
+            let span = tracer.span("cost.epoch");
+            span.record_num("epoch", epoch as f64);
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
+            let mut last_grad_norm = 0.0;
             for chunk in order.chunks(model.config.batch_size.max(1)) {
                 model.store.zero_grads();
                 for &i in chunk {
@@ -189,9 +204,21 @@ impl WideDeep {
                     g.backward(loss);
                     g.accumulate_param_grads(&mut model.store);
                 }
-                adam.step(&mut model.store);
+                if tracer.is_enabled() {
+                    last_grad_norm = model.store.grad_norm();
+                }
+                tracer.time("cost.adam_step", || adam.step(&mut model.store));
             }
-            trace.push(epoch_loss / samples.len().max(1) as f64);
+            let mean_loss = epoch_loss / samples.len().max(1) as f64;
+            trace.push(mean_loss);
+            if tracer.is_enabled() {
+                span.record_num("loss", mean_loss);
+                span.record_num("grad_norm", last_grad_norm);
+                let metrics = tracer.metrics();
+                metrics.observe("cost.epoch_loss", mean_loss);
+                metrics.observe("cost.grad_norm", last_grad_norm);
+                metrics.set_gauge("cost.final_loss", mean_loss);
+            }
         }
         (model, trace)
     }

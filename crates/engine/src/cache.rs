@@ -17,6 +17,7 @@ use crate::error::EngineError;
 use crate::exec::{ExecResult, Executor};
 use crate::meter::Pricing;
 use av_plan::{Fingerprint, PlanNode};
+use av_trace::Tracer;
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -52,6 +53,7 @@ pub struct ExecCache {
     pricing: Pricing,
     threads: Option<usize>,
     max_entries: usize,
+    tracer: Tracer,
     state: Mutex<CacheState>,
 }
 
@@ -62,8 +64,17 @@ impl ExecCache {
             pricing,
             threads: None,
             max_entries: 4096,
+            tracer: Tracer::disabled(),
             state: Mutex::new(CacheState::default()),
         }
+    }
+
+    /// Attach an observability tracer: lookups bump `engine.cache_hit` /
+    /// `engine.cache_miss` counters, and the executors spawned for misses
+    /// record per-operator spans into the same tracer.
+    pub fn with_tracer(mut self, tracer: Tracer) -> ExecCache {
+        self.tracer = tracer;
+        self
     }
 
     /// Override the entry cap (minimum 1).
@@ -93,14 +104,17 @@ impl ExecCache {
             if let Some(hit) = state.map.get(&key) {
                 let hit = hit.clone();
                 state.stats.hits += 1;
+                drop(state);
+                self.tracer.metrics().inc("engine.cache_hit");
                 return Ok(hit);
             }
             state.stats.misses += 1;
         }
+        self.tracer.metrics().inc("engine.cache_miss");
 
         // Execute outside the lock; concurrent misses on the same key just
         // compute the identical result twice.
-        let mut exec = Executor::new(catalog, self.pricing);
+        let mut exec = Executor::new(catalog, self.pricing).with_tracer(self.tracer.clone());
         if let Some(t) = self.threads {
             exec = exec.with_threads(t);
         }

@@ -23,6 +23,7 @@ use crate::keys::{self, KeyCol, KeyInterner};
 use crate::meter::{CostMeter, ExecutionReport, Pricing};
 use crate::par;
 use av_plan::expr::ArithOp;
+use av_trace::{SpanBuffer, Tracer};
 use av_plan::{AggFunc, CmpOp, Expr, JoinType, PlanNode, Value};
 use std::cmp::Ordering;
 use std::collections::hash_map::Entry;
@@ -39,16 +40,19 @@ pub struct Executor<'a> {
     catalog: &'a Catalog,
     pricing: Pricing,
     threads: usize,
+    tracer: Tracer,
 }
 
 impl<'a> Executor<'a> {
     /// New executor over a catalog with a pricing model, using one worker
-    /// per available core.
+    /// per available core. Tracing is off by default (near-zero overhead);
+    /// attach a live tracer with [`Executor::with_tracer`].
     pub fn new(catalog: &'a Catalog, pricing: Pricing) -> Executor<'a> {
         Executor {
             catalog,
             pricing,
             threads: par::default_threads(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -59,6 +63,15 @@ impl<'a> Executor<'a> {
         self
     }
 
+    /// Attach an observability tracer: every operator records a span
+    /// (`exec.scan` / `exec.filter` / `exec.project` / `exec.join` /
+    /// `exec.aggregate`) carrying output rows, output bytes and the metered
+    /// ops the subtree charged. Results are unaffected.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Executor<'a> {
+        self.tracer = tracer;
+        self
+    }
+
     /// Execute a plan, returning the result batch and its execution report.
     ///
     /// If a preflight verifier is installed (see [`crate::preflight`]),
@@ -66,7 +79,12 @@ impl<'a> Executor<'a> {
     pub fn run(&self, plan: &PlanNode) -> Result<ExecResult, EngineError> {
         crate::preflight::check(self.catalog, plan)?;
         let mut meter = CostMeter::new();
-        let batch = self.exec(plan, &mut meter)?;
+        // One span buffer per run: operator spans record into unsynchronized
+        // buffer-local storage and are committed to the tracer's shared log
+        // in a single batch when the buffer drops.
+        let buf = self.tracer.buffer();
+        let batch = self.exec(plan, &mut meter, &buf)?;
+        drop(buf);
         let report = meter.report(&self.pricing, batch.byte_size(), batch.num_rows());
         Ok(ExecResult { batch, report })
     }
@@ -76,15 +94,47 @@ impl<'a> Executor<'a> {
         Ok(self.run(plan)?.report.cost_dollars)
     }
 
-    fn exec(&self, plan: &PlanNode, meter: &mut CostMeter) -> Result<RecordBatch, EngineError> {
+    fn exec(
+        &self,
+        plan: &PlanNode,
+        meter: &mut CostMeter,
+        buf: &SpanBuffer<'_>,
+    ) -> Result<RecordBatch, EngineError> {
+        if !buf.is_enabled() {
+            return self.exec_node(plan, meter, buf);
+        }
+        let span = buf.span(operator_span_name(plan));
+        if let PlanNode::TableScan { table, .. } = plan {
+            span.record_str("table", table);
+        }
+        let ops_before = meter.ops();
+        let bytes_before = meter.allocated_bytes();
+        let batch = self.exec_node(plan, meter, buf)?;
+        // `ops` and `bytes` are the subtree's total charge: children execute
+        // inside this span, so an operator's own cost is its value minus its
+        // children's. Bytes come from the meter's allocation counter (which
+        // every operator feeds with its output size) rather than re-walking
+        // the batch — `byte_size` on string columns is O(rows).
+        span.record_num("rows", batch.num_rows() as f64);
+        span.record_num("bytes", (meter.allocated_bytes() - bytes_before) as f64);
+        span.record_num("ops", meter.ops() - ops_before);
+        Ok(batch)
+    }
+
+    fn exec_node(
+        &self,
+        plan: &PlanNode,
+        meter: &mut CostMeter,
+        buf: &SpanBuffer<'_>,
+    ) -> Result<RecordBatch, EngineError> {
         match plan {
             PlanNode::TableScan { table, alias } => self.exec_scan(table, alias, meter),
             PlanNode::Filter { input, predicate } => {
-                let batch = self.exec(input, meter)?;
+                let batch = self.exec(input, meter, buf)?;
                 exec_filter(batch, predicate, meter, self.threads)
             }
             PlanNode::Project { input, exprs } => {
-                let batch = self.exec(input, meter)?;
+                let batch = self.exec(input, meter, buf)?;
                 exec_project(batch, exprs, meter, self.threads)
             }
             PlanNode::Join {
@@ -93,8 +143,8 @@ impl<'a> Executor<'a> {
                 on,
                 join_type,
             } => {
-                let lb = self.exec(left, meter)?;
-                let rb = self.exec(right, meter)?;
+                let lb = self.exec(left, meter, buf)?;
+                let rb = self.exec(right, meter, buf)?;
                 exec_join(lb, rb, on, *join_type, meter, self.threads)
             }
             PlanNode::Aggregate {
@@ -102,7 +152,7 @@ impl<'a> Executor<'a> {
                 group_by,
                 aggs,
             } => {
-                let batch = self.exec(input, meter)?;
+                let batch = self.exec(input, meter, buf)?;
                 exec_aggregate(batch, group_by, aggs, meter, self.threads)
             }
         }
@@ -134,6 +184,18 @@ impl<'a> Executor<'a> {
             names,
             columns: t.data.columns.clone(),
         })
+    }
+}
+
+/// Span name for one operator, following the `subsystem.noun` convention
+/// (DESIGN.md §Observability).
+fn operator_span_name(plan: &PlanNode) -> &'static str {
+    match plan {
+        PlanNode::TableScan { .. } => "exec.scan",
+        PlanNode::Filter { .. } => "exec.filter",
+        PlanNode::Project { .. } => "exec.project",
+        PlanNode::Join { .. } => "exec.join",
+        PlanNode::Aggregate { .. } => "exec.aggregate",
     }
 }
 
@@ -827,6 +889,91 @@ mod tests {
         Executor::new(c, Pricing::paper_defaults())
             .run(plan)
             .expect("plan executes")
+    }
+
+    #[test]
+    fn traced_run_records_one_span_per_operator() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("orders", "o")
+            .filter(Expr::col("o.cust").eq(Expr::int(3)))
+            .join(PlanBuilder::scan("customers", "cu"), &[("o.cust", "cu.id")])
+            .count_star(&["cu.tier"], "n")
+            .build();
+        let tracer = Tracer::new();
+        let traced = Executor::new(&c, Pricing::paper_defaults())
+            .with_tracer(tracer.clone())
+            .run(&plan)
+            .expect("plan executes");
+        let plain = run(&c, &plan);
+        assert_eq!(traced.batch, plain.batch, "tracing must not change results");
+        assert_eq!(traced.report, plain.report, "tracing must not change costs");
+
+        let snap = tracer.snapshot();
+        let names: Vec<&str> = snap.spans.iter().map(|s| s.name.as_str()).collect();
+        // Aggregate(Join(Filter(Scan orders), Scan customers)): the root
+        // span opens first, children nest inside in execution order.
+        assert_eq!(
+            names,
+            vec![
+                "exec.aggregate",
+                "exec.join",
+                "exec.filter",
+                "exec.scan",
+                "exec.scan"
+            ]
+        );
+        let agg = &snap.spans[0];
+        assert_eq!(agg.parent, None);
+        assert_eq!(agg.num_attr("rows"), Some(traced.batch.num_rows() as f64));
+        let root_ops = agg.num_attr("ops").expect("ops attribute");
+        assert!(root_ops > 0.0, "root span carries the subtree's op charge");
+        let join = &snap.spans[1];
+        assert_eq!(join.parent, Some(agg.id));
+        let scans: Vec<_> = snap.spans.iter().filter(|s| s.name == "exec.scan").collect();
+        assert_eq!(scans[0].str_attrs[0].1, "orders");
+        assert_eq!(scans[1].str_attrs[0].1, "customers");
+    }
+
+    #[test]
+    fn parallel_executors_share_one_tracer_registry() {
+        // Registry concurrency: several threads each run traced (chunked,
+        // multi-threaded) executions into one shared tracer; the metrics
+        // registry must absorb all of them without losing updates.
+        let c = std::sync::Arc::new(catalog());
+        let tracer = Tracer::new();
+        let plan = PlanBuilder::scan("orders", "o")
+            .filter(Expr::col("o.cust").eq(Expr::int(3)))
+            .build();
+        let workers = 4;
+        let runs_per_worker = 8;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let c = c.clone();
+                let t = tracer.clone();
+                let p = plan.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..runs_per_worker {
+                        let rows = Executor::new(&c, Pricing::paper_defaults())
+                            .with_threads(2)
+                            .with_tracer(t.clone())
+                            .run(&p)
+                            .expect("plan executes")
+                            .batch
+                            .num_rows();
+                        t.metrics().add("engine.rows_out", rows as u64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker thread");
+        }
+        let total_runs = (workers * runs_per_worker) as u64;
+        assert_eq!(tracer.metrics().counter("engine.rows_out"), 10 * total_runs);
+        // Every run records a filter span and a scan span.
+        let snap = tracer.snapshot();
+        let filters = snap.spans.iter().filter(|s| s.name == "exec.filter").count();
+        assert_eq!(filters as u64, total_runs);
     }
 
     #[test]

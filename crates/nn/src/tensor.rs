@@ -291,6 +291,20 @@ impl ParamStore {
             .map(|p| p.value.rows() * p.value.cols())
             .sum()
     }
+
+    /// Global L2 norm of all accumulated gradients (training telemetry:
+    /// exploding/vanishing gradients show up here long before the loss
+    /// trace reacts).
+    pub fn grad_norm(&self) -> f64 {
+        self.params
+            .iter()
+            .map(|p| {
+                let n = p.grad.norm() as f64;
+                n * n
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
 }
 
 #[cfg(test)]

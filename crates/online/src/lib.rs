@@ -11,9 +11,10 @@
 //!
 //! [`OnlineEngine`] ties the pieces together: every arrival is routed
 //! through the live views (`av-engine::rewrite`), measured, ingested, and
-//! periodically checked for drift. A [`metrics::Metrics`] registry records
-//! admissions, evictions, rewrite hits, drift triggers and per-phase
-//! timings, exportable as a JSON snapshot.
+//! periodically checked for drift. An [`av_trace::Tracer`] records
+//! admissions, evictions, rewrite hits, drift triggers (as instant span
+//! events) and per-phase spans/timings under `online.*` names, exportable
+//! as a JSON snapshot or a chrome://tracing dump.
 
 #![forbid(unsafe_code)]
 
@@ -26,12 +27,14 @@ pub mod stream;
 pub use drift::{DriftConfig, DriftDetector, DriftReport};
 pub use lifecycle::{AdmitOutcome, LifecycleConfig, LiveView, ViewLifecycleManager};
 pub use metrics::{Metrics, MetricsSnapshot};
+pub use av_trace::Tracer as OnlineTracer;
 pub use reopt::{reoptimize, CandidateView, OnlineSelector, ReoptPlan, WindowSnapshot};
 pub use stream::{ArrivedQuery, WorkloadStream};
 
 use av_cost::CostEstimator;
 use av_engine::{Catalog, EngineError, ExecCache, Pricing};
 use av_plan::PlanRef;
+use av_trace::Tracer;
 
 /// Everything the online engine can be tuned with.
 #[derive(Debug, Clone)]
@@ -107,7 +110,7 @@ pub struct OnlineEngine {
     stream: WorkloadStream,
     drift: DriftDetector,
     lifecycle: ViewLifecycleManager,
-    metrics: Metrics,
+    tracer: Tracer,
     estimator: Box<dyn CostEstimator>,
     /// Shared result cache: repeat arrivals of a window-resident query and
     /// re-optimization dry-runs are priced once per catalog epoch. Admit /
@@ -124,18 +127,29 @@ impl OnlineEngine {
         estimator: Box<dyn CostEstimator>,
         config: OnlineConfig,
     ) -> OnlineEngine {
+        let tracer = Tracer::new();
         OnlineEngine {
             catalog,
             stream: WorkloadStream::new(config.window_size),
             drift: DriftDetector::new(config.drift),
             lifecycle: ViewLifecycleManager::new(config.lifecycle),
-            metrics: Metrics::new(),
             estimator,
-            cache: ExecCache::new(config.pricing),
+            cache: ExecCache::new(config.pricing).with_tracer(tracer.clone()),
+            tracer,
             bootstrapped: false,
             config,
             report: OnlineReport::default(),
         }
+    }
+
+    /// Replace the engine's tracer (e.g. with a shared one whose snapshot a
+    /// harness wants to export, or a disabled one to suppress span
+    /// recording). Call before ingesting: earlier telemetry stays on the
+    /// old tracer. The execution cache is re-pointed at the same tracer.
+    pub fn with_tracer(mut self, tracer: Tracer) -> OnlineEngine {
+        self.cache = ExecCache::new(self.config.pricing).with_tracer(tracer.clone());
+        self.tracer = tracer;
+        self
     }
 
     /// Process one arriving query end to end: route it through the live
@@ -143,10 +157,9 @@ impl OnlineEngine {
     /// cadence — detect drift and re-optimize.
     pub fn ingest(&mut self, plan: &PlanRef) -> Result<QueryOutcome, EngineError> {
         // 1. Route through live views and price both variants.
-        let start = std::time::Instant::now();
-        let (routed, hits) = self.lifecycle.route(&self.catalog, plan);
-        self.metrics
-            .record_seconds("route", start.elapsed().as_secs_f64());
+        let (routed, hits) = self
+            .tracer
+            .time("online.route", || self.lifecycle.route(&self.catalog, plan));
 
         let baseline_cost = self.cache.cost(&self.catalog, plan)?;
         let actual_cost = if hits > 0 {
@@ -159,13 +172,14 @@ impl OnlineEngine {
         //    candidate benefits must be judged against unrewritten queries.
         let seq = self.stream.ingest(plan.clone(), baseline_cost);
 
-        self.metrics.inc("queries_ingested");
+        let metrics = self.tracer.metrics();
+        metrics.inc("online.queries_ingested");
         if hits > 0 {
-            self.metrics.inc("queries_rewritten");
-            self.metrics.add("rewrite_hits", hits as u64);
+            metrics.inc("online.queries_rewritten");
+            metrics.add("online.rewrite_hits", hits as u64);
         }
-        self.metrics.observe("query_cost_baseline", baseline_cost);
-        self.metrics.observe("query_cost_actual", actual_cost);
+        metrics.observe("online.query_cost_baseline", baseline_cost);
+        metrics.observe("online.query_cost_actual", actual_cost);
         self.report.queries += 1;
         self.report.baseline_cost += baseline_cost;
         self.report.actual_cost += actual_cost;
@@ -183,14 +197,17 @@ impl OnlineEngine {
                 self.drift.rebase(&mass);
                 reoptimized = true;
             } else if (seq + 1).is_multiple_of(self.config.check_every.max(1)) {
-                let start = std::time::Instant::now();
-                let analysis = self.stream.analyze();
-                let mass = self.stream.candidate_mass_from(&analysis);
-                drift_report = self.drift.observe(seq, &mass);
-                self.metrics
-                    .record_seconds("drift_check", start.elapsed().as_secs_f64());
+                let tracer = self.tracer.clone();
+                let (analysis, report) = tracer.time("online.drift_check", || {
+                    let analysis = self.stream.analyze();
+                    let mass = self.stream.candidate_mass_from(&analysis);
+                    let report = self.drift.observe(seq, &mass);
+                    (analysis, report)
+                });
+                drift_report = report;
                 if drift_report.is_some() {
-                    self.metrics.inc("drift_triggers");
+                    tracer.instant("online.drift_trigger");
+                    tracer.metrics().inc("online.drift_triggers");
                     self.reoptimize_and_apply(&analysis)?;
                     reoptimized = true;
                 }
@@ -214,48 +231,49 @@ impl OnlineEngine {
         &mut self,
         analysis: &av_equiv::WorkloadAnalysis,
     ) -> Result<(), EngineError> {
-        let start = std::time::Instant::now();
-        let plan = reoptimize(
-            &self.catalog,
-            analysis,
-            WindowSnapshot::new(&self.stream.plans(), &self.stream.costs()),
-            self.estimator.as_ref(),
-            &self.config.selector,
-            &self.lifecycle.live_fingerprints(),
-            &self.cache,
-        )?;
-        self.metrics.inc("reopt_runs");
-
-        for fp in &plan.drop {
-            if self.lifecycle.evict(&mut self.catalog, *fp).is_some() {
-                self.metrics.inc("views_evicted");
-            }
-        }
-        for cand in &plan.create {
-            let outcome = self.lifecycle.admit(
-                &mut self.catalog,
-                cand.plan.clone(),
-                cand.canonical_fp,
-                cand.expected_benefit,
-                self.config.pricing,
+        let tracer = self.tracer.clone();
+        tracer.time("online.reopt", || {
+            let plan = reoptimize(
+                &self.catalog,
+                analysis,
+                WindowSnapshot::new(&self.stream.plans(), &self.stream.costs()),
+                self.estimator.as_ref(),
+                &self.config.selector,
+                &self.lifecycle.live_fingerprints(),
+                &self.cache,
             )?;
-            match outcome {
-                AdmitOutcome::Admitted { id, evicted } => {
-                    self.metrics.inc("views_admitted");
-                    self.metrics.add("views_evicted", evicted.len() as u64);
-                    if let Some(v) = self.lifecycle.view(id) {
-                        self.report.view_overhead += v.total_overhead();
-                        self.metrics.observe("view_bytes", v.byte_size as f64);
+            let metrics = tracer.metrics();
+            metrics.inc("online.reopt_runs");
+
+            for fp in &plan.drop {
+                if self.lifecycle.evict(&mut self.catalog, *fp).is_some() {
+                    metrics.inc("online.views_evicted");
+                }
+            }
+            for cand in &plan.create {
+                let outcome = self.lifecycle.admit(
+                    &mut self.catalog,
+                    cand.plan.clone(),
+                    cand.canonical_fp,
+                    cand.expected_benefit,
+                    self.config.pricing,
+                )?;
+                match outcome {
+                    AdmitOutcome::Admitted { id, evicted } => {
+                        metrics.inc("online.views_admitted");
+                        metrics.add("online.views_evicted", evicted.len() as u64);
+                        if let Some(v) = self.lifecycle.view(id) {
+                            self.report.view_overhead += v.total_overhead();
+                            metrics.observe("online.view_bytes", v.byte_size as f64);
+                        }
+                    }
+                    AdmitOutcome::RejectedScore { .. } | AdmitOutcome::RejectedBudget { .. } => {
+                        metrics.inc("online.admissions_rejected");
                     }
                 }
-                AdmitOutcome::RejectedScore { .. } | AdmitOutcome::RejectedBudget { .. } => {
-                    self.metrics.inc("admissions_rejected");
-                }
             }
-        }
-        self.metrics
-            .record_seconds("reopt", start.elapsed().as_secs_f64());
-        Ok(())
+            Ok(())
+        })
     }
 
     pub fn config(&self) -> &OnlineConfig {
@@ -275,7 +293,13 @@ impl OnlineEngine {
     }
 
     pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+        self.tracer.metrics()
+    }
+
+    /// The engine's tracer: spans for routing, drift checks and
+    /// re-optimization, plus instant `online.drift_trigger` events.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Hit/miss counters of the shared execution cache.
@@ -285,7 +309,7 @@ impl OnlineEngine {
 
     /// JSON snapshot of the metrics registry.
     pub fn metrics_json(&self) -> String {
-        self.metrics.to_json()
+        self.tracer.metrics().to_json()
     }
 
     /// Cumulative cost accounting so far.
@@ -344,7 +368,7 @@ mod tests {
             Some(plans.len() - 1),
             "bootstrap fires exactly when the window fills"
         );
-        assert!(eng.metrics().counter("views_admitted") > 0);
+        assert!(eng.metrics().counter("online.views_admitted") > 0);
         assert!(!eng.lifecycle().live().is_empty());
 
         // Second pass: the same queries should now hit live views.
@@ -355,7 +379,7 @@ mod tests {
             assert!(out.actual_cost <= out.baseline_cost + 1e-12);
         }
         assert!(hits > 0, "live views must route repeat queries");
-        assert_eq!(eng.metrics().counter("rewrite_hits"), hits as u64);
+        assert_eq!(eng.metrics().counter("online.rewrite_hits"), hits as u64);
 
         let report = eng.report();
         assert_eq!(report.queries, 2 * plans.len() as u64);
@@ -373,11 +397,15 @@ mod tests {
             }
         }
         assert_eq!(
-            eng.metrics().counter("drift_triggers"),
+            eng.metrics().counter("online.drift_triggers"),
             0,
             "replaying the same workload is not drift"
         );
-        assert_eq!(eng.metrics().counter("reopt_runs"), 1, "bootstrap only");
+        assert_eq!(
+            eng.metrics().counter("online.reopt_runs"),
+            1,
+            "bootstrap only"
+        );
     }
 
     #[test]
@@ -404,8 +432,41 @@ mod tests {
                 .and_then(|(_, v)| v.as_f64())
                 .unwrap_or(0.0)
         };
-        assert_eq!(get("queries_ingested"), (plans.len() * 2) as f64);
-        assert!(get("views_admitted") >= 1.0);
-        assert!(get("rewrite_hits") >= 1.0);
+        assert_eq!(get("online.queries_ingested"), (plans.len() * 2) as f64);
+        assert!(get("online.views_admitted") >= 1.0);
+        assert!(get("online.rewrite_hits") >= 1.0);
+    }
+
+    #[test]
+    fn session_records_spans_and_timings() {
+        let w = mini(54);
+        let plans = w.plans();
+        let mut eng = engine_for(&w, plans.len(), 4);
+        for _ in 0..2 {
+            for p in &plans {
+                eng.ingest(p).expect("ingests");
+            }
+        }
+        let snap = eng.tracer().snapshot();
+        let names: std::collections::BTreeSet<&str> =
+            snap.spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains("online.route"), "routing spans: {names:?}");
+        assert!(
+            names.contains("online.reopt"),
+            "bootstrap re-optimization span: {names:?}"
+        );
+        assert!(
+            names.contains("exec.scan"),
+            "cache-miss executions record operator spans: {names:?}"
+        );
+        // Phase timings accumulate alongside the spans.
+        let route = eng.metrics().timing("online.route").expect("route timing");
+        assert_eq!(route.count, 2 * plans.len() as u64);
+        // Cache hit/miss counters flow through the shared tracer.
+        let m = eng.metrics();
+        assert_eq!(
+            m.counter("engine.cache_hit") + m.counter("engine.cache_miss"),
+            eng.cache_stats().hits + eng.cache_stats().misses
+        );
     }
 }

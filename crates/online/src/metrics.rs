@@ -1,269 +1,15 @@
-//! Lightweight metrics registry for the online subsystem: counters,
-//! histograms and per-phase timing accumulators, exportable as a JSON
-//! snapshot.
+//! Metrics for the online subsystem — now provided by [`av_trace`].
 //!
-//! Everything is name-addressed and lazily created, so call sites stay
-//! one-liners (`metrics.inc("views_admitted")`). The registry is plain
-//! single-threaded state — the online loop is a single ingestion thread.
+//! This module used to hold its own single-threaded registry and histogram
+//! implementation; both were absorbed into the workspace-wide `av-trace`
+//! crate (which also fixed `Histogram::observe` to reject NaN instead of
+//! corrupting `sum`). The names below are re-exported so existing
+//! `av_online::metrics::*` / `av_online::Metrics` call sites keep working.
+//!
+//! Counter/histogram/timing names now follow the workspace convention
+//! `subsystem.noun_verb`, e.g. `online.views_admitted`, `online.route`.
 
-use serde::Serialize;
-use std::collections::BTreeMap;
-use std::time::Instant;
-
-/// Histogram bucket upper bounds: powers of ten spanning the dollar costs
-/// and byte sizes this system observes. Values above the last bound land in
-/// a `+Inf` overflow bucket.
-const BUCKET_BOUNDS: [f64; 13] = [
-    1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3,
-];
-
-/// A fixed-bucket histogram with count/sum/min/max summary statistics.
-#[derive(Debug, Clone)]
-pub struct Histogram {
-    counts: [u64; BUCKET_BOUNDS.len() + 1],
-    count: u64,
-    sum: f64,
-    min: f64,
-    max: f64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            counts: [0; BUCKET_BOUNDS.len() + 1],
-            count: 0,
-            sum: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
-    }
-}
-
-impl Histogram {
-    pub fn observe(&mut self, value: f64) {
-        let bucket = BUCKET_BOUNDS
-            .iter()
-            .position(|&b| value <= b)
-            .unwrap_or(BUCKET_BOUNDS.len());
-        self.counts[bucket] += 1;
-        self.count += 1;
-        self.sum += value;
-        self.min = self.min.min(value);
-        self.max = self.max.max(value);
-    }
-
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum / self.count as f64
-        }
-    }
-
-    fn snapshot(&self) -> HistogramSnapshot {
-        HistogramSnapshot {
-            count: self.count,
-            sum: self.sum,
-            min: if self.count == 0 { 0.0 } else { self.min },
-            max: if self.count == 0 { 0.0 } else { self.max },
-            mean: self.mean(),
-            // Only non-empty buckets are exported; `upper` is the bucket's
-            // inclusive upper bound. The overflow bucket exports `f64::MAX`
-            // (JSON has no +Inf literal).
-            buckets: self
-                .counts
-                .iter()
-                .enumerate()
-                .filter(|(_, &c)| c > 0)
-                .map(|(i, &c)| BucketSnapshot {
-                    upper: BUCKET_BOUNDS.get(i).copied().unwrap_or(f64::MAX),
-                    count: c,
-                })
-                .collect(),
-        }
-    }
-}
-
-/// Accumulated wall-clock time of one named phase.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Timing {
-    pub count: u64,
-    pub total_seconds: f64,
-}
-
-/// The registry. Create one per online session.
-#[derive(Debug, Default)]
-pub struct Metrics {
-    counters: BTreeMap<String, u64>,
-    histograms: BTreeMap<String, Histogram>,
-    timings: BTreeMap<String, Timing>,
-}
-
-impl Metrics {
-    pub fn new() -> Metrics {
-        Metrics::default()
-    }
-
-    /// Increment a counter by one.
-    pub fn inc(&mut self, name: &str) {
-        self.add(name, 1);
-    }
-
-    /// Increment a counter by `by`.
-    pub fn add(&mut self, name: &str, by: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += by;
-    }
-
-    /// Current value of a counter (0 if never incremented).
-    pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
-    }
-
-    /// Record one observation into a histogram.
-    pub fn observe(&mut self, name: &str, value: f64) {
-        self.histograms
-            .entry(name.to_string())
-            .or_default()
-            .observe(value);
-    }
-
-    /// Histogram accessor (None if nothing was observed under that name).
-    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name)
-    }
-
-    /// Time a phase, accumulating wall-clock seconds under `name`.
-    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
-        let start = Instant::now();
-        let out = f();
-        self.record_seconds(name, start.elapsed().as_secs_f64());
-        out
-    }
-
-    /// Record an externally measured duration under a phase name.
-    pub fn record_seconds(&mut self, name: &str, seconds: f64) {
-        let t = self.timings.entry(name.to_string()).or_default();
-        t.count += 1;
-        t.total_seconds += seconds;
-    }
-
-    /// Immutable snapshot of everything, for export.
-    pub fn snapshot(&self) -> MetricsSnapshot {
-        MetricsSnapshot {
-            counters: self.counters.clone(),
-            histograms: self
-                .histograms
-                .iter()
-                .map(|(k, v)| (k.clone(), v.snapshot()))
-                .collect(),
-            timings: self
-                .timings
-                .iter()
-                .map(|(k, v)| {
-                    (
-                        k.clone(),
-                        TimingSnapshot {
-                            count: v.count,
-                            total_seconds: v.total_seconds,
-                            mean_seconds: if v.count == 0 {
-                                0.0
-                            } else {
-                                v.total_seconds / v.count as f64
-                            },
-                        },
-                    )
-                })
-                .collect(),
-        }
-    }
-
-    /// Pretty-printed JSON snapshot.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(&self.snapshot()).expect("snapshot serializes")
-    }
-}
-
-/// Serializable form of the registry.
-#[derive(Debug, Clone, Serialize)]
-pub struct MetricsSnapshot {
-    pub counters: BTreeMap<String, u64>,
-    pub histograms: BTreeMap<String, HistogramSnapshot>,
-    pub timings: BTreeMap<String, TimingSnapshot>,
-}
-
-#[derive(Debug, Clone, Serialize)]
-pub struct HistogramSnapshot {
-    pub count: u64,
-    pub sum: f64,
-    pub min: f64,
-    pub max: f64,
-    pub mean: f64,
-    pub buckets: Vec<BucketSnapshot>,
-}
-
-#[derive(Debug, Clone, Serialize)]
-pub struct BucketSnapshot {
-    pub upper: f64,
-    pub count: u64,
-}
-
-#[derive(Debug, Clone, Serialize)]
-pub struct TimingSnapshot {
-    pub count: u64,
-    pub total_seconds: f64,
-    pub mean_seconds: f64,
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn counters_accumulate() {
-        let mut m = Metrics::new();
-        m.inc("a");
-        m.add("a", 4);
-        assert_eq!(m.counter("a"), 5);
-        assert_eq!(m.counter("missing"), 0);
-    }
-
-    #[test]
-    fn histogram_summary_is_correct() {
-        let mut m = Metrics::new();
-        for v in [0.5, 1.5, 2.0] {
-            m.observe("cost", v);
-        }
-        let h = m.histogram("cost").expect("exists");
-        assert_eq!(h.count(), 3);
-        assert!((h.mean() - (4.0 / 3.0)).abs() < 1e-12);
-    }
-
-    #[test]
-    fn timings_record_phases() {
-        let mut m = Metrics::new();
-        let out = m.time("phase", || 7);
-        assert_eq!(out, 7);
-        m.record_seconds("phase", 0.25);
-        let snap = m.snapshot();
-        let t = &snap.timings["phase"];
-        assert_eq!(t.count, 2);
-        assert!(t.total_seconds >= 0.25);
-    }
-
-    #[test]
-    fn json_snapshot_parses_and_has_fields() {
-        let mut m = Metrics::new();
-        m.inc("views_admitted");
-        m.observe("query_cost", 0.002);
-        m.record_seconds("route", 0.001);
-        let text = m.to_json();
-        let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
-        let obj = doc.as_obj().expect("object");
-        let keys: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
-        assert_eq!(keys, vec!["counters", "histograms", "timings"]);
-    }
-}
+pub use av_trace::{
+    BucketSnapshot, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, Timing,
+    TimingSnapshot,
+};

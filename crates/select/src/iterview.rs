@@ -211,7 +211,15 @@ impl<'a> IterView<'a> {
     /// state and recording the utility trajectory. The reported `z`/`y` are
     /// the *best seen*, since the raw process oscillates (the observation
     /// motivating RLView).
-    pub fn run(mut self) -> SelectionResult {
+    pub fn run(self) -> SelectionResult {
+        self.run_traced(&av_trace::Tracer::disabled())
+    }
+
+    /// [`IterView::run`] with iteration telemetry: one `select.iterview`
+    /// span carrying the iteration count and best utility, plus a
+    /// `select.iter_utility` histogram of every iteration's utility.
+    pub fn run_traced(mut self, tracer: &av_trace::Tracer) -> SelectionResult {
+        let span = tracer.span("select.iterview");
         let mut trajectory = Vec::with_capacity(self.config.iterations);
         let mut best: Option<BestState> = None;
         for iter in 0..self.config.iterations {
@@ -225,8 +233,18 @@ impl<'a> IterView<'a> {
             self.y_opt();
             let u = self.utility();
             trajectory.push(u);
+            if tracer.is_enabled() {
+                tracer.metrics().observe("select.iter_utility", u);
+            }
             if best.as_ref().map(|(b, ..)| u > *b).unwrap_or(true) {
                 best = Some((u, self.z.clone(), self.y.clone(), iter + 1));
+            }
+        }
+        if tracer.is_enabled() {
+            span.record_num("iterations", self.config.iterations as f64);
+            if let Some((u, _, _, at)) = &best {
+                span.record_num("best_utility", *u);
+                span.record_num("best_iteration", *at as f64);
             }
         }
         let (utility, z, y, best_iteration) = best.unwrap_or_else(|| {

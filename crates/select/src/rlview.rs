@@ -135,8 +135,9 @@ impl QNet {
     }
 
     /// One minibatch Q-learning update (paper Function DQN): predictions
-    /// for the taken actions regress toward `r + γ·max Q(next)`.
-    fn train_batch(&mut self, batch: &[&Transition], gamma: f64) {
+    /// for the taken actions regress toward `r + γ·max Q(next)`. Returns
+    /// the minibatch MSE, for telemetry.
+    fn train_batch(&mut self, batch: &[&Transition], gamma: f64) -> f64 {
         let targets: Vec<f32> = batch
             .iter()
             .map(|t| {
@@ -154,9 +155,11 @@ impl QNet {
         let pred = self.forward(&mut g, x);
         let target = g.input(Tensor::from_vec(targets.len(), 1, targets));
         let loss = g.mse(pred, target);
+        let loss_value = g.value(loss).get(0, 0) as f64;
         g.backward(loss);
         g.accumulate_param_grads(&mut self.store);
         self.adam.step(&mut self.store);
+        loss_value
     }
 }
 
@@ -167,6 +170,18 @@ impl RlView {
     /// Run RLView on an instance (paper Algorithm 2). The returned
     /// trajectory concatenates the IterView warm start with the RL steps.
     pub fn run(instance: &MvsInstance, config: RlViewConfig) -> SelectionResult {
+        Self::run_traced(instance, config, &av_trace::Tracer::disabled())
+    }
+
+    /// [`RlView::run`] with episode telemetry: one `select.episode` span
+    /// per RL epoch (epsilon, steps, episode reward), `select.q_loss` and
+    /// `select.episode_reward` histograms, and `select.epsilon` /
+    /// `select.replay_size` gauges.
+    pub fn run_traced(
+        instance: &MvsInstance,
+        config: RlViewConfig,
+        tracer: &av_trace::Tracer,
+    ) -> SelectionResult {
         let nc = instance.num_candidates();
         if nc == 0 {
             return SelectionResult::from_z(instance, Vec::new());
@@ -213,6 +228,13 @@ impl RlView {
 
         for ep in 0..config.n2 {
             let eps = config.epsilon * (1.0 - ep as f64 / config.n2.max(1) as f64);
+            let span = tracer.span("select.episode");
+            let epoch_start_utility = iv.utility();
+            if tracer.is_enabled() {
+                span.record_num("epoch", ep as f64);
+                span.record_num("epsilon", eps);
+                tracer.metrics().set_gauge("select.epsilon", eps);
+            }
             let mut t = 0usize;
             loop {
                 let r_prev = iv.utility();
@@ -252,7 +274,10 @@ impl RlView {
                             &memory[i]
                         })
                         .collect();
-                    qnet.train_batch(&picks, config.gamma);
+                    let q_loss = qnet.train_batch(&picks, config.gamma);
+                    if tracer.is_enabled() {
+                        tracer.metrics().observe("select.q_loss", q_loss);
+                    }
                 }
 
                 t += 1;
@@ -261,6 +286,14 @@ impl RlView {
                 if !continue_loop {
                     break;
                 }
+            }
+            if tracer.is_enabled() {
+                let episode_reward = iv.utility() - epoch_start_utility;
+                span.record_num("steps", t as f64);
+                span.record_num("episode_reward", episode_reward);
+                let metrics = tracer.metrics();
+                metrics.observe("select.episode_reward", episode_reward);
+                metrics.set_gauge("select.replay_size", memory.len() as f64);
             }
         }
 

@@ -1,0 +1,34 @@
+//! # av-trace — structured observability for the AutoView pipeline
+//!
+//! Zero-dependency-beyond-serde spans, metrics and profiling shared by
+//! every layer of the system:
+//!
+//! - **Spans** ([`Tracer`], [`SpanGuard`]): hierarchical enter/exit guards
+//!   with per-span wall time via an injectable [`Clock`], so library code
+//!   never reads the wall clock directly and `av-analyze`'s determinism
+//!   lint stays clean.
+//! - **Metrics** ([`Metrics`]): a thread-safe, name-addressed registry of
+//!   counters, gauges, fixed-bucket histograms and phase timings — the
+//!   generalization of what used to be `av_online::metrics`.
+//! - **Exporters**: [`TraceSnapshot::to_json`] (raw snapshot),
+//!   [`chrome_trace`] (chrome://tracing `traceEvents`), and
+//!   [`profile_tree`] (plain-text per-phase profile).
+//!
+//! Metric names follow `subsystem.noun_verb` (e.g. `engine.cache_hit`,
+//! `online.views_admitted`); span names follow `subsystem.phase`
+//! (`pipeline.train`, `exec.join`). See DESIGN.md §Observability.
+
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod export;
+pub mod metrics;
+pub mod span;
+
+pub use clock::{Clock, MonotonicClock, TestClock};
+pub use export::{chrome_trace, profile_tree};
+pub use metrics::{
+    BucketSnapshot, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, Timing,
+    TimingSnapshot, BUCKET_BOUNDS, NAN_REJECTED,
+};
+pub use span::{BufGuard, SpanBuffer, SpanGuard, SpanRecord, TraceSnapshot, Tracer};
