@@ -332,8 +332,12 @@ impl GraphSpec {
     }
 
     /// An unrolled single-layer LSTM over `steps` (each `1×input`),
-    /// mirroring `av_nn::Lstm` exactly (fused `[i|f|g|o]` gate matrices),
-    /// returning the final `1×hidden` state.
+    /// returning the final `1×hidden` state. The cell is modeled unrolled
+    /// into primitive ops with fused `[i|f|g|o]` gate matrices — the same
+    /// recurrence `av_nn::Lstm` computes, whose runtime tape collapses each
+    /// step into one fused `LstmCell` node (shape-equivalent at the
+    /// `1×hidden` output; the fused node's packed `[h|c|tanh(c)]` state is
+    /// an execution detail the symbolic twin does not need to mirror).
     pub fn lstm(
         &mut self,
         name: &str,

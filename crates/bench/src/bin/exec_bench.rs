@@ -64,6 +64,9 @@ struct ExecBenchReport {
     exec_scale: f64,
     reps: usize,
     threads: usize,
+    /// Serial-fallback cutover: batches under this many rows never spawn
+    /// workers (see `av_engine::par::PAR_MIN_ROWS`).
+    par_min_rows: usize,
     micro: Vec<MicroResult>,
     cache: CacheResult,
     trace: TraceResult,
@@ -276,6 +279,7 @@ fn main() {
         exec_scale,
         reps,
         threads,
+        par_min_rows: av_engine::par::PAR_MIN_ROWS,
         micro: micro.clone(),
         cache: cache_result.clone(),
         trace: trace_result.clone(),

@@ -1,0 +1,361 @@
+//! NN compute-path benchmark: blocked kernels vs the naive baseline,
+//! Wide-Deep epoch time on the arena/parallel trainer vs the seed-style
+//! reference trainer, and benefit-matrix construction cold vs memoized.
+//!
+//! Writes `BENCH_nn.json` (machine-readable, consumed by CI) into the
+//! working directory and prints the same numbers as tables.
+//!
+//! Knobs: `AV_NN_QUERIES` (default 226) and `AV_NN_VIEWS` (default 28)
+//! size the benefit matrix like the paper's IMDb workload; `AV_NN_EPOCHS`
+//! (default 8) and `AV_NN_TRAIN` (default 96) size the training run;
+//! `AV_NN_REPS` (default 5) sets kernel timing repetitions;
+//! `AV_NN_EPOCH_REPS` (default 3) sets trainer repetitions (best-of);
+//! `AV_NN_THREADS` (default 0 = auto) sets trainer workers.
+//!
+//! `--trace-out <path>` dumps one traced training + batched-inference pass
+//! (`cost.epoch`, `cost.grad_reduce`, `cost.forward_batch`,
+//! `cost.encode_cache` spans) as chrome://tracing JSON.
+
+use av_cost::widedeep::{WideDeep, WideDeepConfig};
+use av_cost::{FeatureInput, TableMeta};
+use av_nn::Tensor;
+use av_plan::{CmpOp, Expr, PlanBuilder, PlanRef};
+use av_trace::Tracer;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Serialize)]
+struct KernelResult {
+    m: usize,
+    k: usize,
+    n: usize,
+    naive_gflops: f64,
+    blocked_gflops: f64,
+    /// blocked / naive wall-time ratio (>1 means the blocked kernel wins).
+    speedup: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct EpochResult {
+    train_samples: usize,
+    epochs: usize,
+    /// Worker threads the parallel run resolved to.
+    threads: usize,
+    /// Seed-style path: fresh graph per sample, features re-derived per use.
+    reference_epoch_seconds: f64,
+    /// Arena graphs + one-time sample preparation, single worker.
+    arena_serial_epoch_seconds: f64,
+    /// Same, fanned across `threads` workers (bitwise-identical result).
+    arena_parallel_epoch_seconds: f64,
+    speedup_serial: f64,
+    speedup_parallel: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct MatrixResult {
+    queries: usize,
+    views: usize,
+    pairs: usize,
+    /// Per-pair whole-graph forwards (the seed inference path).
+    cold_seconds: f64,
+    /// `predict_batch` with an empty encoder cache (includes all encodes).
+    memoized_seconds: f64,
+    /// `predict_batch` again with the cache fully warm.
+    warm_seconds: f64,
+    /// cold / memoized.
+    speedup: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct NnBenchReport {
+    kernel: Vec<KernelResult>,
+    epoch: EpochResult,
+    matrix: MatrixResult,
+}
+
+fn envu(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One distinct view plan per `k`.
+fn view_plan(k: i64) -> PlanRef {
+    PlanBuilder::scan("ev", "t")
+        .filter(Expr::col("t.kind").eq(Expr::int(k)))
+        .project(&[("t.uid", "t.uid"), ("t.v", "t.v")])
+        .build()
+}
+
+/// One distinct query plan per `(base view, i)`.
+fn query_plan(base: &PlanRef, i: i64) -> PlanRef {
+    PlanBuilder::from_plan(base.clone())
+        .filter(Expr::col("t.v").cmp(CmpOp::Gt, Expr::int(i)))
+        .count_star(&["t.uid"], "n")
+        .build()
+}
+
+fn tables(rows: f64) -> Vec<TableMeta> {
+    vec![TableMeta {
+        name: "ev".into(),
+        rows,
+        columns: 3.0,
+        bytes: rows * 24.0,
+        avg_distinct_ratio: 0.4,
+        column_names: vec!["uid".into(), "kind".into(), "v".into()],
+        column_types: vec!["Int".into(), "Int".into(), "Int".into()],
+    }]
+}
+
+fn rand_tensor(rng: &mut ChaCha8Rng, rows: usize, cols: usize) -> Tensor {
+    let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn bench_kernels(reps: usize) -> Vec<KernelResult> {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let shapes = [(64, 64, 64), (128, 128, 128), (256, 128, 256)];
+    let mut out = Vec::with_capacity(shapes.len());
+    for &(m, k, n) in &shapes {
+        let a = rand_tensor(&mut rng, m, k);
+        let b = rand_tensor(&mut rng, k, n);
+        let mut blocked = Tensor::zeros(m, n);
+        // Correctness first: the blocked kernel must be bitwise-identical.
+        a.matmul_into(&b, &mut blocked);
+        assert_eq!(a.matmul_naive(&b), blocked, "blocked kernel must match naive bitwise");
+        let flops = 2.0 * (m * k * n) as f64;
+        let mut naive_t = Vec::with_capacity(reps);
+        let mut blocked_t = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let start = Instant::now();
+            let _ = a.matmul_naive(&b);
+            naive_t.push(start.elapsed().as_secs_f64());
+            let start = Instant::now();
+            a.matmul_into(&b, &mut blocked);
+            blocked_t.push(start.elapsed().as_secs_f64());
+        }
+        let tn = median(&mut naive_t);
+        let tb = median(&mut blocked_t);
+        out.push(KernelResult {
+            m,
+            k,
+            n,
+            naive_gflops: flops / tn / 1e9,
+            blocked_gflops: flops / tb / 1e9,
+            speedup: tn / tb,
+        });
+    }
+    out
+}
+
+fn main() {
+    let mut trace_out: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--trace-out" => trace_out = Some(argv.next().expect("--trace-out needs a path")),
+            other => panic!("unknown argument {other:?} (expected --trace-out <path>)"),
+        }
+    }
+    let queries = envu("AV_NN_QUERIES", 226);
+    let views = envu("AV_NN_VIEWS", 28);
+    let train_n = envu("AV_NN_TRAIN", 96);
+    let epochs = envu("AV_NN_EPOCHS", 8);
+    let reps = envu("AV_NN_REPS", 5).max(1);
+    let threads = envu("AV_NN_THREADS", 0);
+
+    // ---- kernels -----------------------------------------------------------
+    let kernel = bench_kernels(reps);
+
+    // ---- workload: Q distinct queries × V distinct candidate views ---------
+    let view_plans: Vec<PlanRef> = (0..views as i64).map(view_plan).collect();
+    let query_plans: Vec<PlanRef> = (0..queries as i64)
+        .map(|i| query_plan(&view_plans[(i as usize) % views], i))
+        .collect();
+    let train: Vec<(FeatureInput, f64)> = (0..train_n)
+        .map(|i| {
+            let rows = 100.0 * (1 + i % 10) as f64;
+            let input = FeatureInput {
+                query: query_plans[i % queries].clone(),
+                view: view_plans[i % views].clone(),
+                tables: tables(rows),
+            };
+            let y = (1.0 + rows).ln() * (1.0 + 0.01 * (i % views) as f64);
+            (input, y)
+        })
+        .collect();
+
+    let config = WideDeepConfig {
+        epochs,
+        threads,
+        ..WideDeepConfig::default()
+    };
+
+    // ---- epoch time: seed-style reference vs arena serial vs parallel ------
+    // The three variants are interleaved and each keeps its best-of-reps
+    // (minimum) time: machine-load noise only ever slows a run down, so the
+    // minimum is the most faithful estimate of each path's true cost, and
+    // interleaving keeps slow phases from biasing one variant.
+    let epoch_reps = envu("AV_NN_EPOCH_REPS", 3).max(1);
+    let serial_cfg = WideDeepConfig { threads: 1, ..config.clone() };
+    let mut reference = f64::INFINITY;
+    let mut arena_serial = f64::INFINITY;
+    let mut arena_parallel = f64::INFINITY;
+    let mut model = None;
+    for _ in 0..epoch_reps {
+        let start = Instant::now();
+        let _ = WideDeep::fit_reference(&train, config.clone());
+        reference = reference.min(start.elapsed().as_secs_f64() / epochs as f64);
+
+        let start = Instant::now();
+        let _ = WideDeep::fit(&train, serial_cfg.clone());
+        arena_serial = arena_serial.min(start.elapsed().as_secs_f64() / epochs as f64);
+
+        let start = Instant::now();
+        model = Some(WideDeep::fit(&train, config.clone()));
+        arena_parallel = arena_parallel.min(start.elapsed().as_secs_f64() / epochs as f64);
+    }
+    let model = model.expect("at least one rep");
+
+    let resolved_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+
+    let epoch = EpochResult {
+        train_samples: train.len(),
+        epochs,
+        threads: if threads > 0 { threads } else { resolved_threads },
+        reference_epoch_seconds: reference,
+        arena_serial_epoch_seconds: arena_serial,
+        arena_parallel_epoch_seconds: arena_parallel,
+        speedup_serial: reference / arena_serial,
+        speedup_parallel: reference / arena_parallel,
+    };
+
+    // ---- benefit matrix: per-pair whole graphs vs memoized batch -----------
+    let inputs: Vec<FeatureInput> = query_plans
+        .iter()
+        .flat_map(|q| {
+            view_plans.iter().map(|v| FeatureInput {
+                query: q.clone(),
+                view: v.clone(),
+                tables: tables(500.0),
+            })
+        })
+        .collect();
+
+    let start = Instant::now();
+    let cold: Vec<f64> = inputs.iter().map(|i| model.estimate_uncached(i)).collect();
+    let cold_seconds = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let memoized = model.predict_batch(&inputs);
+    let memoized_seconds = start.elapsed().as_secs_f64();
+    let (hits, misses) = model.encode_cache_stats();
+
+    let start = Instant::now();
+    let warm = model.predict_batch(&inputs);
+    let warm_seconds = start.elapsed().as_secs_f64();
+
+    // The fast path must agree with the seed path bitwise, pair by pair.
+    for ((c, m), w) in cold.iter().zip(&memoized).zip(&warm) {
+        assert_eq!(c.to_bits(), m.to_bits(), "memoized != cold estimate");
+        assert_eq!(c.to_bits(), w.to_bits(), "warm != cold estimate");
+    }
+
+    let matrix = MatrixResult {
+        queries,
+        views,
+        pairs: inputs.len(),
+        cold_seconds,
+        memoized_seconds,
+        warm_seconds,
+        speedup: cold_seconds / memoized_seconds.max(1e-12),
+        cache_hits: hits,
+        cache_misses: misses,
+    };
+
+    if let Some(path) = &trace_out {
+        let tracer = Tracer::new();
+        let traced = WideDeep::fit_with_tracer(&train, config, &tracer)
+            .0
+            .with_tracer(tracer.clone());
+        let _ = traced.predict_batch(&inputs[..inputs.len().min(64)]);
+        let snap = tracer.snapshot();
+        std::fs::write(path, av_trace::chrome_trace(&snap)).expect("trace written");
+        println!("wrote {path} ({} spans) — open in chrome://tracing", snap.spans.len());
+    }
+
+    let report = NnBenchReport {
+        kernel: kernel.clone(),
+        epoch: epoch.clone(),
+        matrix: matrix.clone(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_nn.json", &json).expect("BENCH_nn.json written");
+
+    let rows: Vec<Vec<String>> = kernel
+        .iter()
+        .map(|k| {
+            vec![
+                format!("{}x{}x{}", k.m, k.k, k.n),
+                format!("{:.2}", k.naive_gflops),
+                format!("{:.2}", k.blocked_gflops),
+                format!("{:.2}x", k.speedup),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        av_bench::render_table(&["matmul", "naive GFLOP/s", "blocked GFLOP/s", "speedup"], &rows)
+    );
+    println!(
+        "\nepoch ({} samples, {} epochs): reference {:.3}s, arena serial {:.3}s ({:.2}x), parallel x{} {:.3}s ({:.2}x)",
+        epoch.train_samples,
+        epoch.epochs,
+        epoch.reference_epoch_seconds,
+        epoch.arena_serial_epoch_seconds,
+        epoch.speedup_serial,
+        epoch.threads,
+        epoch.arena_parallel_epoch_seconds,
+        epoch.speedup_parallel,
+    );
+    println!(
+        "benefit matrix ({}x{} = {} pairs): cold {:.3}s, memoized {:.3}s ({:.2}x), warm {:.3}s; cache {} hits / {} misses",
+        matrix.queries,
+        matrix.views,
+        matrix.pairs,
+        matrix.cold_seconds,
+        matrix.memoized_seconds,
+        matrix.speedup,
+        matrix.warm_seconds,
+        matrix.cache_hits,
+        matrix.cache_misses,
+    );
+    println!("\nwrote BENCH_nn.json");
+
+    assert!(
+        epoch.speedup_serial > 1.0 || epoch.speedup_parallel > 1.0,
+        "arena trainer must beat the reference path"
+    );
+    assert!(
+        matrix.speedup > 1.0,
+        "memoized benefit matrix must beat per-pair forwards"
+    );
+    assert!(
+        matrix.cache_misses <= (queries + views) as u64,
+        "each distinct plan should be encoded at most once"
+    );
+}

@@ -208,7 +208,10 @@ impl AutoViewSystem {
                         .iter()
                         .map(|p| (p.sample.input.clone(), p.sample.cost_qv))
                         .collect();
-                    Box::new(WideDeep::fit_with_tracer(&train, cfg.clone(), &tracer).0)
+                    let model = WideDeep::fit_with_tracer(&train, cfg.clone(), &tracer)
+                        .0
+                        .with_tracer(tracer.clone());
+                    Box::new(model)
                 }
             }
         });
@@ -233,17 +236,25 @@ impl AutoViewSystem {
     ) -> MvsInstance {
         let nc = pre.analysis.candidates.len();
         let mut benefits = vec![vec![0.0; nc]; self.queries.len()];
+        // Collect every (query, candidate) pair first and score them in one
+        // estimator_batch call: a batched estimator (Wide-Deep) then encodes
+        // each distinct plan once instead of once per pair.
+        let mut pairs_ix: Vec<(usize, usize)> = Vec::new();
+        let mut inputs: Vec<FeatureInput> = Vec::new();
         for (i, ms) in pre.analysis.query_matches.iter().enumerate() {
             for m in ms {
                 let cand = &pre.analysis.candidates[m.candidate];
-                let input = FeatureInput {
+                pairs_ix.push((i, m.candidate));
+                inputs.push(FeatureInput {
                     query: self.queries[i].clone(),
                     view: cand.plan.clone(),
                     tables: tables_meta(&self.catalog, &self.queries[i], &cand.plan),
-                };
-                let est_qv = estimator.estimate(&input);
-                benefits[i][m.candidate] = pre.query_costs[i] - est_qv;
+                });
             }
+        }
+        let estimates = estimator.estimate_batch(&inputs);
+        for (&(i, cand), est_qv) in pairs_ix.iter().zip(estimates) {
+            benefits[i][cand] = pre.query_costs[i] - est_qv;
         }
         MvsInstance {
             benefits,

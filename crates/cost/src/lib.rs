@@ -44,6 +44,14 @@ pub trait CostEstimator {
     /// Predicted `A_{β,γ}(q|v)` in dollars.
     fn estimate(&self, input: &FeatureInput) -> f64;
 
+    /// Predict many inputs at once, in order. The default simply maps
+    /// [`CostEstimator::estimate`]; models with a batched forward path
+    /// (e.g. [`widedeep::WideDeep`]) override this to share plan encodings
+    /// across inputs when scoring a whole benefit matrix.
+    fn estimate_batch(&self, inputs: &[FeatureInput]) -> Vec<f64> {
+        inputs.iter().map(|i| self.estimate(i)).collect()
+    }
+
     /// Display name for experiment tables.
     fn name(&self) -> &'static str;
 }

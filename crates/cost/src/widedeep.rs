@@ -18,16 +18,40 @@
 //! - **N-Kw** — one-hot vectors replace keyword embeddings;
 //! - **N-Str** — one-hot char histograms replace char embeddings and the CNN;
 //! - **N-Exp** — average pooling replaces both LSTMs.
+//!
+//! ## Compute path
+//!
+//! Training and inference run on a throughput-oriented path that is
+//! numerically identical to the straightforward one:
+//!
+//! - every sample is **prepared once** (tokenized, vocab-indexed,
+//!   normalized) before the first epoch, instead of re-deriving features
+//!   at every use;
+//! - each worker owns an **arena-reused [`Graph`]** (`reset` between
+//!   samples), so a steady-state epoch performs no heap allocation;
+//! - minibatches fan out across `threads` scoped workers, each writing
+//!   per-sample gradient blocks that are reduced **in ascending sample
+//!   order** — `threads = N` is bitwise-identical to serial;
+//! - inference goes through [`WideDeep::predict_batch`], which memoizes
+//!   `De(plan)` LSTM encodings by plan fingerprint and pushes all samples
+//!   through one batched head graph. The cache lives inside the model, so
+//!   retraining (a new model) invalidates it by construction.
 
 use crate::baselines::{normalization_stats, normalize, scalar_stats};
 use crate::features::{numerical_features, plan_tokens, schema_keywords, FeatureInput, NUM_FEATURES};
 use crate::vocab::Vocab;
 use crate::CostEstimator;
-use av_nn::{Adam, BatchNorm, Conv3x1, Embedding, Graph, Linear, Lstm, NodeId, ParamStore, Tensor};
-use av_plan::Token;
+use av_nn::{
+    Adam, BatchNorm, Conv3x1, Embedding, GradBlock, Graph, Linear, Lstm, NodeId, ParamStore,
+    Tensor,
+};
+use av_plan::{plan_feature_rows, Fingerprint, Token};
 use rand::seq::SliceRandom;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Which part of the model is ablated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -71,6 +95,10 @@ pub struct WideDeepConfig {
     pub lr: f32,
     /// Batch size `b_s` (gradient-accumulation granularity).
     pub batch_size: usize,
+    /// Worker threads for minibatch training; `0` = one per available
+    /// core (capped at 8). Any value produces bitwise-identical results —
+    /// per-sample gradient blocks are reduced in fixed sample order.
+    pub threads: usize,
     /// Truncation cap on operator rows per plan (speed guard).
     pub max_operators: usize,
     /// Truncation cap on chars per string literal.
@@ -89,12 +117,78 @@ impl Default for WideDeepConfig {
             epochs: 25,
             lr: 5e-3,
             batch_size: 16,
+            threads: 0,
             max_operators: 16,
             max_string_len: 16,
             seed: 17,
             ablation: Ablation::None,
         }
     }
+}
+
+fn resolve_threads(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    }
+}
+
+/// A token after one-time preparation: vocab lookups done, string bytes
+/// resolved, ablation-specific constants (one-hot histograms) materialized.
+#[derive(Debug, Clone)]
+enum PreparedToken {
+    /// Keyword → vocab index.
+    Keyword(usize),
+    /// String literal → char indices (dense char-CNN path).
+    Chars(Vec<usize>),
+    /// String literal → pooled char histogram (`N-Str`).
+    Histogram(Vec<f32>),
+}
+
+#[derive(Debug, Clone)]
+struct PreparedPlan {
+    /// Per-operator token rows, already capped at `max_operators`.
+    rows: Vec<Vec<PreparedToken>>,
+}
+
+#[derive(Debug, Clone)]
+enum PreparedSchema {
+    /// `N-Kw`: pooled one-hot keyword histogram over the vocab.
+    Histogram(Vec<f32>),
+    /// Dense path: vocab indices to embed then mean-pool (may be empty).
+    Indices(Vec<usize>),
+}
+
+/// A feature input after one-time preparation (see [`PreparedToken`]).
+#[derive(Debug, Clone)]
+struct PreparedInput {
+    /// Z-normalized numerical features.
+    xn: Vec<f32>,
+    schema: PreparedSchema,
+    query: PreparedPlan,
+    view: PreparedPlan,
+}
+
+#[derive(Debug, Clone)]
+struct PreparedSample {
+    input: PreparedInput,
+    /// Normalized training target.
+    target: f32,
+}
+
+/// Memoized `De(plan)` encodings keyed by plan fingerprint. Lookup and
+/// insert only — never iterated, so no hash-order dependence can leak into
+/// results. Owned by the model: retraining builds a new model and therefore
+/// a new, empty cache.
+#[derive(Debug, Default)]
+struct EncoderCache {
+    map: Mutex<HashMap<u64, Tensor>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 /// A trained Wide-Deep cost model.
@@ -123,6 +217,8 @@ pub struct WideDeep {
     x_std: Vec<f64>,
     y_mean: f64,
     y_std: f64,
+    encoder_cache: EncoderCache,
+    tracer: av_trace::Tracer,
 }
 
 impl WideDeep {
@@ -139,15 +235,8 @@ impl WideDeep {
         Self::fit_with_tracer(samples, config, &av_trace::Tracer::disabled())
     }
 
-    /// Train with full observability: one `cost.epoch` span per epoch
-    /// (carrying mean loss and the last batch's gradient norm), per-batch
-    /// `cost.adam_step` timings, and `cost.epoch_loss` / `cost.grad_norm`
-    /// histograms in the tracer's metrics registry.
-    pub fn fit_with_tracer(
-        samples: &[(FeatureInput, f64)],
-        config: WideDeepConfig,
-        tracer: &av_trace::Tracer,
-    ) -> (WideDeep, Vec<f64>) {
+    /// Vocabulary + normalization bootstrap shared by all trainers.
+    fn bootstrap(samples: &[(FeatureInput, f64)], config: WideDeepConfig) -> WideDeep {
         // Vocabulary from the training split only.
         let mut vocab = Vocab::new();
         for (inp, _) in samples {
@@ -179,6 +268,93 @@ impl WideDeep {
         model.x_std = x_std;
         model.y_mean = y_mean;
         model.y_std = y_std;
+        model
+    }
+
+    /// Run one prepared sample through an arena graph and collect its
+    /// gradient block. Returns the sample's loss.
+    fn train_sample(&self, g: &mut Graph, sample: &PreparedSample, block: &mut GradBlock) -> f32 {
+        g.reset();
+        let pred = self.forward_prepared(g, &sample.input);
+        let mut tv = g.scratch(1, 1);
+        tv.set(0, 0, sample.target);
+        let t = g.input(tv);
+        let loss = g.mse(pred, t);
+        let loss_value = g.value(loss).get(0, 0);
+        g.backward(loss);
+        g.take_param_grads(block);
+        loss_value
+    }
+
+    /// Serial fast path: like [`WideDeep::train_sample`] but accumulates
+    /// the sample's gradients straight into the store, skipping the
+    /// detached block. Replaying blocks in ascending sample order performs
+    /// the identical `f32` additions (see [`GradBlock`]), so a single
+    /// worker using this path stays bitwise-equal to the multi-worker
+    /// reduction.
+    fn train_sample_direct(&mut self, g: &mut Graph, sample: &PreparedSample) -> f32 {
+        g.reset();
+        let pred = self.forward_prepared(g, &sample.input);
+        let mut tv = g.scratch(1, 1);
+        tv.set(0, 0, sample.target);
+        let t = g.input(tv);
+        let loss = g.mse(pred, t);
+        let loss_value = g.value(loss).get(0, 0);
+        g.backward(loss);
+        g.accumulate_param_grads(&mut self.store);
+        loss_value
+    }
+
+    /// Train with full observability: one `cost.epoch` span per epoch
+    /// (carrying mean loss and the last batch's gradient norm), per-batch
+    /// `cost.grad_reduce` / `cost.adam_step` timings, and
+    /// `cost.epoch_loss` / `cost.grad_norm` histograms in the tracer's
+    /// metrics registry.
+    ///
+    /// Minibatches are data-parallel: each of up to `config.threads`
+    /// workers owns an arena-reused graph and computes per-sample gradient
+    /// blocks for a contiguous slice of the batch; blocks are then reduced
+    /// in ascending sample order and scaled by `1/batch`, so the result is
+    /// bitwise-identical for any thread count.
+    pub fn fit_with_tracer(
+        samples: &[(FeatureInput, f64)],
+        config: WideDeepConfig,
+        tracer: &av_trace::Tracer,
+    ) -> (WideDeep, Vec<f64>) {
+        let mut model = Self::bootstrap(samples, config);
+
+        // Tokenize / vocab-index / normalize every sample exactly once.
+        let prepared: Vec<PreparedSample> = samples
+            .iter()
+            .map(|(inp, y)| PreparedSample {
+                input: model.prepare(inp),
+                target: ((y - model.y_mean) / model.y_std) as f32,
+            })
+            .collect();
+
+        let batch = model.config.batch_size.max(1);
+        let workers_max = resolve_threads(model.config.threads);
+        let mut graphs: Vec<Graph> = (0..workers_max).map(|_| Graph::new()).collect();
+        // Pin every parameter leaf into each worker's arena once: resets
+        // keep the leaves, so per-sample passes stop re-copying all the
+        // weights from the store. `refresh_params` below pushes each
+        // optimizer step's new values back into the pinned leaves.
+        for g in &mut graphs {
+            for pid in model.store.param_ids() {
+                g.param(&model.store, pid);
+            }
+            g.pin_params();
+        }
+        // Per-sample gradient blocks, allocated once and zeroed per batch.
+        // A single worker accumulates straight into the store instead
+        // (bitwise-identical, see `train_sample_direct`), so the blocks are
+        // only materialized when they can actually be filled in parallel.
+        let mut blocks: Vec<GradBlock> = if workers_max > 1 {
+            (0..batch).map(|_| GradBlock::for_store(&model.store)).collect()
+        } else {
+            Vec::new()
+        };
+        let mut losses = vec![0f32; batch];
 
         let mut adam = Adam::new(model.config.lr);
         let mut rng = ChaCha8Rng::seed_from_u64(model.config.seed);
@@ -191,23 +367,69 @@ impl WideDeep {
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
             let mut last_grad_norm = 0.0;
-            for chunk in order.chunks(model.config.batch_size.max(1)) {
-                model.store.zero_grads();
-                for &i in chunk {
-                    let (inp, y) = &samples[i];
-                    let mut g = Graph::new();
-                    let pred = model.forward(&mut g, inp);
-                    let target = ((y - model.y_mean) / model.y_std) as f32;
-                    let t = g.input(Tensor::from_vec(1, 1, vec![target]));
-                    let loss = g.mse(pred, t);
-                    epoch_loss += g.value(loss).get(0, 0) as f64;
-                    g.backward(loss);
-                    g.accumulate_param_grads(&mut model.store);
+            for chunk in order.chunks(batch) {
+                let n = chunk.len();
+                let workers = workers_max.min(n).max(1);
+                if workers == 1 {
+                    model.store.zero_grads();
+                    let g = &mut graphs[0];
+                    for (j, &i) in chunk.iter().enumerate() {
+                        losses[j] = model.train_sample_direct(g, &prepared[i]);
+                    }
+                } else {
+                    for block in &mut blocks[..n] {
+                        block.zero();
+                    }
+                    // Contiguous batch slices per worker; each sample's
+                    // gradient lands in its own block, so the reduction
+                    // below never depends on the partition.
+                    let per = n.div_ceil(workers);
+                    let model_ref = &model;
+                    let prepared_ref = &prepared;
+                    std::thread::scope(|s| {
+                        for (((idxs, bl), ls), g) in chunk
+                            .chunks(per)
+                            .zip(blocks[..n].chunks_mut(per))
+                            .zip(losses[..n].chunks_mut(per))
+                            .zip(graphs.iter_mut())
+                        {
+                            s.spawn(move || {
+                                for (j, &i) in idxs.iter().enumerate() {
+                                    ls[j] = model_ref.train_sample(
+                                        g,
+                                        &prepared_ref[i],
+                                        &mut bl[j],
+                                    );
+                                }
+                            });
+                        }
+                    });
                 }
+                for &l in &losses[..n] {
+                    epoch_loss += f64::from(l);
+                }
+                // Fixed-order reduction: block j is sample j's gradient
+                // regardless of which worker produced it, so replaying
+                // j = 0..n is the serial association exactly (sparse embed
+                // rows included — see `GradBlock`). The 1/n scale makes the
+                // step a true minibatch mean — the effective learning rate
+                // no longer grows with batch_size.
+                tracer.time("cost.grad_reduce", || {
+                    if workers > 1 {
+                        model.store.zero_grads();
+                        for block in &blocks[..n] {
+                            block.add_into(&mut model.store);
+                        }
+                    }
+                    model.store.scale_grads(1.0 / n as f32);
+                });
                 if tracer.is_enabled() {
                     last_grad_norm = model.store.grad_norm();
                 }
                 tracer.time("cost.adam_step", || adam.step(&mut model.store));
+                for g in &mut graphs {
+                    g.refresh_params(&model.store);
+                }
             }
             let mean_loss = epoch_loss / samples.len().max(1) as f64;
             trace.push(mean_loss);
@@ -221,6 +443,54 @@ impl WideDeep {
             }
         }
         (model, trace)
+    }
+
+    /// The pre-overhaul trainer, kept as the measured baseline for
+    /// `nn_bench`: a freshly allocated graph per sample in
+    /// [`Graph::set_reference_mode`] (the seed's one-node-per-primitive
+    /// tape and its clone-and-transpose backward), features re-derived
+    /// (tokenized, vocab-indexed, normalized) at every use, and the
+    /// optimizer stepped on the raw gradient sum. Numerically it is the
+    /// seed behavior; use [`WideDeep::fit`] for real training.
+    pub fn fit_reference(
+        samples: &[(FeatureInput, f64)],
+        config: WideDeepConfig,
+    ) -> (WideDeep, Vec<f64>) {
+        let mut model = Self::bootstrap(samples, config);
+        let mut adam = Adam::new(model.config.lr);
+        let mut rng = ChaCha8Rng::seed_from_u64(model.config.seed);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut trace = Vec::with_capacity(model.config.epochs);
+        for _ in 0..model.config.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            for chunk in order.chunks(model.config.batch_size.max(1)) {
+                model.store.zero_grads();
+                for &i in chunk {
+                    let (inp, y) = &samples[i];
+                    let mut g = Graph::new();
+                    g.set_reference_mode(true);
+                    let pred = model.forward(&mut g, inp);
+                    let target = ((y - model.y_mean) / model.y_std) as f32;
+                    let t = g.input(Tensor::from_vec(1, 1, vec![target]));
+                    let loss = g.mse(pred, t);
+                    epoch_loss += g.value(loss).get(0, 0) as f64;
+                    g.backward(loss);
+                    g.accumulate_param_grads(&mut model.store);
+                }
+                adam.step(&mut model.store);
+            }
+            trace.push(epoch_loss / samples.len().max(1) as f64);
+        }
+        (model, trace)
+    }
+
+    /// Attach a tracer so inference paths (`predict_batch`, the encoder
+    /// cache) emit `cost.forward_batch` / `cost.encode_cache` spans and
+    /// cache counters.
+    pub fn with_tracer(mut self, tracer: av_trace::Tracer) -> WideDeep {
+        self.tracer = tracer;
+        self
     }
 
     fn initialize(config: WideDeepConfig, vocab: Vocab) -> WideDeep {
@@ -282,44 +552,114 @@ impl WideDeep {
             x_std: vec![1.0; NUM_FEATURES],
             y_mean: 0.0,
             y_std: 1.0,
+            encoder_cache: EncoderCache::default(),
+            tracer: av_trace::Tracer::disabled(),
         }
     }
 
-    /// Encode one keyword token → `1×token_dim` node.
-    fn encode_keyword(&self, g: &mut Graph, kw: &str) -> NodeId {
-        let idx = self.vocab.index(kw);
+    /// Width of the schema encoding `Dm`.
+    fn schema_dim(&self) -> usize {
+        match self.config.ablation {
+            Ablation::NKw => self.vocab.len(),
+            _ => self.config.embed_dim,
+        }
+    }
+
+    /// Width of a plan encoding `De`.
+    fn de_dim(&self) -> usize {
+        match self.config.ablation {
+            Ablation::NExp => self.token_dim,
+            _ => self.config.lstm2_hidden,
+        }
+    }
+
+    // ---- one-time sample preparation --------------------------------------
+
+    fn prepare(&self, input: &FeatureInput) -> PreparedInput {
+        let x = numerical_features(input);
+        let xn = normalize(&x, &self.x_mean, &self.x_std);
+        let schema = self.prepare_schema(&schema_keywords(input));
+        let (q_rows, v_rows) = plan_tokens(input);
+        PreparedInput {
+            xn,
+            schema,
+            query: self.prepare_plan(&q_rows),
+            view: self.prepare_plan(&v_rows),
+        }
+    }
+
+    fn prepare_plan(&self, rows: &[Vec<Token>]) -> PreparedPlan {
+        let rows = &rows[..rows.len().min(self.config.max_operators)];
+        PreparedPlan {
+            rows: rows
+                .iter()
+                .map(|row| row.iter().map(|t| self.prepare_token(t)).collect())
+                .collect(),
+        }
+    }
+
+    fn prepare_token(&self, tok: &Token) -> PreparedToken {
+        match tok {
+            Token::Keyword(k) => PreparedToken::Keyword(self.vocab.index(k)),
+            Token::Str(s) => {
+                let chars: Vec<usize> = s
+                    .bytes()
+                    .take(self.config.max_string_len)
+                    .map(|b| (b & 0x7f) as usize)
+                    .collect();
+                let chars = if chars.is_empty() { vec![0] } else { chars };
+                match self.config.ablation {
+                    Ablation::NStr => {
+                        // One-hot chars, no CNN: the pooled char histogram.
+                        let mut h = vec![0f32; self.token_dim];
+                        for &c in &chars {
+                            h[c] += 1.0 / chars.len() as f32;
+                        }
+                        PreparedToken::Histogram(h)
+                    }
+                    _ => PreparedToken::Chars(chars),
+                }
+            }
+        }
+    }
+
+    fn prepare_schema(&self, keywords: &[String]) -> PreparedSchema {
         match self.config.ablation {
             Ablation::NKw => {
-                let mut t = Tensor::zeros(1, self.token_dim);
-                t.set(0, idx.min(self.token_dim - 1), 1.0);
-                g.input(t)
+                let dim = self.vocab.len();
+                let mut h = vec![0f32; dim];
+                if !keywords.is_empty() {
+                    for kw in keywords {
+                        h[self.vocab.index(kw).min(dim - 1)] += 1.0 / keywords.len() as f32;
+                    }
+                }
+                PreparedSchema::Histogram(h)
             }
-            _ => {
-                let e = self.kw_embed.forward_with(g, &self.store, &[idx]);
-                self.pad_to_token_dim(g, e, self.config.embed_dim)
-            }
+            _ => PreparedSchema::Indices(
+                keywords.iter().map(|k| self.vocab.index(k)).collect(),
+            ),
         }
     }
 
-    /// Encode one string literal → `1×token_dim` node (paper Fig. 6).
-    fn encode_string(&self, g: &mut Graph, s: &str) -> NodeId {
-        let chars: Vec<usize> = s
-            .bytes()
-            .take(self.config.max_string_len)
-            .map(|b| (b & 0x7f) as usize)
-            .collect();
-        let chars = if chars.is_empty() { vec![0] } else { chars };
-        match self.config.ablation {
-            Ablation::NStr => {
-                // One-hot chars, no CNN: the pooled char histogram.
-                let mut t = Tensor::zeros(1, self.token_dim);
-                for &c in &chars {
-                    *t.get_mut(0, c) += 1.0 / chars.len() as f32;
+    // ---- encoders ----------------------------------------------------------
+
+    /// Encode one prepared token → `1×token_dim` node.
+    fn encode_token(&self, g: &mut Graph, tok: &PreparedToken) -> NodeId {
+        match tok {
+            PreparedToken::Keyword(idx) => match self.config.ablation {
+                Ablation::NKw => {
+                    let mut t = g.scratch(1, self.token_dim);
+                    t.set(0, (*idx).min(self.token_dim - 1), 1.0);
+                    g.input(t)
                 }
-                g.input(t)
-            }
-            _ => {
-                let emb = self.char_embed.forward_with(g, &self.store, &chars);
+                _ => {
+                    let e = self.kw_embed.forward_with(g, &self.store, &[*idx]);
+                    self.pad_to_token_dim(g, e, self.config.embed_dim)
+                }
+            },
+            PreparedToken::Chars(chars) => {
+                // The String Encoding model (paper Fig. 6).
+                let emb = self.char_embed.forward_with(g, &self.store, chars);
                 let c1 = self.conv1.forward_with(g, &self.store, emb);
                 let b1 = self.bn1.forward_with(g, &self.store, c1);
                 let r1 = g.relu(b1);
@@ -329,6 +669,11 @@ impl WideDeep {
                 let pooled = g.mean_rows(r2);
                 self.pad_to_token_dim(g, pooled, self.config.embed_dim)
             }
+            PreparedToken::Histogram(h) => {
+                let mut t = g.scratch(1, self.token_dim);
+                t.row_mut(0).copy_from_slice(h);
+                g.input(t)
+            }
         }
     }
 
@@ -336,23 +681,17 @@ impl WideDeep {
         if width == self.token_dim {
             return node;
         }
-        let pad = g.input(Tensor::zeros(1, self.token_dim - width));
+        let pad = g.scratch(1, self.token_dim - width);
+        let pad = g.input(pad);
         g.concat_cols(&[node, pad])
     }
 
-    /// Encode a plan (its token rows) → `1×de_dim` node.
-    fn encode_plan(&self, g: &mut Graph, rows: &[Vec<Token>]) -> NodeId {
-        let rows = &rows[..rows.len().min(self.config.max_operators)];
-        let mut op_vecs: Vec<NodeId> = Vec::with_capacity(rows.len());
+    /// Encode a prepared plan → `1×de_dim` node.
+    fn encode_plan_prepared(&self, g: &mut Graph, plan: &PreparedPlan) -> NodeId {
+        let mut op_vecs: Vec<NodeId> = Vec::with_capacity(plan.rows.len());
         let mut all_tokens: Vec<NodeId> = Vec::new();
-        for row in rows {
-            let toks: Vec<NodeId> = row
-                .iter()
-                .map(|t| match t {
-                    Token::Keyword(k) => self.encode_keyword(g, k),
-                    Token::Str(s) => self.encode_string(g, s),
-                })
-                .collect();
+        for row in &plan.rows {
+            let toks: Vec<NodeId> = row.iter().map(|t| self.encode_token(g, t)).collect();
             if self.config.ablation == Ablation::NExp {
                 all_tokens.extend(&toks);
             } else {
@@ -367,47 +706,30 @@ impl WideDeep {
         }
     }
 
-    /// Encode the schema keyword set → `1×schema_dim` node (Fig. 7b).
-    fn encode_schema(&self, g: &mut Graph, keywords: &[String]) -> NodeId {
-        match self.config.ablation {
-            Ablation::NKw => {
-                let dim = self.vocab.len();
-                let mut t = Tensor::zeros(1, dim);
-                if !keywords.is_empty() {
-                    for kw in keywords {
-                        let idx = self.vocab.index(kw).min(dim - 1);
-                        *t.get_mut(0, idx) += 1.0 / keywords.len() as f32;
-                    }
-                }
+    /// Encode a prepared schema keyword set → `1×schema_dim` node (Fig. 7b).
+    fn encode_schema_prepared(&self, g: &mut Graph, schema: &PreparedSchema) -> NodeId {
+        match schema {
+            PreparedSchema::Histogram(h) => {
+                let mut t = g.scratch(1, h.len());
+                t.row_mut(0).copy_from_slice(h);
                 g.input(t)
             }
-            _ => {
-                if keywords.is_empty() {
-                    return g.input(Tensor::zeros(1, self.config.embed_dim));
+            PreparedSchema::Indices(indices) => {
+                if indices.is_empty() {
+                    let t = g.scratch(1, self.config.embed_dim);
+                    return g.input(t);
                 }
-                let indices: Vec<usize> =
-                    keywords.iter().map(|k| self.vocab.index(k)).collect();
-                let emb = self.kw_embed.forward_with(g, &self.store, &indices);
+                let emb = self.kw_embed.forward_with(g, &self.store, indices);
                 g.mean_rows(emb)
             }
         }
     }
 
-    /// Full forward pass → normalized prediction node (`1×1`).
-    fn forward(&self, g: &mut Graph, input: &FeatureInput) -> NodeId {
-        // Wide part.
-        let x = numerical_features(input);
-        let xn = normalize(&x, &self.x_mean, &self.x_std);
-        let dc = g.input(Tensor::from_rows(&[&xn]));
-        let dw = self.wide.forward_with(g, &self.store, dc);
-
-        // Deep part.
-        let dm = self.encode_schema(g, &schema_keywords(input));
-        let (q_rows, v_rows) = plan_tokens(input);
-        let de_q = self.encode_plan(g, &q_rows);
-        let de_v = self.encode_plan(g, &v_rows);
-        let dr = g.concat_cols(&[dc, dm, de_q, de_v]);
-
+    /// ResNet blocks + regressor shared by the per-sample and batched
+    /// forward paths. `dw` is `n×wide_dim`, `dr` is `n×dr_dim`; every op is
+    /// row-wise independent, so batched rows match single-sample runs
+    /// bitwise.
+    fn head(&self, g: &mut Graph, dw: NodeId, dr: NodeId) -> NodeId {
         // Two ResNet blocks: Z = Dr ⊕ ReLU(FC(ReLU(FC(Dr)))).
         let h = self.fc1.forward_with(g, &self.store, dr);
         let h = g.relu(h);
@@ -427,17 +749,152 @@ impl WideDeep {
         self.fc6.forward_with(g, &self.store, h)
     }
 
+    /// Full forward pass over a prepared input → normalized `1×1` node.
+    fn forward_prepared(&self, g: &mut Graph, p: &PreparedInput) -> NodeId {
+        // Wide part.
+        let mut dc_t = g.scratch(1, NUM_FEATURES);
+        dc_t.row_mut(0).copy_from_slice(&p.xn);
+        let dc = g.input(dc_t);
+        let dw = self.wide.forward_with(g, &self.store, dc);
+
+        // Deep part.
+        let dm = self.encode_schema_prepared(g, &p.schema);
+        let de_q = self.encode_plan_prepared(g, &p.query);
+        let de_v = self.encode_plan_prepared(g, &p.view);
+        let dr = g.concat_cols(&[dc, dm, de_q, de_v]);
+
+        self.head(g, dw, dr)
+    }
+
+    /// Full forward pass → normalized prediction node (`1×1`).
+    fn forward(&self, g: &mut Graph, input: &FeatureInput) -> NodeId {
+        let p = self.prepare(input);
+        self.forward_prepared(g, &p)
+    }
+
+    // ---- batched + memoized inference --------------------------------------
+
+    /// `De(plan)` through the fingerprint-keyed cache. Encodings depend
+    /// only on the plan and the (frozen) parameters, so a hit is bitwise
+    /// identical to a cold encode.
+    fn encode_plan_cached(&self, g: &mut Graph, plan: &av_plan::PlanNode) -> Tensor {
+        let key = Fingerprint::of(plan).0;
+        if let Some(t) = self
+            .encoder_cache
+            .map
+            .lock()
+            .expect("encoder cache poisoned")
+            .get(&key)
+        {
+            self.encoder_cache.hits.fetch_add(1, Ordering::Relaxed);
+            if self.tracer.is_enabled() {
+                self.tracer.metrics().inc("cost.encode_cache.hit");
+            }
+            return t.clone();
+        }
+        self.encoder_cache.misses.fetch_add(1, Ordering::Relaxed);
+        if self.tracer.is_enabled() {
+            self.tracer.metrics().inc("cost.encode_cache.miss");
+        }
+        let enc = self.tracer.time("cost.encode_cache", || {
+            let prepared = self.prepare_plan(&plan_feature_rows(plan));
+            g.reset();
+            let node = self.encode_plan_prepared(g, &prepared);
+            g.value(node).clone()
+        });
+        self.encoder_cache
+            .map
+            .lock()
+            .expect("encoder cache poisoned")
+            .insert(key, enc.clone());
+        enc
+    }
+
+    /// Cache hit/miss counts accumulated over the model's lifetime.
+    pub fn encode_cache_stats(&self) -> (u64, u64) {
+        (
+            self.encoder_cache.hits.load(Ordering::Relaxed),
+            self.encoder_cache.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Estimate many inputs in one pass: plan encodings are memoized by
+    /// fingerprint (each distinct query/view is encoded once, not once per
+    /// pair) and all rows go through a single batched head graph. Every
+    /// head op is row-wise independent, so each returned value is bitwise
+    /// identical to [`WideDeep::estimate_uncached`] on the same input.
+    pub fn predict_batch(&self, inputs: &[FeatureInput]) -> Vec<f64> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let _span = self.tracer.span("cost.forward_batch");
+        let n = inputs.len();
+        let mut dc = Tensor::zeros(n, NUM_FEATURES);
+        let mut dm = Tensor::zeros(n, self.schema_dim());
+        let mut de_q = Tensor::zeros(n, self.de_dim());
+        let mut de_v = Tensor::zeros(n, self.de_dim());
+        let mut enc_graph = Graph::new();
+        for (r, inp) in inputs.iter().enumerate() {
+            let x = numerical_features(inp);
+            let xn = normalize(&x, &self.x_mean, &self.x_std);
+            dc.row_mut(r).copy_from_slice(&xn);
+            // Schema depends on the input's table set, not a plan — encode
+            // it directly (cheap mean-pool), reusing the arena graph.
+            let schema = self.prepare_schema(&schema_keywords(inp));
+            enc_graph.reset();
+            let node = self.encode_schema_prepared(&mut enc_graph, &schema);
+            dm.row_mut(r).copy_from_slice(enc_graph.value(node).row(0));
+            let q = self.encode_plan_cached(&mut enc_graph, &inp.query);
+            de_q.row_mut(r).copy_from_slice(q.row(0));
+            let v = self.encode_plan_cached(&mut enc_graph, &inp.view);
+            de_v.row_mut(r).copy_from_slice(v.row(0));
+        }
+
+        let mut g = Graph::new();
+        let dc = g.input(dc);
+        let dm = g.input(dm);
+        let de_q = g.input(de_q);
+        let de_v = g.input(de_v);
+        let dw = self.wide.forward_with(&mut g, &self.store, dc);
+        let dr = g.concat_cols(&[dc, dm, de_q, de_v]);
+        let out = self.head(&mut g, dw, dr);
+        (0..n)
+            .map(|r| g.value(out).get(r, 0) as f64 * self.y_std + self.y_mean)
+            .collect()
+    }
+
+    /// One-sample estimate bypassing the encoder cache and the batched
+    /// head: the original whole-model graph per call. Baseline for
+    /// `nn_bench` and the cache-consistency property tests.
+    pub fn estimate_uncached(&self, input: &FeatureInput) -> f64 {
+        let mut g = Graph::new();
+        let pred = self.forward(&mut g, input);
+        g.value(pred).get(0, 0) as f64 * self.y_std + self.y_mean
+    }
+
     /// Number of trainable scalars (for documentation / sanity checks).
     pub fn parameter_count(&self) -> usize {
         self.store.scalar_count()
+    }
+
+    /// Bit-exact snapshot of every parameter scalar, in `ParamId` order.
+    /// Lets determinism tests compare two trained models without exposing
+    /// the store.
+    pub fn param_bits(&self) -> Vec<u32> {
+        self.store
+            .values_iter()
+            .flat_map(|t| t.as_slice().iter().map(|v| v.to_bits()))
+            .collect()
     }
 }
 
 impl CostEstimator for WideDeep {
     fn estimate(&self, input: &FeatureInput) -> f64 {
-        let mut g = Graph::new();
-        let pred = self.forward(&mut g, input);
-        g.value(pred).get(0, 0) as f64 * self.y_std + self.y_mean
+        self.predict_batch(std::slice::from_ref(input))[0]
+    }
+
+    fn estimate_batch(&self, inputs: &[FeatureInput]) -> Vec<f64> {
+        self.predict_batch(inputs)
     }
 
     fn name(&self) -> &'static str {

@@ -20,6 +20,14 @@ use std::sync::Mutex;
 /// thread count.
 pub const CHUNK_ROWS: usize = 1024;
 
+/// Below this many rows the parallel path runs serially even when threads
+/// are available: `BENCH_exec.json` showed every micro op at 12–16k rows
+/// losing to serial (speedup 0.80–0.94×) because scoped-spawn plus result
+/// collection costs more than the work saved. Chunk boundaries are
+/// unchanged, so the cutover cannot affect results — only who computes
+/// them.
+pub const PAR_MIN_ROWS: usize = 32_768;
+
 /// Default executor thread count: one worker per available core, capped to
 /// keep scoped-spawn overhead bounded on very wide machines.
 pub fn default_threads() -> usize {
@@ -42,17 +50,18 @@ fn chunk_range(idx: usize, rows: usize) -> Range<usize> {
 /// Apply `f` to every chunk of `0..rows` and return the per-chunk results in
 /// ascending chunk order.
 ///
-/// With `threads <= 1` (or a single chunk) the chunks run sequentially on
-/// the calling thread; otherwise a scoped worker pool pulls chunk indices
-/// from an atomic counter. Either way the returned `Vec` is ordered by chunk
-/// index, so callers can concatenate or fold the results deterministically.
+/// With `threads <= 1`, a single chunk, or fewer than [`PAR_MIN_ROWS`] rows
+/// the chunks run sequentially on the calling thread; otherwise a scoped
+/// worker pool pulls chunk indices from an atomic counter. Either way the
+/// returned `Vec` is ordered by chunk index, so callers can concatenate or
+/// fold the results deterministically.
 pub fn map_chunks<T, F>(rows: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, Range<usize>) -> T + Sync,
 {
     let chunks = chunk_count(rows);
-    if threads <= 1 || chunks <= 1 {
+    if threads <= 1 || chunks <= 1 || rows < PAR_MIN_ROWS {
         return (0..chunks).map(|i| f(i, chunk_range(i, rows))).collect();
     }
 
@@ -114,6 +123,28 @@ mod tests {
         let serial: Vec<u64> = map_chunks(rows, 1, |_, r| r.map(|x| x as u64).sum());
         for threads in [2, 3, 8] {
             let par: Vec<u64> = map_chunks(rows, threads, |_, r| r.map(|x| x as u64).sum());
+            assert_eq!(serial, par);
+        }
+    }
+
+    #[test]
+    fn small_batches_stay_on_the_calling_thread() {
+        // Below the cutover no worker threads spawn, so every chunk runs on
+        // the caller — observable via thread ids.
+        let caller = std::thread::current().id();
+        let rows = PAR_MIN_ROWS - 1;
+        let ids: Vec<std::thread::ThreadId> =
+            map_chunks(rows, 8, |_, _| std::thread::current().id());
+        assert_eq!(ids.len(), chunk_count(rows));
+        assert!(ids.iter().all(|id| *id == caller));
+    }
+
+    #[test]
+    fn cutover_changes_no_results() {
+        // Rows straddling the cutover produce identical chunking either side.
+        for rows in [PAR_MIN_ROWS - 1, PAR_MIN_ROWS, PAR_MIN_ROWS + 1] {
+            let serial: Vec<u64> = map_chunks(rows, 1, |_, r| r.map(|x| x as u64).sum());
+            let par: Vec<u64> = map_chunks(rows, 4, |_, r| r.map(|x| x as u64).sum());
             assert_eq!(serial, par);
         }
     }

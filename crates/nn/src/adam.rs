@@ -42,20 +42,34 @@ impl Adam {
         let bc1 = 1.0 - (f64::from(self.beta1).powf(self.t as f64)) as f32;
         let bc2 = 1.0 - (f64::from(self.beta2).powf(self.t as f64)) as f32;
         for p in store.params_mut() {
-            let mut g = p.grad.clone();
-            let norm = g.norm();
-            if norm > Self::MAX_GRAD_NORM {
-                g.scale_assign(Self::MAX_GRAD_NORM / norm);
-            }
-            for i in 0..g.as_slice().len() {
-                let gi = g.as_slice()[i];
-                let m = &mut p.adam_m.as_mut_slice()[i];
+            // Clip via a multiplier instead of materializing a scaled clone;
+            // `gi = grad·clip` is the same f32 product either way.
+            let norm = p.grad.norm();
+            let clip = if norm > Self::MAX_GRAD_NORM {
+                Self::MAX_GRAD_NORM / norm
+            } else {
+                1.0
+            };
+            // Zipped slices keep the inner loop free of bounds checks; the
+            // per-element arithmetic is unchanged.
+            for ((&g, m), (v, w)) in p
+                .grad
+                .as_slice()
+                .iter()
+                .zip(p.adam_m.as_mut_slice().iter_mut())
+                .zip(
+                    p.adam_v
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(p.value.as_mut_slice().iter_mut()),
+                )
+            {
+                let gi = g * clip;
                 *m = self.beta1 * *m + (1.0 - self.beta1) * gi;
-                let v = &mut p.adam_v.as_mut_slice()[i];
                 *v = self.beta2 * *v + (1.0 - self.beta2) * gi * gi;
                 let mhat = *m / bc1;
                 let vhat = *v / bc2;
-                p.value.as_mut_slice()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+                *w -= self.lr * mhat / (vhat.sqrt() + self.eps);
             }
             p.grad.zero();
         }

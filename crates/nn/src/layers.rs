@@ -32,8 +32,7 @@ impl Linear {
     pub fn forward_with(&self, g: &mut Graph, store: &ParamStore, x: NodeId) -> NodeId {
         let w = g.param(store, self.w);
         let b = g.param(store, self.b);
-        let y = g.matmul(x, w);
-        g.add_row(y, b)
+        g.affine(x, w, b)
     }
 }
 
@@ -97,12 +96,47 @@ impl Lstm {
 
     /// Run over `steps` (each `1×input`), return the final hidden state.
     /// An empty sequence returns the zero initial state.
+    ///
+    /// By default each timestep is one fused [`Graph::lstm_cell`] tape node;
+    /// [`Graph::set_reference_mode`] falls back to the unrolled primitive
+    /// composition. The hidden state is bitwise identical in both modes
+    /// (see `fused_cell_matches_unrolled_composition`).
     pub fn forward_with(&self, g: &mut Graph, store: &ParamStore, steps: &[NodeId]) -> NodeId {
+        if g.reference_mode() {
+            return self.forward_with_unfused(g, store, steps);
+        }
         let wx = g.param(store, self.wx);
         let wh = g.param(store, self.wh);
         let b = g.param(store, self.b);
-        let mut h = g.input(crate::tensor::Tensor::zeros(1, self.hidden));
-        let mut c = g.input(crate::tensor::Tensor::zeros(1, self.hidden));
+        let mut prev: Option<NodeId> = None;
+        for &x in steps {
+            prev = Some(g.lstm_cell(x, prev, wx, wh, b, self.hidden));
+        }
+        match prev {
+            Some(hc) => g.slice_cols(hc, 0, self.hidden),
+            None => {
+                let h0 = g.scratch(1, self.hidden);
+                g.input(h0)
+            }
+        }
+    }
+
+    /// The original unrolled cell: ~16 primitive tape nodes per step. Kept
+    /// as the reference composition the fused op is checked against, and as
+    /// the tape shape for seed-faithful benchmark baselines.
+    pub fn forward_with_unfused(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        steps: &[NodeId],
+    ) -> NodeId {
+        let wx = g.param(store, self.wx);
+        let wh = g.param(store, self.wh);
+        let b = g.param(store, self.b);
+        let h0 = g.scratch(1, self.hidden);
+        let mut h = g.input(h0);
+        let c0 = g.scratch(1, self.hidden);
+        let mut c = g.input(c0);
         for &x in steps {
             let xg = g.matmul(x, wx);
             let hg = g.matmul(h, wh);
@@ -147,7 +181,7 @@ impl Lstm {
 /// one-hot row, so gradients flow back into the source matrix.
 pub fn slice_row(g: &mut Graph, x: NodeId, r: usize) -> NodeId {
     let rows = g.value(x).rows();
-    let mut sel = crate::tensor::Tensor::zeros(1, rows);
+    let mut sel = g.scratch(1, rows);
     sel.set(0, r, 1.0);
     let sel = g.input(sel);
     g.matmul(sel, x)
@@ -241,6 +275,54 @@ mod tests {
         assert_eq!(g.value(h).shape(), (1, 6));
         let h0 = l.forward_with(&mut g, &store, &[]);
         assert_eq!(g.value(h0), &Tensor::zeros(1, 6));
+    }
+
+    #[test]
+    fn fused_cell_matches_unrolled_composition() {
+        // The fused LstmCell op must produce a bitwise-identical hidden
+        // state to the primitive composition, and numerically matching
+        // parameter gradients (the reduction order inside backward differs,
+        // so grads are compared with a tolerance, not bitwise).
+        let mut store = ParamStore::with_seed(11);
+        let l = Lstm::new(&mut store, 3, 5);
+        let rows: [&[f32]; 3] = [
+            &[0.3, -1.2, 0.7],
+            &[-0.5, 0.0, 2.1],
+            &[1.0, 0.25, -0.75],
+        ];
+        let run = |fused: bool, store: &ParamStore| {
+            let mut g = Graph::new();
+            g.set_reference_mode(!fused);
+            let steps: Vec<NodeId> = rows
+                .iter()
+                .map(|r| g.input(Tensor::from_rows(&[r])))
+                .collect();
+            let h = l.forward_with(&mut g, store, &steps);
+            let value = g.value(h).clone();
+            let loss = g.mean_all(h);
+            g.backward(loss);
+            let grads: Vec<Tensor> = [l.wx, l.wh, l.b]
+                .iter()
+                .map(|&p| {
+                    // `param` dedupes, so this returns the node created
+                    // during the forward pass rather than a fresh leaf.
+                    let n = g.param(store, p);
+                    g.grad(n)
+                })
+                .collect();
+            (value, grads)
+        };
+        let (h_fused, g_fused) = run(true, &store);
+        let (h_ref, g_ref) = run(false, &store);
+        let bits = |t: &Tensor| -> Vec<u32> {
+            t.as_slice().iter().map(|v| v.to_bits()).collect()
+        };
+        assert_eq!(bits(&h_fused), bits(&h_ref), "fused hidden state must be bitwise equal");
+        for (gf, gr) in g_fused.iter().zip(&g_ref) {
+            for (a, b) in gf.as_slice().iter().zip(gr.as_slice()) {
+                assert!((a - b).abs() <= 1e-5 * (1.0 + b.abs()), "grad mismatch: {a} vs {b}");
+            }
+        }
     }
 
     #[test]

@@ -44,6 +44,6 @@ pub mod layers;
 pub mod tensor;
 
 pub use adam::Adam;
-pub use graph::{Graph, NodeId};
+pub use graph::{GradBlock, Graph, NodeId};
 pub use layers::{BatchNorm, Conv3x1, Embedding, Linear, Lstm};
 pub use tensor::{ParamId, ParamStore, Tensor};

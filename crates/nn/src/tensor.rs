@@ -125,6 +125,200 @@ impl Tensor {
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Rows per k-panel of the blocked matmul kernel. Sized so one panel of
+    /// the right-hand matrix (`K_BLOCK × n` floats) stays L1-resident across
+    /// every row of the left-hand matrix.
+    pub const K_BLOCK: usize = 64;
+
+    /// Blocked matrix product `out = self × other`, writing into a caller
+    /// -owned (arena-recycled) output tensor.
+    ///
+    /// The kernel panels the shared dimension `k` in [`Tensor::K_BLOCK`]
+    /// chunks so a panel of `other` is reused across all rows of `self`
+    /// while hot in cache. For every output cell the accumulation over `k`
+    /// still runs in ascending order — panel boundaries only reorder the
+    /// *row* loop — so the result is bitwise identical to the naive
+    /// `i·k·j` kernel ([`matmul_naive`]) and independent of the block size.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension or output-shape mismatch.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {:?} × {:?}",
+            self.shape(),
+            other.shape()
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.cols),
+            "matmul output shape mismatch"
+        );
+        out.zero();
+        let n = other.cols;
+        for k0 in (0..self.cols).step_by(Self::K_BLOCK) {
+            let k1 = (k0 + Self::K_BLOCK).min(self.cols);
+            for i in 0..self.rows {
+                let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (k, &a) in arow.iter().enumerate().take(k1).skip(k0) {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let orow = &other.data[k * n..(k + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(orow) {
+                        *o += a * b;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `out = v × self` for a row vector `v` (`1×k` over a `k×n` matrix),
+    /// writing into a `1×n` output. Same inner structure as
+    /// [`Tensor::matmul_into`] restricted to one row — ascending `k`,
+    /// zero-skip — so the result is bitwise identical to wrapping `v` in a
+    /// `1×k` tensor and calling `matmul_into`.
+    pub fn left_vecmat_into(&self, v: &[f32], out: &mut Tensor) {
+        assert_eq!(v.len(), self.rows, "left_vecmat shape mismatch");
+        assert_eq!(out.shape(), (1, self.cols), "left_vecmat output mismatch");
+        out.zero();
+        let n = self.cols;
+        let out_row = &mut out.data[..n];
+        for (k, &a) in v.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let orow = &self.data[k * n..(k + 1) * n];
+            for (o, &b) in out_row.iter_mut().zip(orow) {
+                *o += a * b;
+            }
+        }
+    }
+
+    /// `out = self × otherᵀ` without materializing the transpose: each
+    /// output cell is a dot product of two rows, which streams both inputs
+    /// contiguously. Accumulation over `k` runs in ascending order, so the
+    /// result is bitwise identical to `self.matmul(&other.transpose())`.
+    pub fn matmul_bt_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_bt shape mismatch: {:?} × {:?}ᵀ",
+            self.shape(),
+            other.shape()
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.rows),
+            "matmul_bt output shape mismatch"
+        );
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for j in 0..other.rows {
+                let brow = other.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                out.set(i, j, acc);
+            }
+        }
+    }
+
+    /// `out = selfᵀ × other` without materializing the transpose: row `i`
+    /// of `self` scatters into every output row it touches, so both inputs
+    /// stream contiguously. Accumulation over the shared dimension runs in
+    /// ascending row order — bitwise identical to
+    /// `self.transpose().matmul(&other)`.
+    pub fn at_matmul_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.rows, other.rows,
+            "at_matmul shape mismatch: {:?}ᵀ × {:?}",
+            self.shape(),
+            other.shape()
+        );
+        assert_eq!(
+            out.shape(),
+            (self.cols, other.cols),
+            "at_matmul output shape mismatch"
+        );
+        out.zero();
+        let n = other.cols;
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let brow = &other.data[i * n..(i + 1) * n];
+            for (k, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
+    /// Fused bias-add: `self[r, c] += bias[0, c]` for every row, one pass
+    /// over the output instead of a separate broadcast node. Applied after
+    /// [`Tensor::matmul_into`], the sum order per cell (`Σ_k a·b` first,
+    /// `+ bias` last) matches the unfused matmul→add_row pipeline exactly.
+    pub fn add_row_assign(&mut self, bias: &Tensor) {
+        assert_eq!(bias.rows(), 1, "add_row_assign needs a 1×c bias");
+        assert_eq!(self.cols, bias.cols(), "add_row_assign column mismatch");
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (x, &b) in row.iter_mut().zip(bias.as_slice()) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Fused in-place ReLU (`max(x, 0)` elementwise).
+    pub fn relu_assign(&mut self) {
+        for x in &mut self.data {
+            if *x < 0.0 {
+                *x = 0.0;
+            }
+        }
+    }
+
+    /// Column sums → accumulated into a `1×c` output (the bias gradient of
+    /// a fused affine layer). Rows accumulate in ascending order.
+    pub fn col_sum_into(&self, out: &mut Tensor) {
+        assert_eq!(out.shape(), (1, self.cols), "col_sum output shape mismatch");
+        out.zero();
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &x) in out.as_mut_slice().iter_mut().zip(row) {
+                *o += x;
+            }
+        }
+    }
+
+    /// Consume the tensor, returning its backing buffer (for arena reuse).
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Copy `src` into this tensor, reshaping it (the backing buffer is
+    /// reused; it only reallocates when capacity is insufficient).
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Reference `i·k·j` matmul without k-panel blocking — the seed kernel,
+    /// kept as the baseline for `nn_bench` and the bitwise-identity tests
+    /// of [`Tensor::matmul_into`].
+    pub fn matmul_naive(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {:?} × {:?}",
@@ -284,12 +478,49 @@ impl ParamStore {
         self.params.iter_mut()
     }
 
+    /// All parameter ids in insertion order.
+    pub fn param_ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.params.len()).map(ParamId)
+    }
+
     /// Total scalar parameter count.
     pub fn scalar_count(&self) -> usize {
         self.params
             .iter()
             .map(|p| p.value.rows() * p.value.cols())
             .sum()
+    }
+
+    /// Zero-filled tensors shaped like every parameter, in [`ParamId`]
+    /// order — one per-sample gradient block for the data-parallel trainer.
+    pub fn grad_template(&self) -> Vec<Tensor> {
+        self.params
+            .iter()
+            .map(|p| Tensor::zeros(p.value.rows(), p.value.cols()))
+            .collect()
+    }
+
+    /// Add a per-sample gradient block (laid out like [`grad_template`])
+    /// into the accumulated gradients, parameter by parameter.
+    ///
+    /// [`grad_template`]: ParamStore::grad_template
+    pub fn add_grad_block(&mut self, block: &[Tensor]) {
+        assert_eq!(block.len(), self.params.len(), "grad block layout mismatch");
+        for (p, g) in self.params.iter_mut().zip(block) {
+            p.grad.add_assign(g);
+        }
+    }
+
+    /// Scale every accumulated gradient by `s` (minibatch averaging).
+    pub fn scale_grads(&mut self, s: f32) {
+        for p in &mut self.params {
+            p.grad.scale_assign(s);
+        }
+    }
+
+    /// Iterate over parameter values in [`ParamId`] order (read-only).
+    pub fn values_iter(&self) -> impl Iterator<Item = &Tensor> {
+        self.params.iter().map(|p| &p.value)
     }
 
     /// Global L2 norm of all accumulated gradients (training telemetry:

@@ -61,6 +61,17 @@ proptest! {
     }
 
     #[test]
+    fn affine_grad(x0 in small_tensor(2, 3), w in small_tensor(3, 2), b in small_tensor(1, 2)) {
+        gradcheck(x0, &move |g, x| {
+            let w = g.input(w.clone());
+            let b = g.input(b.clone());
+            let y = g.affine(x, w, b);
+            let t = g.tanh(y);
+            g.mean_all(t)
+        });
+    }
+
+    #[test]
     fn sigmoid_tanh_chain_grad(x0 in small_tensor(2, 2)) {
         gradcheck(x0, &|g, x| {
             let s = g.sigmoid(x);

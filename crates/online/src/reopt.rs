@@ -117,17 +117,24 @@ pub fn build_window_instance(
     let nq = plans.len();
     let nc = analysis.candidates.len();
     let mut benefits = vec![vec![0.0; nc]; nq];
+    // Score all (query, candidate) pairs in one estimate_batch call so a
+    // batched estimator encodes each distinct plan once per dry-run round.
+    let mut pairs_ix: Vec<(usize, usize)> = Vec::new();
+    let mut inputs: Vec<FeatureInput> = Vec::new();
     for (i, matches) in analysis.query_matches.iter().enumerate() {
         for m in matches {
             let cand = &analysis.candidates[m.candidate];
-            let input = FeatureInput {
+            pairs_ix.push((i, m.candidate));
+            inputs.push(FeatureInput {
                 query: plans[i].clone(),
                 view: cand.plan.clone(),
                 tables: tables_meta(catalog, &plans[i], &cand.plan),
-            };
-            let predicted_rewritten = estimator.estimate(&input);
-            benefits[i][m.candidate] = (costs[i] - predicted_rewritten).max(0.0);
+            });
         }
+    }
+    let estimates = estimator.estimate_batch(&inputs);
+    for (&(i, cand), predicted_rewritten) in pairs_ix.iter().zip(estimates) {
+        benefits[i][cand] = (costs[i] - predicted_rewritten).max(0.0);
     }
 
     Ok(MvsInstance {

@@ -138,13 +138,22 @@ impl QNet {
     /// for the taken actions regress toward `r + γ·max Q(next)`. Returns
     /// the minibatch MSE, for telemetry.
     fn train_batch(&mut self, batch: &[&Transition], gamma: f64) -> f64 {
+        // Target-Q pass: every transition's next-state rows go through ONE
+        // batched forward (rows are independent, so each Q-value is
+        // identical to a per-transition forward), then the per-transition
+        // max is taken over its own slice of the output.
+        let all_next: Vec<[f32; FEATURE_DIM]> = batch
+            .iter()
+            .flat_map(|t| t.next_phis.iter().copied())
+            .collect();
+        let all_q = self.q_values(&all_next);
+        let mut at = 0usize;
         let targets: Vec<f32> = batch
             .iter()
             .map(|t| {
-                let next_best = self
-                    .q_values(&t.next_phis)
-                    .into_iter()
-                    .fold(f64::NEG_INFINITY, f64::max);
+                let qs = &all_q[at..at + t.next_phis.len()];
+                at += t.next_phis.len();
+                let next_best = qs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
                 let next_best = if next_best.is_finite() { next_best } else { 0.0 };
                 (t.reward + gamma * next_best) as f32
             })
