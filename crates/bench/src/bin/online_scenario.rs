@@ -45,6 +45,7 @@ fn engine(workload_catalog: &av_engine::Catalog, window: usize, seed: u64, adapt
             lifecycle: LifecycleConfig {
                 byte_budget: usize::MAX,
                 min_benefit_per_byte: 0.0,
+                tenant_byte_budget: usize::MAX,
             },
             selector: OnlineSelector::IterView(IterViewConfig {
                 iterations: 60,

@@ -1,0 +1,298 @@
+//! Serving-layer benchmark: closed-loop latency/throughput at 1, 8 and 64
+//! concurrent clients, cold vs warm cache, with a re-optimization landing
+//! mid-load at the highest concurrency — plus one open-loop run at a fixed
+//! arrival rate.
+//!
+//! Writes `BENCH_serve.json` (machine-readable, consumed by CI) into the
+//! working directory and prints the same numbers as tables.
+//!
+//! Throughput model: clients are closed-loop (request → think → repeat), so
+//! on a single core qps ≈ clients / (think + service) until 1/service
+//! saturates the machine. The scaling claim this benchmark checks — warm
+//! 64-client throughput ≥ 4× the 1-client figure — comes from overlapping
+//! think times, not from parallel execution, and holds on one core.
+//!
+//! Knobs: `AV_SERVE_REQUESTS` (default 64) requests per client,
+//! `AV_SERVE_THINK_US` (default 2000) think time in microseconds,
+//! `AV_SERVE_SEED` (default 70) workload seed, `AV_SERVE_TENANTS`
+//! (default 4), `AV_SERVE_OPEN_QPS` (default 400) open-loop arrival rate.
+
+use av_cost::OptimizerEstimator;
+use av_online::LifecycleConfig;
+use av_serve::{
+    run_closed_loop, run_open_loop, AdmissionConfig, ClosedLoopConfig, LoadReport,
+    OpenLoopConfig, ServeConfig, ViewServer,
+};
+use av_workload::cloud::mini;
+use serde::Serialize;
+use std::time::Duration;
+
+#[derive(Debug, Clone, Serialize)]
+struct BenchConfig {
+    seed: u64,
+    requests_per_client: usize,
+    think_us: u64,
+    tenants: usize,
+    plans: usize,
+    cores: usize,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ReoptRecord {
+    epoch: u64,
+    admitted: usize,
+    dropped: usize,
+    rejected: usize,
+    live_views: usize,
+    /// The swap landed while the warm 64-client run was in flight.
+    during_live_load: bool,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct LevelResult {
+    clients: usize,
+    cold: LoadReport,
+    warm: LoadReport,
+    /// Only at the highest level: the warm run with re-optimization racing
+    /// it, and a post-swap pass served entirely from the new epoch.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    reopt: Option<ReoptRecord>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    post_reopt: Option<LoadReport>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct CacheRecord {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    hit_rate: f64,
+    shards: usize,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ScalingRecord {
+    qps_warm_1: f64,
+    qps_warm_max: f64,
+    ratio: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ServeBenchReport {
+    config: BenchConfig,
+    levels: Vec<LevelResult>,
+    scaling: ScalingRecord,
+    open_loop: LoadReport,
+    /// Sharded result-cache counters of the 64-client server.
+    cache: CacheRecord,
+}
+
+fn envu(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn server_for(w: &av_workload::Workload) -> ViewServer {
+    ViewServer::new(
+        w.catalog.clone(),
+        Box::new(OptimizerEstimator::default()),
+        ServeConfig {
+            lifecycle: LifecycleConfig {
+                byte_budget: usize::MAX,
+                min_benefit_per_byte: 0.0,
+                tenant_byte_budget: usize::MAX,
+            },
+            // Deep enough that 64 closed-loop clients queue rather than
+            // shed: queue wait is charged to latency, not dropped.
+            admission: AdmissionConfig {
+                max_inflight_per_tenant: 32,
+                max_queued_per_tenant: 256,
+            },
+            ..ServeConfig::default()
+        },
+    )
+}
+
+fn expect_clean(report: &LoadReport, label: &str) {
+    assert_eq!(report.failed, 0, "{label}: failed queries");
+    assert_eq!(report.rejected, 0, "{label}: shed load (widen admission)");
+}
+
+fn row(label: &str, r: &LoadReport) -> Vec<String> {
+    vec![
+        label.to_string(),
+        format!("{}", r.requests),
+        format!("{:.0}", r.qps),
+        format!("{:.0}", r.p50_us),
+        format!("{:.0}", r.p95_us),
+        format!("{:.0}", r.p99_us),
+        format!("{}", r.rewrite_hits),
+    ]
+}
+
+fn main() {
+    let seed = envu("AV_SERVE_SEED", 70);
+    let requests_per_client = envu("AV_SERVE_REQUESTS", 64) as usize;
+    let think_us = envu("AV_SERVE_THINK_US", 2000);
+    let tenants = envu("AV_SERVE_TENANTS", 4) as usize;
+    let open_qps = envu("AV_SERVE_OPEN_QPS", 400) as f64;
+
+    let w = mini(seed);
+    let plans = w.plans();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let config = BenchConfig {
+        seed,
+        requests_per_client,
+        think_us,
+        tenants,
+        plans: plans.len(),
+        cores,
+    };
+
+    let levels_spec = [1usize, 8, 64];
+    let top = *levels_spec.last().expect("levels");
+    let mut levels: Vec<LevelResult> = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut cache = None;
+
+    for &clients in &levels_spec {
+        // Fresh server per level: `cold` really is an empty result cache
+        // and an epoch-0, view-free deployment.
+        let server = server_for(&w);
+        let cfg = ClosedLoopConfig {
+            clients,
+            requests_per_client,
+            think: Duration::from_micros(think_us),
+            tenants,
+        };
+        let cold = run_closed_loop(&server, &plans, &cfg);
+        expect_clean(&cold, &format!("cold@{clients}"));
+
+        let (warm, reopt, post_reopt) = if clients == top {
+            // Race a re-optimization against the warm run: the swap must
+            // land while clients are in flight, and nothing may fail.
+            let reopt_delay = Duration::from_secs_f64((cold.wall_seconds * 0.25).max(0.001));
+            let mut summary = None;
+            let warm = std::thread::scope(|scope| {
+                let server = &server;
+                let plans = &plans;
+                let handle = scope.spawn(move || {
+                    std::thread::sleep(reopt_delay);
+                    server.reoptimize(plans, Some("tenant0")).expect("reoptimizes")
+                });
+                let warm = run_closed_loop(server, plans, &cfg);
+                summary = Some(handle.join().expect("reopt thread"));
+                warm
+            });
+            let summary = summary.expect("reopt summary");
+            assert_eq!(server.epoch(), 1, "the mid-load swap landed");
+            assert!(summary.admitted > 0, "re-optimization admits views");
+            let post = run_closed_loop(&server, &plans, &cfg);
+            expect_clean(&post, &format!("post_reopt@{clients}"));
+            assert!(
+                post.rewrite_hits > 0,
+                "published views must route the workload"
+            );
+            (
+                warm,
+                Some(ReoptRecord {
+                    epoch: summary.epoch,
+                    admitted: summary.admitted,
+                    dropped: summary.dropped,
+                    rejected: summary.rejected,
+                    live_views: summary.live_views,
+                    during_live_load: true,
+                }),
+                Some(post),
+            )
+        } else {
+            (run_closed_loop(&server, &plans, &cfg), None, None)
+        };
+        expect_clean(&warm, &format!("warm@{clients}"));
+
+        rows.push(row(&format!("cold  x{clients}"), &cold));
+        rows.push(row(&format!("warm  x{clients}"), &warm));
+        if let Some(p) = &post_reopt {
+            rows.push(row(&format!("post  x{clients}"), p));
+        }
+        if clients == top {
+            let stats = server.cache_stats();
+            cache = Some(CacheRecord {
+                hits: stats.hits,
+                misses: stats.misses,
+                evictions: stats.evictions,
+                hit_rate: stats.hit_rate(),
+                shards: server.shard_stats().len(),
+            });
+        }
+        levels.push(LevelResult {
+            clients,
+            cold,
+            warm,
+            reopt,
+            post_reopt,
+        });
+    }
+
+    let qps_warm_1 = levels[0].warm.qps;
+    let qps_warm_max = levels.last().expect("levels").warm.qps;
+    let scaling = ScalingRecord {
+        qps_warm_1,
+        qps_warm_max,
+        ratio: if qps_warm_1 > 0.0 {
+            qps_warm_max / qps_warm_1
+        } else {
+            0.0
+        },
+    };
+
+    // One open-loop run on a fresh server: fixed arrival rate, bounded
+    // queue, latency measured from the scheduled arrival.
+    let open_server = server_for(&w);
+    let open_loop = run_open_loop(
+        &open_server,
+        &plans,
+        &OpenLoopConfig {
+            workers: 4,
+            target_qps: open_qps,
+            requests: (requests_per_client * 4).max(32),
+            queue_depth: 64,
+            tenants,
+        },
+    );
+    assert_eq!(open_loop.failed, 0, "open loop: failed queries");
+    rows.push(row(&format!("open  @{open_qps:.0}qps"), &open_loop));
+
+    let report = ServeBenchReport {
+        config: config.clone(),
+        levels,
+        scaling: scaling.clone(),
+        open_loop,
+        cache: cache.expect("top level ran"),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_serve.json", &json).expect("BENCH_serve.json written");
+
+    println!(
+        "{}",
+        av_bench::render_table(
+            &["phase", "requests", "qps", "p50 µs", "p95 µs", "p99 µs", "rewrites"],
+            &rows
+        )
+    );
+    println!(
+        "\nscaling (warm, think {think_us}µs, {cores} core(s)): 1 client {:.0} qps -> {top} clients {:.0} qps ({:.1}x)",
+        scaling.qps_warm_1, scaling.qps_warm_max, scaling.ratio
+    );
+    println!("wrote BENCH_serve.json");
+
+    assert!(
+        scaling.ratio >= 4.0,
+        "64-client warm throughput must be >= 4x the 1-client figure, got {:.2}x",
+        scaling.ratio
+    );
+}

@@ -10,11 +10,13 @@ use av_cost::{
 };
 use av_engine::{Catalog, EngineError, Pricing};
 use av_ilp::MvsInstance;
-use av_plan::PlanRef;
+use av_online::CandidateView;
+use av_plan::{Fingerprint, PlanRef};
 use av_select::{
     greedy_best, BigSub, BigSubConfig, GreedyRank, IterView, IterViewConfig, RlView,
     RlViewConfig, SelectionResult,
 };
+use av_serve::{ReoptSummary, ServeConfig, ServeError, ViewServer};
 use av_trace::Tracer;
 
 /// Which cost estimator drives the benefit matrix.
@@ -132,6 +134,13 @@ pub struct AutoViewSystem {
     pub config: AutoViewConfig,
     pub metadata: MetadataDb,
     tracer: Tracer,
+    /// The catalog as it was before preprocessing materialized candidate
+    /// tables into it; serving snapshots are built from this base so the
+    /// server's own view store starts from a clean namespace.
+    serving_base: Option<Catalog>,
+    /// Views chosen by the last [`AutoViewSystem::run`], in the shape the
+    /// serving layer admits.
+    selected: Vec<CandidateView>,
 }
 
 impl AutoViewSystem {
@@ -154,6 +163,8 @@ impl AutoViewSystem {
             config,
             metadata: MetadataDb::new(),
             tracer: Tracer::disabled(),
+            serving_base: None,
+            selected: Vec::new(),
         }
     }
 
@@ -178,6 +189,12 @@ impl AutoViewSystem {
     pub fn run(&mut self) -> Result<EndToEndReport, EngineError> {
         let pricing = self.config.pricing;
         let tracer = self.tracer.clone();
+        // Preprocessing materializes every candidate into `self.catalog`
+        // (tables `__view_*`); keep a copy-on-write snapshot of the clean
+        // catalog so `publish` can hand the serving layer an unpolluted
+        // namespace. The clone shares table data via `Arc`, so this is a
+        // pointer copy, not a data copy.
+        self.serving_base = Some(self.catalog.clone());
         let pre = tracer.time("pipeline.preprocess", || {
             preprocess_and_measure_traced(&mut self.catalog, &self.queries, pricing, &tracer)
         })?;
@@ -217,10 +234,12 @@ impl AutoViewSystem {
         });
 
         // ---- online: benefit matrix + selection --------------------------
-        let selection = tracer.time("pipeline.select", || {
+        let (instance, selection) = tracer.time("pipeline.select", || {
             let instance = self.build_instance(&pre, estimator.as_ref());
-            self.config.selector.run_traced(&instance, &tracer)
+            let selection = self.config.selector.run_traced(&instance, &tracer);
+            (instance, selection)
         });
+        self.selected = Self::selection_to_candidates(&pre, &instance, &selection);
 
         // ---- deploy & execute ---------------------------------------------
         let report = tracer.time("pipeline.deploy", || self.execute_selection(&pre, &selection))?;
@@ -328,6 +347,70 @@ impl AutoViewSystem {
             },
             estimated_utility: selection.utility,
         })
+    }
+
+    /// Convert a selection over the benefit matrix into the serving layer's
+    /// admission shape: one [`CandidateView`] per materialized candidate,
+    /// with `expected_benefit = Σᵢ benefits[i][j]·y[i][j]`.
+    fn selection_to_candidates(
+        pre: &Preprocessed,
+        instance: &MvsInstance,
+        selection: &SelectionResult,
+    ) -> Vec<CandidateView> {
+        let mut out = Vec::new();
+        for (j, &z) in selection.z.iter().enumerate() {
+            if !z {
+                continue;
+            }
+            let cand = &pre.analysis.candidates[j];
+            let expected_benefit: f64 = selection
+                .y
+                .iter()
+                .zip(&instance.benefits)
+                .map(|(yi, bi)| if yi[j] { bi[j] } else { 0.0 })
+                .sum();
+            out.push(CandidateView {
+                plan: cand.plan.clone(),
+                canonical_fp: Fingerprint::of(&cand.canonical),
+                expected_benefit,
+                overhead: instance.overheads[j],
+            });
+        }
+        out
+    }
+
+    /// Views chosen by the last [`AutoViewSystem::run`] (empty before a run).
+    pub fn selected_views(&self) -> &[CandidateView] {
+        &self.selected
+    }
+
+    /// Stand up a serving snapshot from the last run's selection: builds an
+    /// `av-serve` [`ViewServer`] over the *pre-preprocessing* catalog (the
+    /// pipeline materializes every candidate as `__view_*` scratch tables;
+    /// serving starts from the clean base instead), admits the selected
+    /// views under `owner`'s byte budget, preflights the deployment against
+    /// the workload, and atomically publishes epoch 1.
+    ///
+    /// The server's own re-optimization path uses the analytical optimizer
+    /// estimator; the offline selection being published already encodes
+    /// whatever estimator [`AutoViewConfig::estimator`] chose.
+    pub fn publish(
+        &self,
+        config: ServeConfig,
+        owner: Option<&str>,
+    ) -> Result<(ViewServer, ReoptSummary), ServeError> {
+        let base = self
+            .serving_base
+            .clone()
+            .unwrap_or_else(|| self.catalog.clone());
+        let server = ViewServer::with_tracer(
+            base,
+            Box::new(OptimizerEstimator::default()),
+            config,
+            self.tracer.clone(),
+        );
+        let summary = server.publish(&self.selected, owner, &self.queries)?;
+        Ok((server, summary))
     }
 }
 
@@ -475,6 +558,7 @@ mod tests {
                     lifecycle: av_online::LifecycleConfig {
                         byte_budget: usize::MAX,
                         min_benefit_per_byte: 0.0,
+                        tenant_byte_budget: usize::MAX,
                     },
                     ..av_online::OnlineConfig::default()
                 },
@@ -552,6 +636,78 @@ mod tests {
             "rewritten queries must be cheaper in aggregate: {r:?}"
         );
         assert!(sys.metadata.num_pairs() > 0, "metadata collected");
+    }
+
+    #[test]
+    fn published_snapshot_serves_selection() {
+        use av_engine::Executor;
+
+        let w = mini(52);
+        let plans = w.plans();
+        let mut sys = AutoViewSystem::new(
+            w.catalog.clone(),
+            plans.clone(),
+            AutoViewConfig {
+                estimator: EstimatorKind::Optimizer,
+                selector: SelectorKind::RlView(quick_rl()),
+                max_training_pairs: 30,
+                ..AutoViewConfig::default()
+            },
+        );
+        assert!(sys.selected_views().is_empty(), "no selection before run");
+        let report = sys.run().expect("pipeline runs");
+        assert!(report.num_views > 0, "mini workload has profitable views");
+        assert_eq!(
+            sys.selected_views().len(),
+            report.num_views,
+            "stashed candidates mirror the Table V `#m` column"
+        );
+
+        let serve_cfg = av_serve::ServeConfig {
+            lifecycle: av_online::LifecycleConfig {
+                byte_budget: usize::MAX,
+                min_benefit_per_byte: 0.0,
+                tenant_byte_budget: usize::MAX,
+            },
+            ..av_serve::ServeConfig::default()
+        };
+        // The lifecycle re-screens admissions: a selected view that earned
+        // no positive assignment in the benefit matrix is turned away.
+        let positive = sys
+            .selected_views()
+            .iter()
+            .filter(|c| c.expected_benefit > 0.0)
+            .count();
+        let (server, summary) = sys.publish(serve_cfg, Some("tenant0")).expect("publishes");
+        assert_eq!(summary.epoch, 1, "publication swaps epoch 0 -> 1");
+        assert_eq!(server.epoch(), 1);
+        assert_eq!(summary.admitted, positive, "positive-benefit views admitted");
+        assert_eq!(
+            summary.admitted + summary.rejected,
+            report.num_views,
+            "every selected view was screened"
+        );
+        assert!(summary.admitted > 0, "selection admits views: {summary:?}");
+
+        // The serving catalog holds exactly the admitted views' tables — the
+        // pipeline's per-candidate scratch tables stay out of the snapshot.
+        let deployed = server.current();
+        let scratch = deployed
+            .catalog()
+            .table_names()
+            .filter(|t| t.starts_with("__view_"))
+            .count();
+        assert_eq!(scratch, summary.admitted);
+
+        // Serving answers match raw execution, and the views actually route.
+        let exec = Executor::new(&w.catalog, Pricing::paper_defaults());
+        let mut hits = 0usize;
+        for p in &plans {
+            let resp = server.execute("tenant0", p).expect("serves");
+            assert_eq!(resp.batch, exec.run(p).expect("raw run").batch);
+            hits += resp.rewrite_hits;
+        }
+        assert!(hits > 0, "published views rewrite the workload");
     }
 
     #[test]

@@ -21,11 +21,13 @@ use av_trace::Tracer;
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-/// Hit/miss counters, readable at any time via [`ExecCache::stats`].
+/// Hit/miss/evict counters, readable at any time via [`ExecCache::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
+    /// Entries shed by the capacity policy (stale-epoch retain or clear).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -36,6 +38,36 @@ impl CacheStats {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Component-wise sum (used to aggregate shard stats).
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+        }
+    }
+}
+
+/// Metric names a cache bumps on lookups/evictions. The default instance
+/// reports under the global `engine.cache_*` counters; sharded caches give
+/// each shard its own prefix (`engine.cache.shard3.hit`, …) so per-shard
+/// balance is visible in any metrics snapshot.
+#[derive(Debug, Clone)]
+struct MetricNames {
+    hit: String,
+    miss: String,
+    evict: String,
+}
+
+impl Default for MetricNames {
+    fn default() -> MetricNames {
+        MetricNames {
+            hit: "engine.cache_hit".to_string(),
+            miss: "engine.cache_miss".to_string(),
+            evict: "engine.cache_evict".to_string(),
         }
     }
 }
@@ -52,8 +84,10 @@ struct CacheState {
 pub struct ExecCache {
     pricing: Pricing,
     threads: Option<usize>,
+    par_min_rows: Option<usize>,
     max_entries: usize,
     tracer: Tracer,
+    metric_names: MetricNames,
     state: Mutex<CacheState>,
 }
 
@@ -63,8 +97,10 @@ impl ExecCache {
         ExecCache {
             pricing,
             threads: None,
+            par_min_rows: None,
             max_entries: 4096,
             tracer: Tracer::disabled(),
+            metric_names: MetricNames::default(),
             state: Mutex::new(CacheState::default()),
         }
     }
@@ -90,6 +126,25 @@ impl ExecCache {
         self
     }
 
+    /// Pin the executors' serial→parallel row cutover (see
+    /// [`Executor::with_par_min_rows`]).
+    pub fn with_par_min_rows(mut self, min_rows: usize) -> ExecCache {
+        self.par_min_rows = Some(min_rows);
+        self
+    }
+
+    /// Report lookups under `<prefix>.hit` / `<prefix>.miss` /
+    /// `<prefix>.evict` instead of the global `engine.cache_*` counters
+    /// (used by [`ShardedExecCache`] to name each shard).
+    pub fn with_metric_prefix(mut self, prefix: &str) -> ExecCache {
+        self.metric_names = MetricNames {
+            hit: format!("{prefix}.hit"),
+            miss: format!("{prefix}.miss"),
+            evict: format!("{prefix}.evict"),
+        };
+        self
+    }
+
     /// The pricing model every cached execution is metered under.
     pub fn pricing(&self) -> Pricing {
         self.pricing
@@ -98,19 +153,31 @@ impl ExecCache {
     /// Execute `plan` against `catalog`, reusing a cached result when this
     /// exact plan already ran at the catalog's current epoch.
     pub fn run(&self, catalog: &Catalog, plan: &PlanNode) -> Result<ExecResult, EngineError> {
-        let key = (Fingerprint::of(plan), catalog.epoch());
+        self.run_keyed(Fingerprint::of(plan), catalog, plan)
+    }
+
+    /// [`ExecCache::run`] with the plan's fingerprint already computed —
+    /// callers that hash the plan anyway (shard selection, request routing)
+    /// avoid a second tree walk.
+    pub fn run_keyed(
+        &self,
+        fingerprint: Fingerprint,
+        catalog: &Catalog,
+        plan: &PlanNode,
+    ) -> Result<ExecResult, EngineError> {
+        let key = (fingerprint, catalog.epoch());
         {
             let mut state = self.state.lock().expect("cache lock");
             if let Some(hit) = state.map.get(&key) {
                 let hit = hit.clone();
                 state.stats.hits += 1;
                 drop(state);
-                self.tracer.metrics().inc("engine.cache_hit");
+                self.tracer.metrics().inc(&self.metric_names.hit);
                 return Ok(hit);
             }
             state.stats.misses += 1;
         }
-        self.tracer.metrics().inc("engine.cache_miss");
+        self.tracer.metrics().inc(&self.metric_names.miss);
 
         // Execute outside the lock; concurrent misses on the same key just
         // compute the identical result twice.
@@ -118,16 +185,27 @@ impl ExecCache {
         if let Some(t) = self.threads {
             exec = exec.with_threads(t);
         }
+        if let Some(m) = self.par_min_rows {
+            exec = exec.with_par_min_rows(m);
+        }
         let result = exec.run(plan)?;
 
         let mut state = self.state.lock().expect("cache lock");
         if state.map.len() >= self.max_entries && !state.map.contains_key(&key) {
             // Entries from earlier epochs are unreachable — shed them first;
             // if the current epoch alone fills the cap, start over.
+            let before = state.map.len();
             let epoch = catalog.epoch();
             state.map.retain(|(_, e), _| *e == epoch);
             if state.map.len() >= self.max_entries {
                 state.map.clear();
+            }
+            let shed = (before - state.map.len()) as u64;
+            if shed > 0 {
+                state.stats.evictions += shed;
+                drop(state);
+                self.tracer.metrics().add(&self.metric_names.evict, shed);
+                state = self.state.lock().expect("cache lock");
             }
         }
         state.map.insert(key, result.clone());
@@ -157,6 +235,140 @@ impl ExecCache {
     /// Drop all cached results; counters are kept.
     pub fn clear(&self) {
         self.state.lock().expect("cache lock").map.clear();
+    }
+}
+
+/// A fingerprint-sharded [`ExecCache`]: `N` independent locks, so
+/// concurrent serving sessions stop serializing on one cache mutex.
+///
+/// The shard of a plan is a pure function of its fingerprint, so repeat
+/// executions always land on the same shard and the per-shard hit/miss
+/// semantics are identical to one big cache. Each shard reports its own
+/// `engine.cache.shard<i>.{hit,miss,evict}` counters into the attached
+/// tracer's metrics registry (per-shard balance is a serving health
+/// signal); aggregated numbers come from [`ShardedExecCache::stats`].
+#[derive(Debug)]
+pub struct ShardedExecCache {
+    shards: Vec<ExecCache>,
+}
+
+impl ShardedExecCache {
+    /// Default shard count: enough locks that 64 concurrent clients rarely
+    /// collide, small enough that per-shard capacity stays useful.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// New sharded cache with `shards` independent locks (minimum 1).
+    pub fn new(pricing: Pricing, shards: usize) -> ShardedExecCache {
+        let n = shards.max(1);
+        ShardedExecCache {
+            shards: (0..n)
+                .map(|i| {
+                    ExecCache::new(pricing).with_metric_prefix(&format!("engine.cache.shard{i}"))
+                })
+                .collect(),
+        }
+    }
+
+    /// Attach an observability tracer to every shard.
+    pub fn with_tracer(mut self, tracer: Tracer) -> ShardedExecCache {
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|s| s.with_tracer(tracer.clone()))
+            .collect();
+        self
+    }
+
+    /// Cap the *total* entry count; each shard gets an equal slice.
+    pub fn with_capacity(mut self, max_entries: usize) -> ShardedExecCache {
+        let per_shard = (max_entries / self.shards.len()).max(1);
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|s| s.with_capacity(per_shard))
+            .collect();
+        self
+    }
+
+    /// Pin the executor thread count used on misses.
+    pub fn with_threads(mut self, threads: usize) -> ShardedExecCache {
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|s| s.with_threads(threads))
+            .collect();
+        self
+    }
+
+    /// Pin the executors' serial→parallel row cutover.
+    pub fn with_par_min_rows(mut self, min_rows: usize) -> ShardedExecCache {
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|s| s.with_par_min_rows(min_rows))
+            .collect();
+        self
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index a fingerprint maps to.
+    pub fn shard_of(&self, fingerprint: Fingerprint) -> usize {
+        (fingerprint.0 % self.shards.len() as u64) as usize
+    }
+
+    /// Execute `plan` against `catalog` through the owning shard.
+    pub fn run(&self, catalog: &Catalog, plan: &PlanNode) -> Result<ExecResult, EngineError> {
+        let fp = Fingerprint::of(plan);
+        self.shards[self.shard_of(fp)].run_keyed(fp, catalog, plan)
+    }
+
+    /// [`ShardedExecCache::run`] with the fingerprint already computed.
+    pub fn run_keyed(
+        &self,
+        fingerprint: Fingerprint,
+        catalog: &Catalog,
+        plan: &PlanNode,
+    ) -> Result<ExecResult, EngineError> {
+        self.shards[self.shard_of(fingerprint)].run_keyed(fingerprint, catalog, plan)
+    }
+
+    /// Execute and return only the cost in dollars, cached.
+    pub fn cost(&self, catalog: &Catalog, plan: &PlanNode) -> Result<f64, EngineError> {
+        Ok(self.run(catalog, plan)?.report.cost_dollars)
+    }
+
+    /// Aggregated hit/miss/evict counters across all shards.
+    pub fn stats(&self) -> CacheStats {
+        self.shards
+            .iter()
+            .map(|s| s.stats())
+            .fold(CacheStats::default(), CacheStats::merged)
+    }
+
+    /// Per-shard counters, shard order.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Total cached results across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// True iff no results are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all cached results; counters are kept.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.clear();
+        }
     }
 }
 
@@ -198,7 +410,14 @@ mod tests {
         let warm = cache.run(&c, &plan()).expect("warm run");
         assert_eq!(cold.batch, warm.batch);
         assert_eq!(cold.report, warm.report);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
     }
 
     #[test]
@@ -211,7 +430,11 @@ mod tests {
         cache.run(&c, &plan()).expect("after mutation");
         assert_eq!(
             cache.stats(),
-            CacheStats { hits: 0, misses: 2 },
+            CacheStats {
+                hits: 0,
+                misses: 2,
+                evictions: 0
+            },
             "catalog mutation must force a re-run"
         );
     }
@@ -244,5 +467,87 @@ mod tests {
             .expect("direct");
         let cached = cache.cost(&c, &plan()).expect("cached");
         assert_eq!(direct, cached);
+    }
+
+    /// `n` structurally distinct plans (different filter literals).
+    fn distinct_plans(n: i64) -> Vec<av_plan::PlanRef> {
+        (0..n)
+            .map(|i| {
+                PlanBuilder::scan("t", "a")
+                    .filter(Expr::col("a.v").eq(Expr::int(i)))
+                    .count_star(&[], "n")
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn eviction_counter_tracks_capacity_sheds() {
+        let mut c = catalog();
+        let tracer = Tracer::new();
+        let cache = ExecCache::new(Pricing::paper_defaults())
+            .with_capacity(2)
+            .with_tracer(tracer.clone());
+        for p in distinct_plans(2) {
+            cache.run(&c, &p).expect("fills");
+        }
+        // Epoch bump leaves two stale entries; the next insert sheds both.
+        c.add_table(Table::new("u", vec![("x", Column::Int(vec![1]))]).expect("ok"))
+            .expect("ok");
+        cache.run(&c, &distinct_plans(1)[0]).expect("sheds stale");
+        assert_eq!(cache.stats().evictions, 2);
+        assert_eq!(tracer.metrics().counter("engine.cache_evict"), 2);
+    }
+
+    #[test]
+    fn sharded_cache_matches_unsharded_and_reports_per_shard_metrics() {
+        let c = catalog();
+        let tracer = Tracer::new();
+        let flat = ExecCache::new(Pricing::paper_defaults());
+        let sharded =
+            ShardedExecCache::new(Pricing::paper_defaults(), 4).with_tracer(tracer.clone());
+        let plans = distinct_plans(8);
+        for p in &plans {
+            let a = flat.run(&c, p).expect("flat");
+            let b = sharded.run(&c, p).expect("sharded");
+            assert_eq!(a.batch, b.batch);
+            assert_eq!(a.report, b.report);
+        }
+        for p in &plans {
+            sharded.run(&c, p).expect("warm");
+        }
+        let agg = sharded.stats();
+        assert_eq!(agg.hits, 8);
+        assert_eq!(agg.misses, 8);
+
+        // Per-shard counters land in the metrics registry under the shard's
+        // own prefix, and they reconcile with the aggregate exactly.
+        let per_shard = sharded.shard_stats();
+        assert_eq!(per_shard.len(), 4);
+        let m = tracer.metrics();
+        let mut metric_hits = 0;
+        let mut metric_misses = 0;
+        for (i, s) in per_shard.iter().enumerate() {
+            assert_eq!(m.counter(&format!("engine.cache.shard{i}.hit")), s.hits);
+            assert_eq!(m.counter(&format!("engine.cache.shard{i}.miss")), s.misses);
+            metric_hits += m.counter(&format!("engine.cache.shard{i}.hit"));
+            metric_misses += m.counter(&format!("engine.cache.shard{i}.miss"));
+        }
+        assert_eq!(metric_hits, agg.hits);
+        assert_eq!(metric_misses, agg.misses);
+        // 8 distinct fingerprints over 4 shards: sharding actually spread
+        // the keys (at least two shards saw traffic).
+        assert!(per_shard.iter().filter(|s| s.misses > 0).count() >= 2);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let sharded = ShardedExecCache::new(Pricing::paper_defaults(), 7);
+        for p in distinct_plans(32) {
+            let fp = Fingerprint::of(&p);
+            let s = sharded.shard_of(fp);
+            assert!(s < 7);
+            assert_eq!(s, sharded.shard_of(fp), "shard choice is pure");
+        }
     }
 }

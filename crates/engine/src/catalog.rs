@@ -4,6 +4,7 @@ use crate::batch::{Column, RecordBatch};
 use crate::error::EngineError;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Column data types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -143,9 +144,16 @@ fn compute_stats(data: &RecordBatch) -> TableStats {
 }
 
 /// The catalog: all base tables and materialized-view tables by name.
+///
+/// Tables are stored behind `Arc`, so cloning a catalog copies only the
+/// name → table map, never the column data. That makes catalog snapshots
+/// copy-on-write: `av-serve` publishes an `Arc<Catalog>` per deployment
+/// epoch, and successive deployments share every unchanged table. Tables
+/// are immutable once registered (mutation is add/drop only), so sharing
+/// is always sound.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Catalog {
-    tables: HashMap<String, Table>,
+    tables: HashMap<String, Arc<Table>>,
     /// Version counter bumped on every successful mutation (table added or
     /// dropped, including view materialization). Cached execution results
     /// keyed by `(plan fingerprint, epoch)` are invalidated by the bump.
@@ -164,13 +172,14 @@ impl Catalog {
         if self.tables.contains_key(&table.name) {
             return Err(EngineError::DuplicateTable(table.name.clone()));
         }
-        self.tables.insert(table.name.clone(), table);
+        self.tables.insert(table.name.clone(), Arc::new(table));
         self.epoch += 1;
         Ok(())
     }
 
-    /// Remove a table (used when dropping materialized views).
-    pub fn drop_table(&mut self, name: &str) -> Option<Table> {
+    /// Remove a table (used when dropping materialized views). The returned
+    /// `Arc` may still be shared with catalog snapshots cloned earlier.
+    pub fn drop_table(&mut self, name: &str) -> Option<Arc<Table>> {
         let removed = self.tables.remove(name);
         if removed.is_some() {
             self.epoch += 1;
@@ -187,7 +196,12 @@ impl Catalog {
 
     /// Look up a table.
     pub fn table(&self, name: &str) -> Option<&Table> {
-        self.tables.get(name)
+        self.tables.get(name).map(|t| t.as_ref())
+    }
+
+    /// Look up a table's shared handle (kept alive across snapshot clones).
+    pub fn table_arc(&self, name: &str) -> Option<Arc<Table>> {
+        self.tables.get(name).cloned()
     }
 
     /// Names of all registered tables, in sorted (deterministic) order.

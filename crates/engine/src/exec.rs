@@ -39,7 +39,7 @@ pub struct ExecResult {
 pub struct Executor<'a> {
     catalog: &'a Catalog,
     pricing: Pricing,
-    threads: usize,
+    par: par::Par,
     tracer: Tracer,
 }
 
@@ -51,7 +51,7 @@ impl<'a> Executor<'a> {
         Executor {
             catalog,
             pricing,
-            threads: par::default_threads(),
+            par: par::Par::auto(),
             tracer: Tracer::disabled(),
         }
     }
@@ -59,7 +59,17 @@ impl<'a> Executor<'a> {
     /// Override the worker-thread count (1 = fully serial). Results and
     /// reports are identical for every setting; only wall-clock changes.
     pub fn with_threads(mut self, threads: usize) -> Executor<'a> {
-        self.threads = threads.max(1);
+        self.par.threads = threads.max(1);
+        self
+    }
+
+    /// Override the serial→parallel row cutover (default
+    /// [`par::PAR_MIN_ROWS`], or `AV_PAR_MIN_ROWS` from the environment).
+    /// Batches below the cutover run on the calling thread even when
+    /// workers are available. Results and reports are identical for every
+    /// setting — only scheduling changes — so benchmarks can sweep it.
+    pub fn with_par_min_rows(mut self, min_rows: usize) -> Executor<'a> {
+        self.par.min_rows = min_rows;
         self
     }
 
@@ -131,11 +141,11 @@ impl<'a> Executor<'a> {
             PlanNode::TableScan { table, alias } => self.exec_scan(table, alias, meter),
             PlanNode::Filter { input, predicate } => {
                 let batch = self.exec(input, meter, buf)?;
-                exec_filter(batch, predicate, meter, self.threads)
+                exec_filter(batch, predicate, meter, self.par)
             }
             PlanNode::Project { input, exprs } => {
                 let batch = self.exec(input, meter, buf)?;
-                exec_project(batch, exprs, meter, self.threads)
+                exec_project(batch, exprs, meter, self.par)
             }
             PlanNode::Join {
                 left,
@@ -145,7 +155,7 @@ impl<'a> Executor<'a> {
             } => {
                 let lb = self.exec(left, meter, buf)?;
                 let rb = self.exec(right, meter, buf)?;
-                exec_join(lb, rb, on, *join_type, meter, self.threads)
+                exec_join(lb, rb, on, *join_type, meter, self.par)
             }
             PlanNode::Aggregate {
                 input,
@@ -153,7 +163,7 @@ impl<'a> Executor<'a> {
                 aggs,
             } => {
                 let batch = self.exec(input, meter, buf)?;
-                exec_aggregate(batch, group_by, aggs, meter, self.threads)
+                exec_aggregate(batch, group_by, aggs, meter, self.par)
             }
         }
     }
@@ -372,14 +382,14 @@ fn exec_filter(
     batch: RecordBatch,
     predicate: &Expr,
     meter: &mut CostMeter,
-    threads: usize,
+    par: par::Par,
 ) -> Result<RecordBatch, EngineError> {
     let bound = BoundExpr::bind(predicate, &batch)?;
     let rows = batch.num_rows();
     let pred_weight = predicate.referenced_columns().len().max(1) * 2;
     meter.charge_rows(rows, pred_weight);
 
-    let chunk_masks = par::map_chunks(rows, threads, |_, range| {
+    let chunk_masks = par::map_chunks(rows, par, |_, range| {
         range
             .map(|i| bound.eval_bool(&batch, i))
             .collect::<Vec<bool>>()
@@ -404,7 +414,7 @@ fn exec_project(
     batch: RecordBatch,
     exprs: &[av_plan::ProjExpr],
     meter: &mut CostMeter,
-    threads: usize,
+    par: par::Par,
 ) -> Result<RecordBatch, EngineError> {
     let rows = batch.num_rows();
     meter.charge_rows(rows, exprs.len().max(1));
@@ -423,7 +433,7 @@ fn exec_project(
                 let bound = BoundExpr::bind(expr, &batch)?;
                 // Computed column: evaluate per row; infer output type from
                 // the first row (empty input defaults to Float).
-                let chunk_vals = par::map_chunks(rows, threads, |_, range| {
+                let chunk_vals = par::map_chunks(rows, par, |_, range| {
                     range
                         .map(|i| bound.eval(&batch, i))
                         .collect::<Vec<Value>>()
@@ -494,7 +504,7 @@ fn exec_join(
     on: &[(String, String)],
     join_type: JoinType,
     meter: &mut CostMeter,
-    threads: usize,
+    par: par::Par,
 ) -> Result<RecordBatch, EngineError> {
     let lkeys: Vec<usize> = on
         .iter()
@@ -553,7 +563,7 @@ fn exec_join(
             let table_bytes =
                 table.len() * 48 + build_rows * 8 + codes.len() * 8 + interner.approx_bytes();
 
-            let chunk_pairs = par::map_chunks(probe_rows, threads, |_, range| {
+            let chunk_pairs = par::map_chunks(probe_rows, par, |_, range| {
                 let mut pi: Vec<usize> = Vec::new();
                 let mut bi: Vec<usize> = Vec::new();
                 for i in range {
@@ -697,7 +707,7 @@ fn exec_aggregate(
     group_by: &[String],
     aggs: &[av_plan::AggExpr],
     meter: &mut CostMeter,
-    threads: usize,
+    par: par::Par,
 ) -> Result<RecordBatch, EngineError> {
     let gidx: Vec<usize> = group_by
         .iter()
@@ -727,7 +737,7 @@ fn exec_aggregate(
     // Chunked partial aggregation, merged in chunk order: group order is
     // global first-seen order and float sums accumulate identically for
     // every thread count.
-    let partials = par::map_chunks(rows, threads, |_, range| {
+    let partials = par::map_chunks(rows, par, |_, range| {
         let mut slot_of: keys::CodeMap<u64, usize> = keys::CodeMap::default();
         let mut agg = ChunkAgg {
             order: Vec::new(),

@@ -49,7 +49,7 @@ pub mod rewrite;
 pub mod view;
 
 pub use batch::{Column, RecordBatch};
-pub use cache::{CacheStats, ExecCache};
+pub use cache::{CacheStats, ExecCache, ShardedExecCache};
 pub use catalog::{Catalog, ColumnType, Table, TableStats};
 pub use error::EngineError;
 pub use exec::{ExecResult, Executor};

@@ -28,6 +28,53 @@ pub const CHUNK_ROWS: usize = 1024;
 /// them.
 pub const PAR_MIN_ROWS: usize = 32_768;
 
+/// The serial→parallel cutover used when none is configured explicitly:
+/// `AV_PAR_MIN_ROWS` from the environment, else [`PAR_MIN_ROWS`]. Reading
+/// an env var is deterministic for a fixed environment, so results are
+/// unaffected either way (only who computes them).
+pub fn par_min_rows_default() -> usize {
+    std::env::var("AV_PAR_MIN_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(PAR_MIN_ROWS)
+}
+
+/// Parallelism policy for one executor: worker count plus the row cutover
+/// below which chunks run on the calling thread. Chunk boundaries depend
+/// only on the row count, so every policy produces bit-identical results.
+#[derive(Debug, Clone, Copy)]
+pub struct Par {
+    /// Worker threads (1 = fully serial).
+    pub threads: usize,
+    /// Minimum rows before worker threads are spawned.
+    pub min_rows: usize,
+}
+
+impl Par {
+    /// One worker per core (capped), cutover from `AV_PAR_MIN_ROWS` /
+    /// [`PAR_MIN_ROWS`].
+    pub fn auto() -> Par {
+        Par {
+            threads: default_threads(),
+            min_rows: par_min_rows_default(),
+        }
+    }
+
+    /// Fully serial policy (the cutover is irrelevant at one thread).
+    pub fn serial() -> Par {
+        Par {
+            threads: 1,
+            min_rows: PAR_MIN_ROWS,
+        }
+    }
+}
+
+impl Default for Par {
+    fn default() -> Par {
+        Par::auto()
+    }
+}
+
 /// Default executor thread count: one worker per available core, capped to
 /// keep scoped-spawn overhead bounded on very wide machines.
 pub fn default_threads() -> usize {
@@ -50,24 +97,24 @@ fn chunk_range(idx: usize, rows: usize) -> Range<usize> {
 /// Apply `f` to every chunk of `0..rows` and return the per-chunk results in
 /// ascending chunk order.
 ///
-/// With `threads <= 1`, a single chunk, or fewer than [`PAR_MIN_ROWS`] rows
-/// the chunks run sequentially on the calling thread; otherwise a scoped
-/// worker pool pulls chunk indices from an atomic counter. Either way the
-/// returned `Vec` is ordered by chunk index, so callers can concatenate or
-/// fold the results deterministically.
-pub fn map_chunks<T, F>(rows: usize, threads: usize, f: F) -> Vec<T>
+/// With `par.threads <= 1`, a single chunk, or fewer than `par.min_rows`
+/// rows the chunks run sequentially on the calling thread; otherwise a
+/// scoped worker pool pulls chunk indices from an atomic counter. Either way
+/// the returned `Vec` is ordered by chunk index, so callers can concatenate
+/// or fold the results deterministically.
+pub fn map_chunks<T, F>(rows: usize, par: Par, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, Range<usize>) -> T + Sync,
 {
     let chunks = chunk_count(rows);
-    if threads <= 1 || chunks <= 1 || rows < PAR_MIN_ROWS {
+    if par.threads <= 1 || chunks <= 1 || rows < par.min_rows {
         return (0..chunks).map(|i| f(i, chunk_range(i, rows))).collect();
     }
 
     let next = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(chunks));
-    let workers = threads.min(chunks);
+    let workers = par.threads.min(chunks);
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| {
@@ -95,9 +142,15 @@ where
 mod tests {
     use super::*;
 
+    /// Policy with `threads` workers and no serial cutover, so small test
+    /// row counts still exercise the worker pool.
+    fn eager(threads: usize) -> Par {
+        Par { threads, min_rows: 0 }
+    }
+
     #[test]
     fn zero_rows_yield_no_chunks() {
-        let r: Vec<usize> = map_chunks(0, 4, |_, range| range.len());
+        let r: Vec<usize> = map_chunks(0, eager(4), |_, range| range.len());
         assert!(r.is_empty());
     }
 
@@ -105,7 +158,7 @@ mod tests {
     fn chunks_cover_rows_exactly_once() {
         let rows = 3 * CHUNK_ROWS + 17;
         for threads in [1, 2, 5] {
-            let ranges = map_chunks(rows, threads, |i, range| (i, range));
+            let ranges = map_chunks(rows, eager(threads), |i, range| (i, range));
             assert_eq!(ranges.len(), chunk_count(rows));
             let mut expect_start = 0;
             for (k, (i, range)) in ranges.iter().enumerate() {
@@ -120,9 +173,10 @@ mod tests {
     #[test]
     fn parallel_matches_serial_for_any_thread_count() {
         let rows = 2 * CHUNK_ROWS + 100;
-        let serial: Vec<u64> = map_chunks(rows, 1, |_, r| r.map(|x| x as u64).sum());
+        let serial: Vec<u64> = map_chunks(rows, Par::serial(), |_, r| r.map(|x| x as u64).sum());
         for threads in [2, 3, 8] {
-            let par: Vec<u64> = map_chunks(rows, threads, |_, r| r.map(|x| x as u64).sum());
+            let par: Vec<u64> =
+                map_chunks(rows, eager(threads), |_, r| r.map(|x| x as u64).sum());
             assert_eq!(serial, par);
         }
     }
@@ -133,8 +187,12 @@ mod tests {
         // the caller — observable via thread ids.
         let caller = std::thread::current().id();
         let rows = PAR_MIN_ROWS - 1;
+        let par = Par {
+            threads: 8,
+            min_rows: PAR_MIN_ROWS,
+        };
         let ids: Vec<std::thread::ThreadId> =
-            map_chunks(rows, 8, |_, _| std::thread::current().id());
+            map_chunks(rows, par, |_, _| std::thread::current().id());
         assert_eq!(ids.len(), chunk_count(rows));
         assert!(ids.iter().all(|id| *id == caller));
     }
@@ -142,10 +200,23 @@ mod tests {
     #[test]
     fn cutover_changes_no_results() {
         // Rows straddling the cutover produce identical chunking either side.
-        for rows in [PAR_MIN_ROWS - 1, PAR_MIN_ROWS, PAR_MIN_ROWS + 1] {
-            let serial: Vec<u64> = map_chunks(rows, 1, |_, r| r.map(|x| x as u64).sum());
-            let par: Vec<u64> = map_chunks(rows, 4, |_, r| r.map(|x| x as u64).sum());
-            assert_eq!(serial, par);
+        for min_rows in [0, PAR_MIN_ROWS] {
+            for rows in [PAR_MIN_ROWS - 1, PAR_MIN_ROWS, PAR_MIN_ROWS + 1] {
+                let serial: Vec<u64> =
+                    map_chunks(rows, Par::serial(), |_, r| r.map(|x| x as u64).sum());
+                let par: Vec<u64> = map_chunks(rows, Par { threads: 4, min_rows }, |_, r| {
+                    r.map(|x| x as u64).sum()
+                });
+                assert_eq!(serial, par);
+            }
         }
+    }
+
+    #[test]
+    fn env_override_sets_the_default_cutover() {
+        // `Par::auto()` reads `AV_PAR_MIN_ROWS` once per construction; the
+        // constant stays the fallback.
+        assert_eq!(Par::auto().min_rows, par_min_rows_default());
+        assert!(Par::serial().threads == 1);
     }
 }

@@ -108,7 +108,7 @@ impl ViewStore {
 
     /// Drop a view's stored table from the catalog (the view record remains
     /// for bookkeeping but is marked by its table having been removed).
-    pub fn drop_view(&self, catalog: &mut Catalog, id: ViewId) -> Option<Table> {
+    pub fn drop_view(&self, catalog: &mut Catalog, id: ViewId) -> Option<std::sync::Arc<Table>> {
         self.views
             .get(id.0)
             .and_then(|v| catalog.drop_table(&v.table_name))

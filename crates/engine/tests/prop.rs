@@ -249,6 +249,7 @@ proptest! {
         let mut mgr = ViewLifecycleManager::new(LifecycleConfig {
             byte_budget: usize::MAX,
             min_benefit_per_byte: 0.0,
+            tenant_byte_budget: usize::MAX,
         });
         let outcome = mgr
             .admit(&mut c, view_plan, view_fp, 1.0, Pricing::paper_defaults())

@@ -25,7 +25,9 @@ pub mod reopt;
 pub mod stream;
 
 pub use drift::{DriftConfig, DriftDetector, DriftReport};
-pub use lifecycle::{AdmitOutcome, LifecycleConfig, LiveView, ViewLifecycleManager};
+pub use lifecycle::{
+    route_through_views, AdmitOutcome, LifecycleConfig, LiveView, ViewLifecycleManager,
+};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use av_trace::Tracer as OnlineTracer;
 pub use reopt::{reoptimize, CandidateView, OnlineSelector, ReoptPlan, WindowSnapshot};
@@ -267,7 +269,9 @@ impl OnlineEngine {
                             metrics.observe("online.view_bytes", v.byte_size as f64);
                         }
                     }
-                    AdmitOutcome::RejectedScore { .. } | AdmitOutcome::RejectedBudget { .. } => {
+                    AdmitOutcome::RejectedScore { .. }
+                    | AdmitOutcome::RejectedBudget { .. }
+                    | AdmitOutcome::RejectedTenantBudget { .. } => {
                         metrics.inc("online.admissions_rejected");
                     }
                 }
@@ -340,6 +344,7 @@ mod tests {
                 lifecycle: LifecycleConfig {
                     byte_budget: usize::MAX,
                     min_benefit_per_byte: 0.0,
+                    tenant_byte_budget: usize::MAX,
                 },
                 selector: OnlineSelector::IterView(IterViewConfig {
                     iterations: 30,

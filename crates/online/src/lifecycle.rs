@@ -23,6 +23,10 @@ pub struct LifecycleConfig {
     pub byte_budget: usize,
     /// Candidates scoring below this benefit-per-byte are rejected outright.
     pub min_benefit_per_byte: f64,
+    /// Bytes any single tenant's views may occupy (multi-tenant serving:
+    /// one tenant's hot workload must not crowd every other tenant out of
+    /// the shared budget). Views admitted without an owner are exempt.
+    pub tenant_byte_budget: usize,
 }
 
 impl Default for LifecycleConfig {
@@ -30,6 +34,7 @@ impl Default for LifecycleConfig {
         LifecycleConfig {
             byte_budget: 64 * 1024,
             min_benefit_per_byte: 0.0,
+            tenant_byte_budget: usize::MAX,
         }
     }
 }
@@ -46,6 +51,8 @@ pub struct LiveView {
     pub score: f64,
     /// Expected total benefit (dollars over the selection window).
     pub expected_benefit: f64,
+    /// Tenant this view is accounted to (`None` = shared/system view).
+    pub owner: Option<String>,
 }
 
 /// Outcome of an admission attempt.
@@ -57,6 +64,73 @@ pub enum AdmitOutcome {
     RejectedScore { score: f64 },
     /// Could not fit within the budget without evicting better views.
     RejectedBudget { bytes: usize },
+    /// The owning tenant's byte share is exhausted by views that outscore
+    /// the newcomer.
+    RejectedTenantBudget { tenant: String, bytes: usize },
+}
+
+/// Rewrite `plan` through a set of materialized views, outermost-first.
+/// Returns the (possibly unchanged) plan and the number of subtree
+/// replacements.
+///
+/// Each entry pairs a view's *canonical* defining fingerprint with its
+/// materialized record; `catalog` must contain the views' stored tables.
+/// This is the routing core shared by [`ViewLifecycleManager::route`]
+/// (mutable online engine) and `av-serve`'s frozen deployment snapshots,
+/// where it runs against an immutable `Arc<Catalog>`.
+pub fn route_through_views(
+    catalog: &Catalog,
+    views: &[(Fingerprint, &MaterializedView)],
+    plan: &PlanRef,
+) -> (PlanRef, usize) {
+    if views.is_empty() {
+        return (plan.clone(), 0);
+    }
+    // Prefer larger views first so an outer replacement swallows inner
+    // candidates (mirrors `rewrite_with_views`).
+    let mut order: Vec<&(Fingerprint, &MaterializedView)> = views.iter().collect();
+    order.sort_by_key(|(_, v)| std::cmp::Reverse(v.plan.node_count()));
+
+    let mut current = plan.clone();
+    let mut hits = 0;
+    let cat_cols = |t: &str| catalog.table_columns(t);
+    for (canonical_fp, view) in order {
+        // Re-enumerate each round: a previous replacement changes the
+        // remaining subtrees.
+        for sub in enumerate_subqueries(&current) {
+            if Fingerprint::of(&canonicalize(&sub.plan)) != *canonical_fp {
+                continue;
+            }
+            let subtree_cols = sub.plan.output_columns(&cat_cols);
+            let view_cols = match catalog.table(&view.table_name) {
+                Some(t) => t.column_names.clone(),
+                None => continue, // table dropped concurrently
+            };
+            if subtree_cols.len() != view_cols.len() {
+                continue; // stale match
+            }
+            let (next, n) = rewrite_subtree_with_view(
+                &current,
+                sub.fingerprint,
+                view,
+                &subtree_cols,
+                &view_cols,
+            );
+            if n > 0 {
+                current = next;
+                hits += n;
+            }
+        }
+    }
+    // Debug builds verify the routed plan against the original: the
+    // substituted views must reproduce the exact output schema.
+    #[cfg(debug_assertions)]
+    if hits > 0 {
+        if let Err(e) = av_analyze::verify_rewrite(catalog, plan, &current) {
+            panic!("view routing produced an invalid rewrite: {e}");
+        }
+    }
+    (current, hits)
 }
 
 /// Manages the set of materialized views over time.
@@ -104,6 +178,16 @@ impl ViewLifecycleManager {
         self.live.iter().any(|v| v.canonical_fp == canonical_fp)
     }
 
+    /// Bytes currently occupied by a tenant's views (`None` = unowned).
+    pub fn live_bytes_of(&self, owner: Option<&str>) -> usize {
+        self.live
+            .iter()
+            .filter(|l| l.owner.as_deref() == owner)
+            .filter_map(|l| self.store.view(l.id))
+            .map(|v| v.byte_size)
+            .sum()
+    }
+
     /// Try to admit a view defined by `plan` (whose canonicalized form has
     /// fingerprint `canonical_fp`) with the given expected benefit.
     ///
@@ -116,6 +200,23 @@ impl ViewLifecycleManager {
         canonical_fp: Fingerprint,
         expected_benefit: f64,
         pricing: Pricing,
+    ) -> Result<AdmitOutcome, EngineError> {
+        self.admit_owned(catalog, plan, canonical_fp, expected_benefit, pricing, None)
+    }
+
+    /// [`ViewLifecycleManager::admit`] with tenant accounting: the view's
+    /// bytes are charged against `owner`'s share
+    /// ([`LifecycleConfig::tenant_byte_budget`]) in addition to the global
+    /// budget. A tenant over its share may displace its *own* weaker views,
+    /// never another tenant's.
+    pub fn admit_owned(
+        &mut self,
+        catalog: &mut Catalog,
+        plan: PlanRef,
+        canonical_fp: Fingerprint,
+        expected_benefit: f64,
+        pricing: Pricing,
+        owner: Option<&str>,
     ) -> Result<AdmitOutcome, EngineError> {
         if self.has_live(canonical_fp) {
             return Ok(AdmitOutcome::RejectedScore {
@@ -136,10 +237,48 @@ impl ViewLifecycleManager {
             self.store.drop_view(catalog, id);
             return Ok(AdmitOutcome::RejectedBudget { bytes });
         }
+        if let Some(tenant) = owner {
+            if bytes > self.config.tenant_byte_budget {
+                self.store.drop_view(catalog, id);
+                return Ok(AdmitOutcome::RejectedTenantBudget {
+                    tenant: tenant.to_string(),
+                    bytes,
+                });
+            }
+        }
+
+        let mut evicted = Vec::new();
+        // Tenant share first: a tenant over budget may only displace its
+        // own weaker views, so the failure mode stays contained to the
+        // tenant that caused it.
+        if let Some(tenant) = owner {
+            while self.live_bytes_of(owner) + bytes > self.config.tenant_byte_budget {
+                let weakest = self
+                    .live
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.owner.as_deref() == owner)
+                    .min_by(|(_, a), (_, b)| a.score.total_cmp(&b.score))
+                    .map(|(i, v)| (i, v.score));
+                match weakest {
+                    Some((i, s)) if s < score => {
+                        let victim = self.live.remove(i);
+                        self.store.drop_view(catalog, victim.id);
+                        evicted.push(victim.id);
+                    }
+                    _ => {
+                        self.store.drop_view(catalog, id);
+                        return Ok(AdmitOutcome::RejectedTenantBudget {
+                            tenant: tenant.to_string(),
+                            bytes,
+                        });
+                    }
+                }
+            }
+        }
 
         // Evict lowest-scoring live views while over budget — but never one
         // scoring at or above the newcomer.
-        let mut evicted = Vec::new();
         while self.live_bytes() + bytes > self.config.byte_budget {
             let weakest = self
                 .live
@@ -155,6 +294,8 @@ impl ViewLifecycleManager {
                 }
                 _ => {
                     // Undo: remaining residents all outscore the newcomer.
+                    // Any tenant-share evictions above stand — they were
+                    // legitimate under the tenant policy.
                     self.store.drop_view(catalog, id);
                     return Ok(AdmitOutcome::RejectedBudget { bytes });
                 }
@@ -166,6 +307,7 @@ impl ViewLifecycleManager {
             canonical_fp,
             score,
             expected_benefit,
+            owner: owner.map(|s| s.to_string()),
         });
         Ok(AdmitOutcome::Admitted { id, evicted })
     }
@@ -191,59 +333,12 @@ impl ViewLifecycleManager {
     /// rewriter (which renames the view's stored columns back to the
     /// query's local aliases).
     pub fn route(&self, catalog: &Catalog, plan: &PlanRef) -> (PlanRef, usize) {
-        if self.live.is_empty() {
-            return (plan.clone(), 0);
-        }
-        // Prefer larger views first so an outer replacement swallows inner
-        // candidates (mirrors `rewrite_with_views`).
-        let mut order: Vec<&LiveView> = self.live.iter().collect();
-        order.sort_by_key(|l| {
-            std::cmp::Reverse(self.store.view(l.id).map_or(0, |v| v.plan.node_count()))
-        });
-
-        let mut current = plan.clone();
-        let mut hits = 0;
-        let cat_cols = |t: &str| catalog.table_columns(t);
-        for lv in order {
-            let Some(view) = self.store.view(lv.id) else {
-                continue;
-            };
-            // Re-enumerate each round: a previous replacement changes the
-            // remaining subtrees.
-            for sub in enumerate_subqueries(&current) {
-                if Fingerprint::of(&canonicalize(&sub.plan)) != lv.canonical_fp {
-                    continue;
-                }
-                let subtree_cols = sub.plan.output_columns(&cat_cols);
-                let view_cols = match catalog.table(&view.table_name) {
-                    Some(t) => t.column_names.clone(),
-                    None => continue, // table dropped concurrently
-                };
-                if subtree_cols.len() != view_cols.len() {
-                    continue; // stale match
-                }
-                let (next, n) = rewrite_subtree_with_view(
-                    &current,
-                    sub.fingerprint,
-                    view,
-                    &subtree_cols,
-                    &view_cols,
-                );
-                if n > 0 {
-                    current = next;
-                    hits += n;
-                }
-            }
-        }
-        // Debug builds verify the routed plan against the original: the
-        // substituted views must reproduce the exact output schema.
-        #[cfg(debug_assertions)]
-        if hits > 0 {
-            if let Err(e) = av_analyze::verify_rewrite(catalog, plan, &current) {
-                panic!("view routing produced an invalid rewrite: {e}");
-            }
-        }
-        (current, hits)
+        let views: Vec<(Fingerprint, &MaterializedView)> = self
+            .live
+            .iter()
+            .filter_map(|l| self.store.view(l.id).map(|v| (l.canonical_fp, v)))
+            .collect();
+        route_through_views(catalog, &views, plan)
     }
 
     /// The backing store (for inspection; all mutation goes through the
@@ -284,6 +379,7 @@ mod tests {
         let mut mgr = ViewLifecycleManager::new(LifecycleConfig {
             byte_budget: usize::MAX,
             min_benefit_per_byte: 0.0,
+            tenant_byte_budget: usize::MAX,
         });
         let out = mgr
             .admit(&mut catalog, cand_plan, fp, 1.0, Pricing::paper_defaults())
@@ -373,6 +469,7 @@ mod tests {
         let mut probe = ViewLifecycleManager::new(LifecycleConfig {
             byte_budget: usize::MAX,
             min_benefit_per_byte: 0.0,
+            tenant_byte_budget: usize::MAX,
         });
         probe
             .admit(
@@ -389,6 +486,7 @@ mod tests {
         let mut mgr = ViewLifecycleManager::new(LifecycleConfig {
             byte_budget: one_view_bytes,
             min_benefit_per_byte: 0.0,
+            tenant_byte_budget: usize::MAX,
         });
         mgr.admit(
             &mut catalog,
@@ -422,5 +520,113 @@ mod tests {
         }
         assert_eq!(mgr.live_fingerprints(), vec![fp_b]);
         assert!(mgr.live_bytes() <= one_view_bytes);
+    }
+
+    #[test]
+    fn tenant_share_contains_eviction_to_owner() {
+        let w = mini(22);
+        let mut catalog = w.catalog.clone();
+        let table_names: Vec<String> = {
+            let mut names: Vec<String> =
+                catalog.table_names().map(|s| s.to_string()).collect();
+            names.sort();
+            names
+        };
+        let mk = |catalog: &Catalog, t: &str| {
+            let col = format!("x.{}", catalog.table(t).expect("exists").column_names[0]);
+            PlanBuilder::scan(t, "x")
+                .project(&[(col.as_str(), col.as_str())])
+                .build()
+        };
+        let plan_a = mk(&catalog, &table_names[0]);
+        let plan_b = mk(&catalog, &table_names[1]);
+        let fp_a = Fingerprint::of(&canonicalize(&plan_a));
+        let fp_b = Fingerprint::of(&canonicalize(&plan_b));
+
+        // Measure one view's bytes to size the tenant share.
+        let mut probe = ViewLifecycleManager::new(LifecycleConfig {
+            byte_budget: usize::MAX,
+            min_benefit_per_byte: 0.0,
+            tenant_byte_budget: usize::MAX,
+        });
+        probe
+            .admit(
+                &mut catalog,
+                plan_a.clone(),
+                fp_a,
+                1.0,
+                Pricing::paper_defaults(),
+            )
+            .expect("probe");
+        let one_view_bytes = probe.live_bytes();
+        probe.evict(&mut catalog, fp_a);
+
+        // Global budget fits both; tenant share fits only one.
+        let mut mgr = ViewLifecycleManager::new(LifecycleConfig {
+            byte_budget: usize::MAX,
+            min_benefit_per_byte: 0.0,
+            tenant_byte_budget: one_view_bytes,
+        });
+        let out = mgr
+            .admit_owned(
+                &mut catalog,
+                plan_a.clone(),
+                fp_a,
+                1.0,
+                Pricing::paper_defaults(),
+                Some("acme"),
+            )
+            .expect("a admitted");
+        assert!(matches!(out, AdmitOutcome::Admitted { .. }));
+        assert_eq!(mgr.live_bytes_of(Some("acme")), one_view_bytes);
+
+        // A weaker view from the same tenant is turned away with the
+        // tenant-specific rejection — the global budget had room.
+        let out = mgr
+            .admit_owned(
+                &mut catalog,
+                plan_b.clone(),
+                fp_b,
+                0.5,
+                Pricing::paper_defaults(),
+                Some("acme"),
+            )
+            .expect("b attempt");
+        match out {
+            AdmitOutcome::RejectedTenantBudget { tenant, .. } => assert_eq!(tenant, "acme"),
+            other => panic!("expected tenant rejection, got {other:?}"),
+        }
+
+        // A stronger view from the same tenant displaces only that tenant's
+        // weaker incumbent.
+        let out = mgr
+            .admit_owned(
+                &mut catalog,
+                plan_b.clone(),
+                fp_b,
+                2.0,
+                Pricing::paper_defaults(),
+                Some("acme"),
+            )
+            .expect("b retry");
+        match out {
+            AdmitOutcome::Admitted { evicted, .. } => assert_eq!(evicted.len(), 1),
+            other => panic!("expected admission, got {other:?}"),
+        }
+        assert_eq!(mgr.live_fingerprints(), vec![fp_b]);
+
+        // A different tenant is unaffected by acme's exhausted share.
+        let out = mgr
+            .admit_owned(
+                &mut catalog,
+                plan_a,
+                fp_a,
+                0.1,
+                Pricing::paper_defaults(),
+                Some("globex"),
+            )
+            .expect("other tenant");
+        assert!(matches!(out, AdmitOutcome::Admitted { .. }));
+        assert_eq!(mgr.live_bytes_of(Some("globex")), one_view_bytes);
     }
 }

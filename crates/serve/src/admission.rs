@@ -1,0 +1,236 @@
+//! Per-tenant admission control: inflight caps with a bounded wait queue.
+//!
+//! Serving "millions of users" from one shared snapshot means one hot
+//! tenant must not monopolize the worker pool. Each tenant gets a cap on
+//! concurrently executing requests; excess arrivals wait in a bounded
+//! per-tenant queue (blocking the submitting session — backpressure), and
+//! once the queue is full too, further arrivals are rejected outright so
+//! the server sheds load instead of accumulating unbounded latency.
+//!
+//! [`AdmissionController::acquire`] returns an RAII [`Permit`]; dropping it
+//! releases the slot and wakes one queued waiter.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+
+/// Per-tenant concurrency policy.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Requests a tenant may have executing at once.
+    pub max_inflight_per_tenant: usize,
+    /// Requests a tenant may have *waiting* for a slot; arrivals beyond
+    /// this are rejected with [`Rejection::QueueFull`].
+    pub max_queued_per_tenant: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_inflight_per_tenant: 8,
+            max_queued_per_tenant: 64,
+        }
+    }
+}
+
+/// Why an arrival was turned away.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejection {
+    /// Inflight cap reached and the wait queue is full.
+    QueueFull { tenant: String },
+}
+
+impl fmt::Display for Rejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejection::QueueFull { tenant } => {
+                write!(f, "tenant `{tenant}`: admission queue full")
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct TenantState {
+    inflight: usize,
+    queued: usize,
+}
+
+/// Snapshot of one tenant's admission counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantLoad {
+    pub inflight: usize,
+    pub queued: usize,
+}
+
+/// The controller. Thread-safe; share by reference.
+#[derive(Debug)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    state: Mutex<BTreeMap<String, TenantState>>,
+    freed: Condvar,
+}
+
+impl AdmissionController {
+    pub fn new(config: AdmissionConfig) -> AdmissionController {
+        AdmissionController {
+            config,
+            state: Mutex::new(BTreeMap::new()),
+            freed: Condvar::new(),
+        }
+    }
+
+    pub fn config(&self) -> AdmissionConfig {
+        self.config
+    }
+
+    /// Admit one request for `tenant`, blocking while the tenant is at its
+    /// inflight cap but has queue room. Returns an RAII permit, or
+    /// [`Rejection::QueueFull`] when both the cap and the queue are
+    /// exhausted.
+    pub fn acquire(&self, tenant: &str) -> Result<Permit<'_>, Rejection> {
+        let mut state = self.state.lock().expect("admission state poisoned");
+        let entry = state.entry(tenant.to_string()).or_default();
+        if entry.inflight < self.config.max_inflight_per_tenant {
+            entry.inflight += 1;
+            return Ok(self.permit(tenant));
+        }
+        if entry.queued >= self.config.max_queued_per_tenant {
+            return Err(Rejection::QueueFull {
+                tenant: tenant.to_string(),
+            });
+        }
+        entry.queued += 1;
+        loop {
+            state = self.freed.wait(state).expect("admission state poisoned");
+            let entry = state.entry(tenant.to_string()).or_default();
+            if entry.inflight < self.config.max_inflight_per_tenant {
+                entry.queued -= 1;
+                entry.inflight += 1;
+                return Ok(self.permit(tenant));
+            }
+        }
+    }
+
+    /// Admit without blocking: `None` when the tenant is at its cap (the
+    /// caller decides whether to queue elsewhere or shed).
+    pub fn try_acquire(&self, tenant: &str) -> Option<Permit<'_>> {
+        let mut state = self.state.lock().expect("admission state poisoned");
+        let entry = state.entry(tenant.to_string()).or_default();
+        if entry.inflight < self.config.max_inflight_per_tenant {
+            entry.inflight += 1;
+            Some(self.permit(tenant))
+        } else {
+            None
+        }
+    }
+
+    /// Current counters for a tenant.
+    pub fn load_of(&self, tenant: &str) -> TenantLoad {
+        let state = self.state.lock().expect("admission state poisoned");
+        let s = state.get(tenant).copied().unwrap_or_default();
+        TenantLoad {
+            inflight: s.inflight,
+            queued: s.queued,
+        }
+    }
+
+    fn permit(&self, tenant: &str) -> Permit<'_> {
+        Permit {
+            controller: self,
+            tenant: tenant.to_string(),
+        }
+    }
+
+    fn release(&self, tenant: &str) {
+        let mut state = self.state.lock().expect("admission state poisoned");
+        if let Some(entry) = state.get_mut(tenant) {
+            entry.inflight = entry.inflight.saturating_sub(1);
+            if entry.inflight == 0 && entry.queued == 0 {
+                state.remove(tenant);
+            }
+        }
+        drop(state);
+        self.freed.notify_all();
+    }
+}
+
+/// An admitted request's slot; releases on drop.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    controller: &'a AdmissionController,
+    tenant: String,
+}
+
+impl Permit<'_> {
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.controller.release(&self.tenant);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn permits_enforce_inflight_cap() {
+        let ctl = AdmissionController::new(AdmissionConfig {
+            max_inflight_per_tenant: 2,
+            max_queued_per_tenant: 0,
+        });
+        let a = ctl.acquire("t").expect("first");
+        let _b = ctl.acquire("t").expect("second");
+        assert_eq!(ctl.load_of("t").inflight, 2);
+        // Cap reached, zero queue: reject.
+        assert_eq!(
+            ctl.acquire("t").expect_err("third"),
+            Rejection::QueueFull {
+                tenant: "t".into()
+            }
+        );
+        assert!(ctl.try_acquire("t").is_none());
+        drop(a);
+        assert_eq!(ctl.load_of("t").inflight, 1);
+        let _c = ctl.acquire("t").expect("slot freed");
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let ctl = AdmissionController::new(AdmissionConfig {
+            max_inflight_per_tenant: 1,
+            max_queued_per_tenant: 0,
+        });
+        let _a = ctl.acquire("a").expect("a admitted");
+        // `a` being saturated does not affect `b`.
+        let _b = ctl.acquire("b").expect("b admitted");
+        assert!(ctl.acquire("a").is_err());
+        assert_eq!(ctl.load_of("b").inflight, 1);
+    }
+
+    #[test]
+    fn queued_waiters_run_eventually() {
+        let ctl = AdmissionController::new(AdmissionConfig {
+            max_inflight_per_tenant: 1,
+            max_queued_per_tenant: 16,
+        });
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let _p = ctl.acquire("t").expect("queue has room");
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 8);
+        assert_eq!(ctl.load_of("t").inflight, 0, "all permits released");
+        assert_eq!(ctl.load_of("t").queued, 0);
+    }
+}

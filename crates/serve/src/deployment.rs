@@ -1,0 +1,225 @@
+//! Immutable view deployments and the epoch-swap cell that publishes them.
+//!
+//! A [`Deployment`] is a frozen snapshot of everything a query needs to
+//! execute: an `Arc<Catalog>` (cheap to clone — the catalog shares table
+//! data behind `Arc`, see `av_engine::catalog`) plus the set of live
+//! materialized views frozen at publication time. Sessions route and run
+//! against a deployment without taking any lock that a re-optimizer could
+//! hold: the [`DeploymentCell`] hands out `Arc<Deployment>` handles, and a
+//! swap only replaces the pointer — every in-flight request keeps the epoch
+//! it started on until it finishes.
+
+use av_engine::{Catalog, MaterializedView};
+use av_online::route_through_views;
+use av_plan::{Fingerprint, PlanRef};
+use std::sync::{Arc, RwLock};
+
+/// A frozen, immutable serving snapshot: catalog + live views at one epoch.
+#[derive(Debug)]
+pub struct Deployment {
+    /// Monotonic publication counter (0 = the initial, view-free snapshot).
+    epoch: u64,
+    catalog: Arc<Catalog>,
+    /// Live views with their canonical defining fingerprints, frozen at
+    /// publication. Routing matches against these, never a shared mutable
+    /// lifecycle manager.
+    views: Vec<(Fingerprint, MaterializedView)>,
+}
+
+impl Deployment {
+    /// Freeze a snapshot. `views` pairs each view's *canonical* defining
+    /// fingerprint with its materialized record; every view's stored table
+    /// must be present in `catalog` (checked by [`Deployment::validate`]).
+    pub fn new(
+        epoch: u64,
+        catalog: Arc<Catalog>,
+        views: Vec<(Fingerprint, MaterializedView)>,
+    ) -> Deployment {
+        Deployment {
+            epoch,
+            catalog,
+            views,
+        }
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Shared handle to the snapshot's catalog.
+    pub fn catalog_arc(&self) -> Arc<Catalog> {
+        self.catalog.clone()
+    }
+
+    /// The frozen live-view set.
+    pub fn views(&self) -> &[(Fingerprint, MaterializedView)] {
+        &self.views
+    }
+
+    /// Rewrite `plan` through the frozen views (larger views first, matched
+    /// on canonical fingerprints). Returns the routed plan and the number
+    /// of subtree replacements.
+    pub fn route(&self, plan: &PlanRef) -> (PlanRef, usize) {
+        let refs: Vec<(Fingerprint, &MaterializedView)> =
+            self.views.iter().map(|(fp, v)| (*fp, v)).collect();
+        route_through_views(&self.catalog, &refs, plan)
+    }
+
+    /// Preflight the snapshot before it may be published: every view's
+    /// stored table must exist in the catalog, and every defining plan must
+    /// pass the `av-analyze` verifier against it. Returns the first problem
+    /// found, so a bad re-optimization can never reach the swap.
+    pub fn validate(&self) -> Result<(), String> {
+        for (fp, view) in &self.views {
+            let table = self.catalog.table(&view.table_name).ok_or_else(|| {
+                format!(
+                    "view {:?} (fp {fp:?}): stored table `{}` missing from catalog",
+                    view.id, view.table_name
+                )
+            })?;
+            av_analyze::verify_plan(&self.catalog, &view.plan).map_err(|e| {
+                format!("view {:?} (fp {fp:?}): defining plan fails verification: {e}", view.id)
+            })?;
+            if table.column_names.len() != view.plan.output_columns(&|t| self.catalog.table_columns(t)).len()
+            {
+                return Err(format!(
+                    "view {:?} (fp {fp:?}): stored table `{}` arity differs from defining plan",
+                    view.id, view.table_name
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Deployment::validate`], plus an end-to-end routing check over a
+    /// sample of queries: each sample is routed through this snapshot and,
+    /// when any view fired, the rewrite is verified to preserve the exact
+    /// output schema. This is the full preflight gate a re-optimizer runs
+    /// before swapping the snapshot in.
+    pub fn validate_with(&self, sample: &[PlanRef]) -> Result<(), String> {
+        self.validate()?;
+        for (i, plan) in sample.iter().enumerate() {
+            let (routed, hits) = self.route(plan);
+            if hits > 0 {
+                av_analyze::verify_rewrite(&self.catalog, plan, &routed)
+                    .map_err(|e| format!("sample query {i}: routed plan fails verification: {e}"))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The publication point: a single atomic slot holding the current
+/// [`Deployment`]. Readers [`DeploymentCell::load`] an `Arc` and keep using
+/// it for as long as they like; [`DeploymentCell::swap`] replaces the slot
+/// without ever blocking on readers (the write lock is held only for the
+/// pointer exchange — loads that raced ahead hold their own `Arc`).
+#[derive(Debug)]
+pub struct DeploymentCell {
+    current: RwLock<Arc<Deployment>>,
+}
+
+impl DeploymentCell {
+    pub fn new(initial: Deployment) -> DeploymentCell {
+        DeploymentCell {
+            current: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    /// The current snapshot. The returned handle stays valid (and its epoch
+    /// fixed) across any number of concurrent swaps.
+    pub fn load(&self) -> Arc<Deployment> {
+        self.current.read().expect("deployment cell poisoned").clone()
+    }
+
+    /// Publish a new snapshot, returning the one it replaced.
+    pub fn swap(&self, next: Arc<Deployment>) -> Arc<Deployment> {
+        let mut slot = self.current.write().expect("deployment cell poisoned");
+        std::mem::replace(&mut *slot, next)
+    }
+
+    /// Epoch of the currently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.load().epoch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_engine::{Column, Pricing, Table, ViewStore};
+    use av_equiv::canonicalize;
+    use av_plan::{Expr, PlanBuilder};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            Table::new(
+                "t",
+                vec![
+                    ("k", Column::Int((0..60).map(|i| i % 6).collect())),
+                    ("v", Column::Int((0..60).collect())),
+                ],
+            )
+            .expect("valid"),
+        )
+        .expect("ok");
+        c
+    }
+
+    fn deployment_with_view() -> (Deployment, PlanRef) {
+        let mut cat = catalog();
+        let mut store = ViewStore::new();
+        let sub = PlanBuilder::scan("t", "a")
+            .filter(Expr::col("a.k").eq(Expr::int(2)))
+            .project(&[("a.v", "a.v")])
+            .build();
+        let id = store
+            .materialize(&mut cat, sub.clone(), Pricing::paper_defaults())
+            .expect("materializes");
+        let view = store.view(id).expect("exists").clone();
+        let fp = Fingerprint::of(&canonicalize(&sub));
+        (Deployment::new(1, Arc::new(cat), vec![(fp, view)]), sub)
+    }
+
+    #[test]
+    fn routing_fires_on_matching_subtree() {
+        let (dep, sub) = deployment_with_view();
+        let query = PlanBuilder::from_plan(sub).count_star(&[], "c").build();
+        let (routed, hits) = dep.route(&query);
+        assert_eq!(hits, 1);
+        assert_ne!(Fingerprint::of(&routed), Fingerprint::of(&query));
+        dep.validate_with(&[query]).expect("validates");
+    }
+
+    #[test]
+    fn validate_rejects_missing_view_table() {
+        let (dep, _) = deployment_with_view();
+        // Rebuild the deployment against a catalog that lacks the stored
+        // view table.
+        let bare = Arc::new(catalog());
+        let broken = Deployment::new(2, bare, dep.views().to_vec());
+        let err = broken.validate().expect_err("must reject");
+        assert!(err.contains("missing from catalog"), "{err}");
+    }
+
+    #[test]
+    fn swap_leaves_prior_handles_untouched() {
+        let (dep, _) = deployment_with_view();
+        let views = dep.views().to_vec();
+        let cat = dep.catalog_arc();
+        let cell = DeploymentCell::new(dep);
+        let held = cell.load();
+        assert_eq!(held.epoch(), 1);
+        let old = cell.swap(Arc::new(Deployment::new(2, cat, views)));
+        assert_eq!(old.epoch(), 1);
+        assert_eq!(cell.epoch(), 2);
+        // The handle loaded before the swap still serves its old epoch.
+        assert_eq!(held.epoch(), 1);
+        assert_eq!(held.views().len(), 1);
+    }
+}

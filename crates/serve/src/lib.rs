@@ -1,0 +1,53 @@
+//! # av-serve — concurrent multi-tenant query serving over view deployments
+//!
+//! The paper's system faces "millions of users": view selection is only
+//! useful if the selected views can be *served* — many sessions executing
+//! against a shared snapshot while re-optimization retunes the view set in
+//! the background. This crate is that serving layer:
+//!
+//! - [`Deployment`] / [`DeploymentCell`]: immutable copy-on-write
+//!   snapshots (an `Arc<Catalog>` sharing table data plus a frozen live
+//!   view set) published through an epoch-swapped cell. Readers never
+//!   block on re-optimization; a swap replaces one pointer and in-flight
+//!   requests finish on the epoch they started with.
+//! - [`AdmissionController`]: per-tenant inflight caps with a bounded wait
+//!   queue — backpressure first, load shedding second, so one hot tenant
+//!   cannot monopolize the worker pool.
+//! - [`ViewServer`]: the façade. `execute` is the lock-light read path
+//!   (admission → snapshot → route → sharded cache); `reoptimize` is the
+//!   serialized write path (selection → tenant-accounted admission → a
+//!   candidate deployment preflighted through `av-analyze` → atomic swap).
+//! - [`loadgen`]: closed- and open-loop workload replay with exact
+//!   latency percentiles, feeding `BENCH_serve.json`.
+//!
+//! ```
+//! use av_serve::{ServeConfig, ViewServer};
+//! use av_cost::OptimizerEstimator;
+//! use av_workload::cloud::mini;
+//!
+//! let w = mini(7);
+//! let plans = w.plans();
+//! let server = ViewServer::new(
+//!     w.catalog.clone(),
+//!     Box::new(OptimizerEstimator::default()),
+//!     ServeConfig::default(),
+//! );
+//! let before = server.execute("tenant0", &plans[0]).unwrap();
+//! server.reoptimize(&plans, Some("tenant0")).unwrap();   // epoch 0 → 1
+//! let after = server.execute("tenant0", &plans[0]).unwrap();
+//! assert_eq!(before.batch, after.batch);                 // swap is invisible
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod admission;
+pub mod deployment;
+pub mod loadgen;
+pub mod server;
+
+pub use admission::{AdmissionConfig, AdmissionController, Permit, Rejection, TenantLoad};
+pub use deployment::{Deployment, DeploymentCell};
+pub use loadgen::{
+    run_closed_loop, run_open_loop, ClosedLoopConfig, LoadReport, OpenLoopConfig,
+};
+pub use server::{ReoptSummary, ServeConfig, ServeError, ServeResponse, ViewServer};

@@ -1,0 +1,520 @@
+//! The serving façade: concurrent sessions over one published snapshot.
+//!
+//! [`ViewServer`] separates the *read path* from the *reopt path*:
+//!
+//! - **Read path** ([`ViewServer::execute`]): admission → load the current
+//!   [`Deployment`] `Arc` → route through its frozen views → execute via
+//!   the sharded result cache. No lock is held across execution that the
+//!   re-optimizer contends on; many sessions proceed in parallel.
+//! - **Reopt path** ([`ViewServer::reoptimize`]): serialized behind a
+//!   planner mutex. Selection re-runs on a workload window, the live view
+//!   set is patched (with per-tenant byte accounting), a *candidate*
+//!   deployment is built copy-on-write, preflighted through the
+//!   `av-analyze` verifier, and only then atomically swapped in. A failed
+//!   preflight leaves the published snapshot untouched — in-flight and
+//!   future queries keep executing against the last good epoch.
+
+use crate::admission::{AdmissionConfig, AdmissionController, Rejection};
+use crate::deployment::{Deployment, DeploymentCell};
+use av_cost::CostEstimator;
+use av_engine::{
+    Catalog, EngineError, ExecCache, MaterializedView, Pricing, RecordBatch, ShardedExecCache,
+};
+use av_online::{
+    reoptimize, AdmitOutcome, CandidateView, LifecycleConfig, OnlineSelector,
+    ViewLifecycleManager, WindowSnapshot,
+};
+use av_plan::{Fingerprint, PlanRef};
+use av_trace::Tracer;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    pub pricing: Pricing,
+    /// Shards of the execution-result cache (locks that can be held
+    /// concurrently). 0 means [`ShardedExecCache`]'s default.
+    pub cache_shards: usize,
+    /// Total cached results across all shards (split evenly).
+    pub cache_capacity: usize,
+    /// Executor thread count for cache misses (None = engine default).
+    pub exec_threads: Option<usize>,
+    /// Parallel-cutover row floor override (None = engine default).
+    pub par_min_rows: Option<usize>,
+    pub admission: AdmissionConfig,
+    pub lifecycle: LifecycleConfig,
+    pub selector: OnlineSelector,
+    /// Minimum times a subquery must repeat in the reopt window before it
+    /// becomes a view candidate.
+    pub min_query_frequency: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            pricing: Pricing::paper_defaults(),
+            cache_shards: 0,
+            cache_capacity: 4096,
+            exec_threads: None,
+            par_min_rows: None,
+            admission: AdmissionConfig::default(),
+            lifecycle: LifecycleConfig::default(),
+            selector: OnlineSelector::default(),
+            min_query_frequency: 2,
+        }
+    }
+}
+
+/// Everything that can go wrong serving one request.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Turned away by admission control.
+    Rejected(Rejection),
+    /// Execution failed.
+    Engine(EngineError),
+    /// A candidate deployment failed its preflight; the previous epoch is
+    /// still published.
+    InvalidDeployment(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Rejected(r) => write!(f, "rejected: {r}"),
+            ServeError::Engine(e) => write!(f, "engine: {e}"),
+            ServeError::InvalidDeployment(msg) => {
+                write!(f, "candidate deployment rejected: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> ServeError {
+        ServeError::Engine(e)
+    }
+}
+
+/// One served query's result.
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    pub batch: RecordBatch,
+    /// `A_{β,γ}` actually paid (0-cost on a cache hit is still reported as
+    /// the original execution's cost — the cached result's price).
+    pub cost_dollars: f64,
+    /// Subtree replacements made by view routing.
+    pub rewrite_hits: usize,
+    /// Deployment epoch this request executed against.
+    pub epoch: u64,
+}
+
+/// What one re-optimization did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReoptSummary {
+    /// Epoch of the newly published deployment.
+    pub epoch: u64,
+    pub admitted: usize,
+    pub dropped: usize,
+    pub rejected: usize,
+    /// Live views in the published snapshot.
+    pub live_views: usize,
+    /// Selection utility on the window instance.
+    pub estimated_utility: f64,
+}
+
+/// Mutable planning state, serialized behind one mutex: the authoritative
+/// catalog (views materialize into it), the lifecycle manager, the cost
+/// model, and a dry-run cache for candidate pricing.
+struct Planner {
+    catalog: Catalog,
+    lifecycle: ViewLifecycleManager,
+    estimator: Box<dyn CostEstimator + Send>,
+    dryrun: ExecCache,
+}
+
+/// A concurrent, multi-tenant query server over epoch-swapped deployments.
+pub struct ViewServer {
+    config: ServeConfig,
+    cell: DeploymentCell,
+    cache: ShardedExecCache,
+    admission: AdmissionController,
+    tracer: Tracer,
+    planner: Mutex<Planner>,
+}
+
+impl ViewServer {
+    /// Publish epoch 0: the given catalog with no views.
+    pub fn new(
+        catalog: Catalog,
+        estimator: Box<dyn CostEstimator + Send>,
+        config: ServeConfig,
+    ) -> ViewServer {
+        let tracer = Tracer::new();
+        ViewServer::with_tracer(catalog, estimator, config, tracer)
+    }
+
+    /// [`ViewServer::new`] recording into a caller-supplied tracer.
+    pub fn with_tracer(
+        catalog: Catalog,
+        estimator: Box<dyn CostEstimator + Send>,
+        config: ServeConfig,
+        tracer: Tracer,
+    ) -> ViewServer {
+        let shards = if config.cache_shards > 0 {
+            config.cache_shards
+        } else {
+            ShardedExecCache::DEFAULT_SHARDS
+        };
+        let mut cache = ShardedExecCache::new(config.pricing, shards)
+            .with_tracer(tracer.clone())
+            .with_capacity(config.cache_capacity);
+        if let Some(t) = config.exec_threads {
+            cache = cache.with_threads(t);
+        }
+        if let Some(m) = config.par_min_rows {
+            cache = cache.with_par_min_rows(m);
+        }
+        let initial = Deployment::new(0, Arc::new(catalog.clone()), Vec::new());
+        ViewServer {
+            cell: DeploymentCell::new(initial),
+            cache,
+            admission: AdmissionController::new(config.admission),
+            planner: Mutex::new(Planner {
+                catalog,
+                lifecycle: ViewLifecycleManager::new(config.lifecycle),
+                estimator,
+                dryrun: ExecCache::new(config.pricing).with_metric_prefix("serve.dryrun"),
+            }),
+            tracer,
+            config,
+        }
+    }
+
+    /// Execute one query for `tenant`: admission → snapshot load → view
+    /// routing → (cached) execution. Never blocks on the re-optimizer.
+    pub fn execute(&self, tenant: &str, plan: &PlanRef) -> Result<ServeResponse, ServeError> {
+        let metrics = self.tracer.metrics();
+        let _permit = self.admission.acquire(tenant).map_err(|r| {
+            metrics.inc("serve.rejected");
+            ServeError::Rejected(r)
+        })?;
+        let deployment = self.cell.load();
+        let tracer = self.tracer.clone();
+        let response = tracer.time("serve.request", || -> Result<ServeResponse, ServeError> {
+            let (routed, hits) = deployment.route(plan);
+            let fingerprint = Fingerprint::of(&routed);
+            let result = self
+                .cache
+                .run_keyed(fingerprint, deployment.catalog(), &routed)?;
+            Ok(ServeResponse {
+                batch: result.batch,
+                cost_dollars: result.report.cost_dollars,
+                rewrite_hits: hits,
+                epoch: deployment.epoch(),
+            })
+        })?;
+        metrics.inc("serve.requests");
+        if response.rewrite_hits > 0 {
+            metrics.inc("serve.requests_rewritten");
+            metrics.add("serve.rewrite_hits", response.rewrite_hits as u64);
+        }
+        metrics.observe("serve.query_cost", response.cost_dollars);
+        Ok(response)
+    }
+
+    /// Re-optimize against a workload window and publish the next epoch.
+    ///
+    /// Selection and view materialization run entirely on the planner side
+    /// — concurrent [`ViewServer::execute`] calls keep reading the old
+    /// snapshot. Views admitted here are charged to `owner`'s byte share
+    /// (see [`LifecycleConfig::tenant_byte_budget`]). The candidate
+    /// deployment must pass the `av-analyze` preflight (every view's
+    /// defining plan verifies, every routed window query's rewrite
+    /// preserves its schema) before the swap; on failure the old epoch
+    /// stays published and an [`ServeError::InvalidDeployment`] is
+    /// returned.
+    pub fn reoptimize(
+        &self,
+        window: &[PlanRef],
+        owner: Option<&str>,
+    ) -> Result<ReoptSummary, ServeError> {
+        let tracer = self.tracer.clone();
+        let metrics = tracer.metrics();
+        let mut guard = self.planner.lock().expect("planner poisoned");
+        let planner = &mut *guard;
+        tracer.time("serve.reopt", || -> Result<ReoptSummary, ServeError> {
+            let mut analyzer = av_equiv::Analyzer::new();
+            analyzer.min_query_frequency = self.config.min_query_frequency;
+            let analysis = analyzer.analyze(window);
+
+            let mut costs = Vec::with_capacity(window.len());
+            for p in window {
+                costs.push(planner.dryrun.cost(&planner.catalog, p)?);
+            }
+            let plan = reoptimize(
+                &planner.catalog,
+                &analysis,
+                WindowSnapshot::new(window, &costs),
+                planner.estimator.as_ref(),
+                &self.config.selector,
+                &planner.lifecycle.live_fingerprints(),
+                &planner.dryrun,
+            )?;
+            metrics.inc("serve.reopt_runs");
+
+            let mut summary = ReoptSummary {
+                estimated_utility: plan.estimated_utility,
+                ..ReoptSummary::default()
+            };
+            for fp in &plan.drop {
+                if planner.lifecycle.evict(&mut planner.catalog, *fp).is_some() {
+                    summary.dropped += 1;
+                }
+            }
+            self.admit_all(planner, &plan.create, owner, &mut summary)?;
+            self.swap_in_current(planner, window, &mut summary)?;
+            Ok(summary)
+        })
+    }
+
+    /// Publish an externally selected view set (e.g. the batch pipeline's
+    /// final selection from `av-core`): admit each candidate into the
+    /// lifecycle, charge it to `owner`, preflight the resulting snapshot
+    /// against `sample`, and swap it in. Same gate, same swap semantics as
+    /// [`ViewServer::reoptimize`] — only the selection step is skipped.
+    pub fn publish(
+        &self,
+        candidates: &[CandidateView],
+        owner: Option<&str>,
+        sample: &[PlanRef],
+    ) -> Result<ReoptSummary, ServeError> {
+        let mut guard = self.planner.lock().expect("planner poisoned");
+        let planner = &mut *guard;
+        let mut summary = ReoptSummary::default();
+        self.admit_all(planner, candidates, owner, &mut summary)?;
+        self.swap_in_current(planner, sample, &mut summary)?;
+        Ok(summary)
+    }
+
+    /// Admit a batch of candidates through the tenant-aware lifecycle.
+    fn admit_all(
+        &self,
+        planner: &mut Planner,
+        candidates: &[CandidateView],
+        owner: Option<&str>,
+        summary: &mut ReoptSummary,
+    ) -> Result<(), ServeError> {
+        for cand in candidates {
+            let outcome = planner.lifecycle.admit_owned(
+                &mut planner.catalog,
+                cand.plan.clone(),
+                cand.canonical_fp,
+                cand.expected_benefit,
+                self.config.pricing,
+                owner,
+            )?;
+            match outcome {
+                AdmitOutcome::Admitted { evicted, .. } => {
+                    summary.admitted += 1;
+                    summary.dropped += evicted.len();
+                }
+                AdmitOutcome::RejectedScore { .. }
+                | AdmitOutcome::RejectedBudget { .. }
+                | AdmitOutcome::RejectedTenantBudget { .. } => summary.rejected += 1,
+            }
+        }
+        Ok(())
+    }
+
+    /// Freeze the planner's current state into a candidate deployment,
+    /// preflight it, and publish it as the next epoch. The catalog clone is
+    /// copy-on-write (table data is shared behind `Arc`); a preflight
+    /// failure leaves the previous epoch published.
+    fn swap_in_current(
+        &self,
+        planner: &mut Planner,
+        sample: &[PlanRef],
+        summary: &mut ReoptSummary,
+    ) -> Result<(), ServeError> {
+        let metrics = self.tracer.metrics();
+        let views: Vec<(Fingerprint, MaterializedView)> = planner
+            .lifecycle
+            .live()
+            .iter()
+            .filter_map(|l| {
+                planner
+                    .lifecycle
+                    .view(l.id)
+                    .map(|v| (l.canonical_fp, v.clone()))
+            })
+            .collect();
+        let next = Deployment::new(
+            self.cell.epoch() + 1,
+            Arc::new(planner.catalog.clone()),
+            views,
+        );
+
+        // Preflight gate: a snapshot that cannot prove itself never
+        // reaches the swap.
+        if let Err(msg) = next.validate_with(sample) {
+            metrics.inc("serve.preflight_failures");
+            return Err(ServeError::InvalidDeployment(msg));
+        }
+
+        summary.epoch = next.epoch();
+        summary.live_views = next.views().len();
+        self.cell.swap(Arc::new(next));
+        metrics.inc("serve.swaps");
+        metrics.set_gauge("serve.live_views", summary.live_views as f64);
+        metrics.set_gauge("serve.epoch", summary.epoch as f64);
+        Ok(())
+    }
+
+    /// The currently published snapshot.
+    pub fn current(&self) -> Arc<Deployment> {
+        self.cell.load()
+    }
+
+    /// Epoch of the published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.cell.epoch()
+    }
+
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    pub fn metrics(&self) -> &av_trace::Metrics {
+        self.tracer.metrics()
+    }
+
+    /// Aggregate hit/miss/evict counters of the sharded result cache.
+    pub fn cache_stats(&self) -> av_engine::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Per-shard counters (index = shard).
+    pub fn shard_stats(&self) -> Vec<av_engine::CacheStats> {
+        self.cache.shard_stats()
+    }
+
+    /// Admission counters for one tenant.
+    pub fn tenant_load(&self, tenant: &str) -> crate::admission::TenantLoad {
+        self.admission.load_of(tenant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_cost::OptimizerEstimator;
+    use av_workload::cloud::mini;
+
+    fn server_for(w: &av_workload::Workload) -> ViewServer {
+        ViewServer::new(
+            w.catalog.clone(),
+            Box::new(OptimizerEstimator::default()),
+            ServeConfig {
+                lifecycle: LifecycleConfig {
+                    byte_budget: usize::MAX,
+                    min_benefit_per_byte: 0.0,
+                    tenant_byte_budget: usize::MAX,
+                },
+                ..ServeConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn serves_queries_and_swaps_epochs() {
+        let w = mini(71);
+        let plans = w.plans();
+        let server = server_for(&w);
+        assert_eq!(server.epoch(), 0);
+
+        // Epoch 0 serves with no views.
+        let baseline: Vec<RecordBatch> = plans
+            .iter()
+            .map(|p| server.execute("t0", p).expect("serves").batch)
+            .collect();
+
+        // Reoptimize on the window: views admitted, epoch bumped.
+        let summary = server.reoptimize(&plans, None).expect("reoptimizes");
+        assert_eq!(summary.epoch, 1);
+        assert!(summary.admitted > 0, "mini workload selects views");
+        assert_eq!(server.epoch(), 1);
+
+        // Epoch 1 serves identical results, now routed through views.
+        let mut hits = 0;
+        for (p, before) in plans.iter().zip(&baseline) {
+            let resp = server.execute("t0", p).expect("serves");
+            assert_eq!(resp.epoch, 1);
+            assert_eq!(&resp.batch, before, "swap must not change results");
+            hits += resp.rewrite_hits;
+        }
+        assert!(hits > 0, "views must route repeat queries");
+        assert_eq!(
+            server.metrics().counter("serve.requests"),
+            2 * plans.len() as u64
+        );
+        assert_eq!(server.metrics().counter("serve.swaps"), 1);
+    }
+
+    #[test]
+    fn old_snapshot_handles_survive_swap() {
+        let w = mini(72);
+        let plans = w.plans();
+        let server = server_for(&w);
+        let old = server.current();
+        server.reoptimize(&plans, None).expect("reoptimizes");
+        // The pre-swap handle still routes nothing and still executes.
+        assert_eq!(old.epoch(), 0);
+        let (routed, hits) = old.route(&plans[0]);
+        assert_eq!(hits, 0);
+        assert_eq!(Fingerprint::of(&routed), Fingerprint::of(&plans[0]));
+    }
+
+    #[test]
+    fn tenant_owned_views_are_accounted() {
+        let w = mini(73);
+        let plans = w.plans();
+        let server = server_for(&w);
+        let summary = server.reoptimize(&plans, Some("acme")).expect("reoptimizes");
+        assert!(summary.admitted > 0);
+        let planner = server.planner.lock().expect("planner");
+        assert!(
+            planner.lifecycle.live_bytes_of(Some("acme")) > 0,
+            "admitted views are charged to the owner"
+        );
+        assert_eq!(planner.lifecycle.live_bytes_of(None), 0);
+    }
+
+    #[test]
+    fn per_shard_metrics_flow_through_registry() {
+        let w = mini(74);
+        let plans = w.plans();
+        let server = server_for(&w);
+        for p in &plans {
+            server.execute("t", p).expect("serves");
+            server.execute("t", p).expect("repeat hits cache");
+        }
+        let agg = server.cache_stats();
+        assert!(agg.hits > 0, "repeats must hit");
+        let m = server.metrics();
+        let (mut hit_sum, mut miss_sum) = (0, 0);
+        for (i, s) in server.shard_stats().iter().enumerate() {
+            assert_eq!(m.counter(&format!("engine.cache.shard{i}.hit")), s.hits);
+            hit_sum += s.hits;
+            miss_sum += s.misses;
+        }
+        assert_eq!(hit_sum, agg.hits);
+        assert_eq!(miss_sum, agg.misses);
+    }
+}

@@ -82,6 +82,38 @@ impl Histogram {
         }
     }
 
+    /// Estimate the `q`-quantile (`0.0..=1.0`) from the bucket counts,
+    /// assuming observations are uniform within each bucket. The estimate is
+    /// clamped to the observed `[min, max]`, so `quantile(0.0)` is exactly
+    /// the minimum and `quantile(1.0)` exactly the maximum. Returns `None`
+    /// for an empty histogram or `q` outside `[0, 1]`.
+    ///
+    /// Accuracy is bounded by bucket width — good enough for tail summaries
+    /// (p95/p99 dashboards); harnesses that need exact percentiles (e.g.
+    /// `serve_bench`) keep raw samples instead.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if next as f64 >= rank {
+                let lower = if i == 0 { 0.0 } else { BUCKET_BOUNDS[i - 1] };
+                let upper = BUCKET_BOUNDS.get(i).copied().unwrap_or(self.max);
+                let frac = ((rank - cum as f64) / c as f64).clamp(0.0, 1.0);
+                let est = lower + frac * (upper - lower);
+                return Some(est.clamp(self.min, self.max));
+            }
+            cum = next;
+        }
+        Some(self.max)
+    }
+
     /// Count recorded in the bucket whose inclusive upper bound is `upper`
     /// (must be one of [`BUCKET_BOUNDS`]); `f64::INFINITY` addresses the
     /// overflow bucket.
@@ -364,6 +396,33 @@ mod tests {
         m.observe("edges", BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1] * 1.0001);
         let h = m.histogram("edges").expect("exists");
         assert_eq!(h.bucket_count(f64::INFINITY), 1);
+    }
+
+    #[test]
+    fn quantile_estimates_respect_bounds_and_order() {
+        let m = Metrics::new();
+        // 100 observations spread across two decades: 90 in (1e-3, 1e-2],
+        // 10 in (1e-2, 1e-1].
+        for i in 0..90 {
+            m.observe("lat", 2e-3 + i as f64 * 1e-5);
+        }
+        for i in 0..10 {
+            m.observe("lat", 2e-2 + i as f64 * 1e-4);
+        }
+        let h = m.histogram("lat").expect("exists");
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.5), None);
+        let p0 = h.quantile(0.0).expect("some");
+        let p50 = h.quantile(0.5).expect("some");
+        let p95 = h.quantile(0.95).expect("some");
+        let p100 = h.quantile(1.0).expect("some");
+        assert_eq!(p0, 2e-3, "q=0 is the observed min");
+        assert!((p100 - (2e-2 + 9.0 * 1e-4)).abs() < 1e-12, "q=1 is the max");
+        assert!(p0 <= p50 && p50 <= p95 && p95 <= p100, "monotone in q");
+        // p50 falls inside the dense bucket, p95 inside the sparse one.
+        assert!(p50 > 1e-3 && p50 <= 1e-2, "p50={p50}");
+        assert!(p95 > 1e-2 && p95 <= 1e-1, "p95={p95}");
+        assert_eq!(Histogram::default().quantile(0.5), None, "empty is None");
     }
 
     #[test]
