@@ -21,6 +21,11 @@
 //! 3. **unwrap-ratchet** — the count of `.unwrap(` calls per file in
 //!    non-test code may only go *down* relative to the committed baseline
 //!    (`crates/analyze/unwrap-baseline.txt`).
+//! 4. **unsafe-scope** — the `unsafe` keyword (and `allow(unsafe_code)`
+//!    opt-ins) anywhere except the audited allowlist
+//!    (`UNSAFE_ALLOWED_FILES`), currently only `av-nn`'s SIMD kernel
+//!    module. `forbid`/`deny(unsafe_code)` attributes are of course fine —
+//!    the rule exists precisely so those stay the default everywhere else.
 //!
 //! Test code is skipped: everything below a `#[cfg(test)]` attribute, and
 //! any path containing a `tests` or `benches` directory.
@@ -93,6 +98,63 @@ fn is_wall_clock_allowed_file(file: &str) -> bool {
 
 fn unwrap_pattern() -> String {
     format!(".unw{}(", "rap")
+}
+
+// Assembled from pieces like the patterns above, so this scanner's own
+// source stays clean under its own rules.
+fn unsafe_keyword() -> String {
+    format!("uns{}", "afe")
+}
+
+fn unsafe_optin_pattern() -> String {
+    format!("allow({}_code)", unsafe_keyword())
+}
+
+/// The rule identifier, leaked once: findings carry `&'static str` rule
+/// names, and spelling this one as a literal would trip the scanner on its
+/// own source.
+fn unsafe_rule_name() -> &'static str {
+    static NAME: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    NAME.get_or_init(|| format!("{}-scope", unsafe_keyword()))
+}
+
+/// Library files allowed to contain `unsafe`. This list is the whole
+/// scope — everything else ratchets at zero, so extending it is a reviewed
+/// decision, not a drive-by.
+///
+/// `crates/nn/src/simd.rs`: the `core::arch` AVX2+FMA kernels. Intrinsics
+/// are inherently `unsafe fn`; the module confines them behind safe
+/// dispatchers whose slice-length `debug_assert`s state the contract, and
+/// the property suite pins them bitwise to safe scalar references.
+const UNSAFE_ALLOWED_FILES: [&str; 1] = ["crates/nn/src/simd.rs"];
+
+fn is_unsafe_allowed_file(file: &str) -> bool {
+    UNSAFE_ALLOWED_FILES
+        .iter()
+        .any(|allowed| file == *allowed || file.ends_with(&format!("/{allowed}")))
+}
+
+/// Does `line` use the `unsafe` keyword (not the `unsafe_code` attribute
+/// name, which `forbid`/`deny` attributes legitimately mention)?
+fn uses_unsafe_keyword(line: &str) -> bool {
+    let kw = unsafe_keyword();
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(&kw) {
+        let pos = from + rel;
+        from = pos + kw.len();
+        let before_ok = line[..pos]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !is_ident_char(c));
+        let after_ok = line[pos + kw.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !is_ident_char(c));
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
 }
 
 const ALLOW_MARKER: &str = "det-lint: allow";
@@ -248,10 +310,27 @@ pub fn lint_source(file: &str, src: &str) -> Vec<LintFinding> {
     let lines = non_test_lines(src);
     let wall_clock = wall_clock_patterns();
     let clock_exempt = is_binary_path(file) || is_wall_clock_allowed_file(file);
+    let unsafe_exempt = is_unsafe_allowed_file(file);
+    let unsafe_optin = unsafe_optin_pattern();
     let mut findings = Vec::new();
     let mut tracked: Vec<String> = Vec::new();
 
     for (i, line) in lines.iter().enumerate() {
+        // No inline allow-marker for this rule: the file allowlist is the
+        // only exemption, so every new unsafe site is a reviewed decision.
+        if !unsafe_exempt && (uses_unsafe_keyword(line) || line.contains(&unsafe_optin)) {
+            findings.push(LintFinding {
+                file: file.to_string(),
+                line: i + 1,
+                rule: unsafe_rule_name(),
+                message: format!(
+                    "{} code outside the audited kernel allowlist; keep intrinsics \
+                     confined to crates/nn/src/simd.rs or extend UNSAFE_ALLOWED_FILES \
+                     in review",
+                    unsafe_keyword()
+                ),
+            });
+        }
         if !clock_exempt && !line.contains(ALLOW_MARKER) {
             if let Some(pat) = wall_clock.iter().find(|p| line.contains(p.as_str())) {
                 findings.push(LintFinding {
@@ -545,6 +624,46 @@ fn f(m: HashMap<String, u32>) -> HashMap<String, u32> {
             "::now"
         );
         assert!(lint_source("crates/trace/src/clock.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_keyword_is_flagged_outside_allowlist() {
+        let kw = unsafe_keyword();
+        for src in [
+            format!("fn f() {{ {kw} {{ core_op(); }} }}\n"),
+            format!("{kw} fn g() {{}}\n"),
+            format!("#![allow({kw}_code)]\n"),
+        ] {
+            let f = lint_source("crates/engine/src/exec.rs", &src);
+            assert_eq!(f.len(), 1, "{src:?} -> {f:?}");
+            assert_eq!(f[0].rule, "unsafe-scope");
+            assert_eq!(f[0].line, 1);
+        }
+    }
+
+    #[test]
+    fn unsafe_scope_allowlist_is_exactly_the_simd_module() {
+        let kw = unsafe_keyword();
+        let src = format!("{kw} fn kernel() {{}}\n");
+        assert!(lint_source("crates/nn/src/simd.rs", &src).is_empty());
+        assert!(lint_source("/abs/repo/crates/nn/src/simd.rs", &src).is_empty());
+        // No leaking to sibling files, binaries, or similarly named paths.
+        for file in [
+            "crates/nn/src/tensor.rs",
+            "crates/bench/src/bin/nn_bench.rs",
+            "crates/engine/src/simd.rs",
+        ] {
+            let f = lint_source(file, &src);
+            assert_eq!(f.len(), 1, "{file} must still be flagged: {f:?}");
+            assert_eq!(f[0].rule, "unsafe-scope");
+        }
+    }
+
+    #[test]
+    fn forbidding_unsafe_is_not_a_finding() {
+        let kw = unsafe_keyword();
+        let src = format!("#![forbid({kw}_code)]\n#![deny({kw}_code)]\nfn safe() {{}}\n");
+        assert!(lint_source("crates/engine/src/lib.rs", &src).is_empty());
     }
 
     #[test]

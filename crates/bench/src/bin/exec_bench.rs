@@ -1,14 +1,23 @@
-//! Executor micro-benchmark: rows/sec for scan / filter / join / aggregate
-//! over the JOB-scale tables, serial vs. chunked-parallel, plus the
-//! plan-result cache's hit-rate and speedup on a full workload replay.
+//! Executor micro-benchmark: rows/sec for filter / aggregate micro-ops over
+//! JOB-scale tables, comparing the interpreted reference kernels against the
+//! default selection-vector + typed-kernel path, plus the plan-result
+//! cache's hit-rate and speedup on a full workload replay.
+//!
+//! The micro tables sit *below* the 32k-row parallel cutover on purpose:
+//! that regime gets no help from threading, so whatever the typed kernels
+//! buy is exactly what a small-batch query feels. Each micro asserts the
+//! two paths produce bitwise-identical batches and execution reports, and
+//! the build fails if any optimized micro is slower than its reference —
+//! a <1.0x "optimization" can never ship silently.
 //!
 //! Writes `BENCH_exec.json` (machine-readable, consumed by CI) next to the
 //! working directory and prints the same numbers as a table.
 //!
 //! Knobs: `AV_JOB_SCALE` (table scale, default 0.05), `AV_EXEC_SCALE`
-//! (extra multiplier for the micro tables, default 20 so batches far exceed
-//! the 1024-row parallel chunk), `AV_EXEC_REPS` (default 20),
-//! `AV_EXEC_THREADS` (parallel thread count, default 4), `AV_SEED`.
+//! (extra multiplier for the micro tables, default 20 — at the defaults the
+//! fact table lands at 12k rows, under the cutover), `AV_EXEC_REPS`
+//! (default 20), `AV_EXEC_THREADS` (thread count for the trace/replay
+//! sections, default 4), `AV_SEED`.
 //!
 //! `--trace-out <path>` dumps one traced pass over the benched workload
 //! (micro plans + cold replay) as chrome://tracing-compatible JSON. With or
@@ -28,9 +37,11 @@ struct MicroResult {
     op: String,
     /// Input rows driven through the operator per iteration.
     rows: usize,
-    serial_rows_per_sec: f64,
-    parallel_rows_per_sec: f64,
-    /// parallel / serial (>1 means the chunked path wins).
+    /// Interpreted per-row kernels + mask materialization.
+    reference_rows_per_sec: f64,
+    /// Selection vectors + typed comparison / hoisted aggregate kernels.
+    optimized_rows_per_sec: f64,
+    /// optimized / reference (>1 means the typed path wins).
     speedup: f64,
 }
 
@@ -79,19 +90,25 @@ fn envf(key: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
-/// Median-of-runs wall time for `reps` executions of `plan`.
-fn time_plan(exec: &Executor<'_>, plan: &PlanRef, reps: usize) -> f64 {
-    // One warm-up run keeps allocator noise out of the first sample.
-    exec.run(plan).expect("benchmark plan executes");
-    let mut samples: Vec<f64> = (0..reps)
-        .map(|_| {
-            let start = Instant::now();
-            exec.run(plan).expect("benchmark plan executes");
-            start.elapsed().as_secs_f64()
-        })
-        .collect();
-    samples.sort_by(|a, b| a.total_cmp(b));
-    samples[samples.len() / 2]
+/// Interleaved best-of-reps wall times for `plan` under two executors.
+/// Alternating rep-by-rep means clock-frequency and allocator drift hits
+/// both sides equally; taking each side's minimum rejects shared-core
+/// scheduling noise (the minimum is the cleanest observation of the true
+/// cost, and both sides get the same number of chances at it).
+fn time_pair(a: &Executor<'_>, b: &Executor<'_>, plan: &PlanRef, reps: usize) -> (f64, f64) {
+    // One warm-up run each keeps allocator noise out of the first sample.
+    a.run(plan).expect("benchmark plan executes");
+    b.run(plan).expect("benchmark plan executes");
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let start = Instant::now();
+        a.run(plan).expect("benchmark plan executes");
+        best_a = best_a.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        b.run(plan).expect("benchmark plan executes");
+        best_b = best_b.min(start.elapsed().as_secs_f64());
+    }
+    (best_a, best_b)
 }
 
 fn main() {
@@ -122,66 +139,81 @@ fn main() {
         .table("cast_info")
         .expect("JOB schema")
         .row_count();
-    let title_rows = micro_w
-        .catalog
-        .table("title")
-        .expect("JOB schema")
-        .row_count();
 
-    let scan = PlanBuilder::scan("cast_info", "c").build();
+    let aggs = || {
+        vec![
+            AggExpr {
+                func: AggFunc::Count,
+                input: None,
+                output: "n".into(),
+            },
+            AggExpr {
+                func: AggFunc::Sum,
+                input: Some("c.production_year".into()),
+                output: "s".into(),
+            },
+            AggExpr {
+                func: AggFunc::Min,
+                input: Some("c.note".into()),
+                output: "lo".into(),
+            },
+            AggExpr {
+                func: AggFunc::Max,
+                input: Some("c.note".into()),
+                output: "hi".into(),
+            },
+        ]
+    };
     let filter = PlanBuilder::scan("cast_info", "c")
         .filter(Expr::col("c.production_year").cmp(CmpOp::Gt, Expr::int(1990)))
         .build();
-    let join = PlanBuilder::scan("cast_info", "c")
-        .join(PlanBuilder::scan("title", "t"), &[("c.movie_id", "t.id")])
+    let filter_and = PlanBuilder::scan("cast_info", "c")
+        .filter(
+            Expr::col("c.production_year")
+                .cmp(CmpOp::Gt, Expr::int(1970))
+                .and(Expr::col("c.production_year").cmp(CmpOp::Le, Expr::int(2010)))
+                .and(Expr::col("c.kind_id").cmp(CmpOp::Lt, Expr::int(5))),
+        )
         .build();
     let aggregate = PlanBuilder::scan("cast_info", "c")
-        .aggregate(
-            &["c.kind_id"],
-            vec![
-                AggExpr {
-                    func: AggFunc::Count,
-                    input: None,
-                    output: "n".into(),
-                },
-                AggExpr {
-                    func: AggFunc::Sum,
-                    input: Some("c.production_year".into()),
-                    output: "s".into(),
-                },
-                AggExpr {
-                    func: AggFunc::Min,
-                    input: Some("c.note".into()),
-                    output: "lo".into(),
-                },
-                AggExpr {
-                    func: AggFunc::Max,
-                    input: Some("c.note".into()),
-                    output: "hi".into(),
-                },
-            ],
-        )
+        .aggregate(&["c.kind_id"], aggs())
+        .build();
+    let filter_agg = PlanBuilder::scan("cast_info", "c")
+        .filter(Expr::col("c.production_year").cmp(CmpOp::Gt, Expr::int(1990)))
+        .aggregate(&["c.kind_id"], aggs())
         .build();
 
     let micros: Vec<(&str, usize, PlanRef)> = vec![
-        ("scan", cast_rows, scan),
         ("filter", cast_rows, filter),
-        ("join", cast_rows + title_rows, join),
+        ("filter_and", cast_rows, filter_and),
         ("aggregate", cast_rows, aggregate),
+        ("filter_agg", cast_rows, filter_agg),
     ];
+    assert!(
+        cast_rows < av_engine::par::par_min_rows_default(),
+        "micro tables must sit below the parallel cutover ({cast_rows} rows); \
+         lower AV_EXEC_SCALE"
+    );
 
-    let serial = Executor::new(&micro_w.catalog, pricing).with_threads(1);
-    let parallel = Executor::new(&micro_w.catalog, pricing).with_threads(threads);
+    let reference = Executor::new(&micro_w.catalog, pricing)
+        .with_threads(1)
+        .with_reference_kernels(true);
+    let optimized = Executor::new(&micro_w.catalog, pricing).with_threads(1);
     let mut micro = Vec::with_capacity(micros.len());
     for (op, rows, plan) in &micros {
-        let ts = time_plan(&serial, plan, reps);
-        let tp = time_plan(&parallel, plan, reps);
+        // Both paths must agree bitwise — batch *and* cost report — before
+        // their relative speed means anything.
+        let r = reference.run(plan).expect("benchmark plan executes");
+        let o = optimized.run(plan).expect("benchmark plan executes");
+        assert!(r.batch == o.batch, "{op}: optimized batch diverged");
+        assert!(r.report == o.report, "{op}: optimized report diverged");
+        let (tr, to) = time_pair(&reference, &optimized, plan, reps);
         micro.push(MicroResult {
             op: op.to_string(),
             rows: *rows,
-            serial_rows_per_sec: *rows as f64 / ts,
-            parallel_rows_per_sec: *rows as f64 / tp,
-            speedup: ts / tp,
+            reference_rows_per_sec: *rows as f64 / tr,
+            optimized_rows_per_sec: *rows as f64 / to,
+            speedup: tr / to,
         });
     }
 
@@ -279,7 +311,7 @@ fn main() {
         exec_scale,
         reps,
         threads,
-        par_min_rows: av_engine::par::PAR_MIN_ROWS,
+        par_min_rows: av_engine::par::par_min_rows_default(),
         micro: micro.clone(),
         cache: cache_result.clone(),
         trace: trace_result.clone(),
@@ -293,8 +325,8 @@ fn main() {
             vec![
                 m.op.clone(),
                 m.rows.to_string(),
-                format!("{:.0}", m.serial_rows_per_sec),
-                format!("{:.0}", m.parallel_rows_per_sec),
+                format!("{:.0}", m.reference_rows_per_sec),
+                format!("{:.0}", m.optimized_rows_per_sec),
                 format!("{:.2}x", m.speedup),
             ]
         })
@@ -302,7 +334,7 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["op", "rows", "serial rows/s", "par rows/s", "par speedup"],
+            &["op", "rows", "reference rows/s", "optimized rows/s", "speedup"],
             &rows,
         )
     );
@@ -323,6 +355,16 @@ fn main() {
     );
     println!("\nwrote BENCH_exec.json");
 
+    // Regression gates: an "optimized" path slower than the reference it
+    // replaced fails the build outright.
+    for m in &micro {
+        assert!(
+            m.speedup >= 1.0,
+            "{}: selection-vector path regressed ({:.2}x vs reference)",
+            m.op,
+            m.speedup
+        );
+    }
     assert!(
         cache_result.hit_rate >= 0.49,
         "warm replay must be cache-served"

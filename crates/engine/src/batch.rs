@@ -118,6 +118,32 @@ impl Column {
         }
     }
 
+    /// Approximate in-memory byte size the column *would* have after
+    /// gathering `sel` — what [`Column::take_sel`] will allocate — computed
+    /// without materializing anything. Lets the cost meter charge a
+    /// selection-vector filter exactly what the materializing mask filter
+    /// used to charge.
+    pub fn byte_size_sel(&self, sel: &[u32]) -> usize {
+        match self {
+            Column::Int(_) | Column::Float(_) => sel.len() * 8,
+            Column::Str(v) => sel.iter().map(|&i| v[i as usize].len() + 24).sum(),
+        }
+    }
+
+    /// Gather rows by a selection vector of `u32` row indices (ascending by
+    /// convention, though nothing here requires it). The narrow index type
+    /// is the one filters produce: engine batches stay far below `u32::MAX`
+    /// rows, and half-width indices halve the selection vector's footprint.
+    pub fn take_sel(&self, sel: &[u32]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(sel.iter().map(|&i| v[i as usize]).collect()),
+            Column::Float(v) => Column::Float(sel.iter().map(|&i| v[i as usize]).collect()),
+            Column::Str(v) => Column::Str(Arc::new(
+                sel.iter().map(|&i| v[i as usize].clone()).collect(),
+            )),
+        }
+    }
+
     /// Gather rows by index.
     pub fn take(&self, indices: &[usize]) -> Column {
         match self {
@@ -241,6 +267,24 @@ mod tests {
             c.take(&[1, 1, 0]),
             Column::str(vec!["b".into(), "b".into(), "a".into()])
         );
+    }
+
+    #[test]
+    fn take_sel_matches_take() {
+        let c = Column::str(vec!["a".into(), "bb".into(), "ccc".into()]);
+        assert_eq!(c.take_sel(&[2, 0]), c.take(&[2, 0]));
+        let f = Column::Float(vec![1.5, 2.5, 3.5]);
+        assert_eq!(f.take_sel(&[1]), Column::Float(vec![2.5]));
+        assert_eq!(f.take_sel(&[]), Column::Float(vec![]));
+    }
+
+    #[test]
+    fn byte_size_sel_predicts_take_sel_footprint() {
+        let c = Column::str(vec!["a".into(), "bb".into(), "ccc".into()]);
+        let sel = [0u32, 2];
+        assert_eq!(c.byte_size_sel(&sel), c.take_sel(&sel).byte_size());
+        let i = Column::Int(vec![7, 8, 9]);
+        assert_eq!(i.byte_size_sel(&sel), i.take_sel(&sel).byte_size());
     }
 
     #[test]

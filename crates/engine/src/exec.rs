@@ -7,6 +7,13 @@
 //!   indices once per operator ([`BoundExpr`]), never per row;
 //! - **Interned keys** — join and group-by keys are encoded to fixed-width
 //!   `u64` codes ([`crate::keys`]) instead of hashing `Vec<Value>` per row;
+//! - **Selection vectors** — filters compile their predicates to typed
+//!   kernels ([`crate::sel`]) and emit a vector of surviving row indices
+//!   instead of materializing a filtered batch; stacked filters refine the
+//!   selection, aggregates consume it in place, and rows are gathered once
+//!   at the next join, computed projection, or the plan root. The old
+//!   materializing mask path survives behind
+//!   [`Executor::with_reference_kernels`] as the bitwise-equal baseline;
 //! - **Deterministic chunked parallelism** — filter evaluation, join probe
 //!   and partial aggregation run over fixed 1024-row chunks
 //!   ([`crate::par`]), with per-chunk results (including any metered
@@ -22,6 +29,7 @@ use crate::error::EngineError;
 use crate::keys::{self, KeyCol, KeyInterner};
 use crate::meter::{CostMeter, ExecutionReport, Pricing};
 use crate::par;
+use crate::sel::{apply_ord, CompiledPred, SelBatch};
 use av_plan::expr::ArithOp;
 use av_trace::{SpanBuffer, Tracer};
 use av_plan::{AggFunc, CmpOp, Expr, JoinType, PlanNode, Value};
@@ -41,6 +49,7 @@ pub struct Executor<'a> {
     pricing: Pricing,
     par: par::Par,
     tracer: Tracer,
+    reference_kernels: bool,
 }
 
 impl<'a> Executor<'a> {
@@ -53,7 +62,19 @@ impl<'a> Executor<'a> {
             pricing,
             par: par::Par::auto(),
             tracer: Tracer::disabled(),
+            reference_kernels: false,
         }
+    }
+
+    /// Run filters through the materializing boolean-mask path and
+    /// aggregates through the per-row dispatch loop — the
+    /// pre-selection-vector implementation, kept as the correctness and
+    /// performance baseline. Batches, reports and spans are bitwise
+    /// identical in both modes (the property tests and `exec_bench`'s
+    /// regression gate both pin this down); only wall-clock differs.
+    pub fn with_reference_kernels(mut self, on: bool) -> Executor<'a> {
+        self.reference_kernels = on;
+        self
     }
 
     /// Override the worker-thread count (1 = fully serial). Results and
@@ -93,8 +114,11 @@ impl<'a> Executor<'a> {
         // buffer-local storage and are committed to the tracer's shared log
         // in a single batch when the buffer drops.
         let buf = self.tracer.buffer();
-        let batch = self.exec(plan, &mut meter, &buf)?;
+        let sb = self.exec(plan, &mut meter, &buf)?;
         drop(buf);
+        // The root is the last materialization point: a plan ending in a
+        // filter gathers its surviving rows exactly once, here.
+        let batch = sb.materialize();
         let report = meter.report(&self.pricing, batch.byte_size(), batch.num_rows());
         Ok(ExecResult { batch, report })
     }
@@ -109,7 +133,7 @@ impl<'a> Executor<'a> {
         plan: &PlanNode,
         meter: &mut CostMeter,
         buf: &SpanBuffer<'_>,
-    ) -> Result<RecordBatch, EngineError> {
+    ) -> Result<SelBatch, EngineError> {
         if !buf.is_enabled() {
             return self.exec_node(plan, meter, buf);
         }
@@ -119,16 +143,17 @@ impl<'a> Executor<'a> {
         }
         let ops_before = meter.ops();
         let bytes_before = meter.allocated_bytes();
-        let batch = self.exec_node(plan, meter, buf)?;
+        let sb = self.exec_node(plan, meter, buf)?;
         // `ops` and `bytes` are the subtree's total charge: children execute
         // inside this span, so an operator's own cost is its value minus its
         // children's. Bytes come from the meter's allocation counter (which
-        // every operator feeds with its output size) rather than re-walking
-        // the batch — `byte_size` on string columns is O(rows).
-        span.record_num("rows", batch.num_rows() as f64);
+        // every operator feeds with its *logical* output size, whether or
+        // not the rows are materialized yet) rather than re-walking the
+        // batch — `byte_size` on string columns is O(rows).
+        span.record_num("rows", sb.num_rows() as f64);
         span.record_num("bytes", (meter.allocated_bytes() - bytes_before) as f64);
         span.record_num("ops", meter.ops() - ops_before);
-        Ok(batch)
+        Ok(sb)
     }
 
     fn exec_node(
@@ -136,16 +161,28 @@ impl<'a> Executor<'a> {
         plan: &PlanNode,
         meter: &mut CostMeter,
         buf: &SpanBuffer<'_>,
-    ) -> Result<RecordBatch, EngineError> {
+    ) -> Result<SelBatch, EngineError> {
         match plan {
-            PlanNode::TableScan { table, alias } => self.exec_scan(table, alias, meter),
+            PlanNode::TableScan { table, alias } => {
+                self.exec_scan(table, alias, meter).map(SelBatch::dense)
+            }
             PlanNode::Filter { input, predicate } => {
-                let batch = self.exec(input, meter, buf)?;
-                exec_filter(batch, predicate, meter, self.par)
+                let sb = self.exec(input, meter, buf)?;
+                if self.reference_kernels {
+                    exec_filter_reference(sb.materialize(), predicate, meter, self.par)
+                        .map(SelBatch::dense)
+                } else {
+                    exec_filter_sel(sb, predicate, meter, self.par)
+                }
             }
             PlanNode::Project { input, exprs } => {
-                let batch = self.exec(input, meter, buf)?;
-                exec_project(batch, exprs, meter, self.par)
+                let sb = self.exec(input, meter, buf)?;
+                if self.reference_kernels {
+                    exec_project_reference(sb.materialize(), exprs, meter, self.par)
+                        .map(SelBatch::dense)
+                } else {
+                    exec_project_sel(sb, exprs, meter, self.par)
+                }
             }
             PlanNode::Join {
                 left,
@@ -153,17 +190,24 @@ impl<'a> Executor<'a> {
                 on,
                 join_type,
             } => {
-                let lb = self.exec(left, meter, buf)?;
-                let rb = self.exec(right, meter, buf)?;
-                exec_join(lb, rb, on, *join_type, meter, self.par)
+                // Joins gather both inputs: probe/build internals index
+                // dense batches.
+                let lb = self.exec(left, meter, buf)?.materialize();
+                let rb = self.exec(right, meter, buf)?.materialize();
+                exec_join(lb, rb, on, *join_type, meter, self.par).map(SelBatch::dense)
             }
             PlanNode::Aggregate {
                 input,
                 group_by,
                 aggs,
             } => {
-                let batch = self.exec(input, meter, buf)?;
-                exec_aggregate(batch, group_by, aggs, meter, self.par)
+                let sb = self.exec(input, meter, buf)?;
+                if self.reference_kernels {
+                    exec_aggregate_reference(sb.materialize(), group_by, aggs, meter, self.par)
+                        .map(SelBatch::dense)
+                } else {
+                    exec_aggregate_sel(sb, group_by, aggs, meter, self.par).map(SelBatch::dense)
+                }
             }
         }
     }
@@ -214,7 +258,7 @@ fn operator_span_name(plan: &PlanNode) -> &'static str {
 /// than treating typos as always-NULL) and happens once per operator, so
 /// per-row evaluation never searches names.
 #[derive(Debug, Clone)]
-enum BoundExpr {
+pub(crate) enum BoundExpr {
     Col(usize),
     Lit(Value),
     Cmp {
@@ -233,7 +277,7 @@ enum BoundExpr {
 }
 
 impl BoundExpr {
-    fn bind(expr: &Expr, batch: &RecordBatch) -> Result<BoundExpr, EngineError> {
+    pub(crate) fn bind(expr: &Expr, batch: &RecordBatch) -> Result<BoundExpr, EngineError> {
         Ok(match expr {
             Expr::Column(c) => BoundExpr::Col(require_column(batch, c)?),
             Expr::Literal(v) => BoundExpr::Lit(v.clone()),
@@ -307,7 +351,7 @@ impl BoundExpr {
 
     /// Evaluate as a predicate. The common `column op literal` shape skips
     /// [`Value`] construction entirely (no string clone per row).
-    fn eval_bool(&self, batch: &RecordBatch, row: usize) -> bool {
+    pub(crate) fn eval_bool(&self, batch: &RecordBatch, row: usize) -> bool {
         match self {
             BoundExpr::Cmp { op, left, right } => match (left.as_ref(), right.as_ref()) {
                 (BoundExpr::Col(i), BoundExpr::Lit(v)) => {
@@ -331,19 +375,6 @@ impl BoundExpr {
                 _ => false,
             },
         }
-    }
-}
-
-/// `Eq`/`Ne` under SQL equality, ordering ops from a total-order verdict —
-/// the same split [`CmpOp::apply`] makes.
-fn apply_ord(op: CmpOp, ord: Ordering, sql_equal: bool) -> bool {
-    match op {
-        CmpOp::Eq => sql_equal,
-        CmpOp::Ne => !sql_equal,
-        CmpOp::Lt => ord.is_lt(),
-        CmpOp::Le => ord.is_le(),
-        CmpOp::Gt => ord.is_gt(),
-        CmpOp::Ge => ord.is_ge(),
     }
 }
 
@@ -378,7 +409,10 @@ fn require_column(batch: &RecordBatch, name: &str) -> Result<usize, EngineError>
         .ok_or_else(|| EngineError::UnknownColumn(name.to_string()))
 }
 
-fn exec_filter(
+/// Reference filter: per-row interpreted mask, materialized output. The
+/// optimized [`exec_filter_sel`] must keep row-for-row the rows this keeps
+/// and charge byte-for-byte what this charges.
+fn exec_filter_reference(
     batch: RecordBatch,
     predicate: &Expr,
     meter: &mut CostMeter,
@@ -410,7 +444,51 @@ fn exec_filter(
     Ok(out)
 }
 
-fn exec_project(
+/// Optimized filter: compile the predicate to typed kernels and build (or
+/// refine) a selection vector — no batch materialization, no boolean mask.
+/// All analytic cost charges replicate [`exec_filter_reference`] exactly:
+/// the filtered byte size is computed from the selection without gathering.
+fn exec_filter_sel(
+    sb: SelBatch,
+    predicate: &Expr,
+    meter: &mut CostMeter,
+    par: par::Par,
+) -> Result<SelBatch, EngineError> {
+    let bound = BoundExpr::bind(predicate, &sb.batch)?;
+    let rows = sb.num_rows();
+    let pred_weight = predicate.referenced_columns().len().max(1) * 2;
+    meter.charge_rows(rows, pred_weight);
+
+    // Selection indices are u32: engine batches stay far below that bound.
+    assert!(
+        sb.batch.num_rows() <= u32::MAX as usize,
+        "batch too large for u32 selection vectors"
+    );
+    let pred = CompiledPred::compile(bound, &sb.batch);
+    // Chunk over *logical* rows — identical boundaries to the reference
+    // path chunking the materialized batch, so anything order-sensitive
+    // downstream (f64 partial sums) sees the same grouping.
+    let chunk_sels: Vec<Vec<u32>> = match &sb.sel {
+        None => par::map_chunks(rows, par, |_, range| pred.eval_dense(&sb.batch, range)),
+        Some(s) => par::map_chunks(rows, par, |_, range| pred.eval_sel(&sb.batch, &s[range])),
+    };
+    let mut sel = Vec::with_capacity(chunk_sels.iter().map(Vec::len).sum());
+    for c in chunk_sels {
+        sel.extend(c);
+    }
+
+    let in_bytes = sb.byte_size();
+    let out_bytes: usize = sb.batch.columns.iter().map(|c| c.byte_size_sel(&sel)).sum();
+    meter.alloc_bytes(out_bytes);
+    meter.free_bytes(in_bytes);
+    Ok(SelBatch {
+        batch: sb.batch,
+        sel: Some(sel),
+    })
+}
+
+/// Reference projection over a dense batch.
+fn exec_project_reference(
     batch: RecordBatch,
     exprs: &[av_plan::ProjExpr],
     meter: &mut CostMeter,
@@ -451,6 +529,37 @@ fn exec_project(
     meter.alloc_bytes(out.byte_size());
     meter.free_bytes(in_bytes);
     Ok(out)
+}
+
+/// Projection over a possibly-selected batch. A forwarding-only projection
+/// (every expression a plain column) gathers just the projected columns
+/// through the selection — dropped columns are never copied. Computed
+/// expressions materialize the input once and take the reference path.
+fn exec_project_sel(
+    sb: SelBatch,
+    exprs: &[av_plan::ProjExpr],
+    meter: &mut CostMeter,
+    par: par::Par,
+) -> Result<SelBatch, EngineError> {
+    let forwarding = exprs.iter().all(|p| matches!(&p.expr, Expr::Column(_)));
+    if let (Some(sel), true) = (&sb.sel, forwarding) {
+        let rows = sb.num_rows();
+        meter.charge_rows(rows, exprs.len().max(1));
+        let mut names = Vec::with_capacity(exprs.len());
+        let mut columns = Vec::with_capacity(exprs.len());
+        for p in exprs {
+            names.push(p.alias.clone());
+            let Expr::Column(c) = &p.expr else { unreachable!("forwarding checked above") };
+            let idx = require_column(&sb.batch, c)?;
+            columns.push(sb.batch.columns[idx].take_sel(sel));
+        }
+        let in_bytes = sb.byte_size();
+        let out = RecordBatch { names, columns };
+        meter.alloc_bytes(out.byte_size());
+        meter.free_bytes(in_bytes);
+        return Ok(SelBatch::dense(out));
+    }
+    exec_project_reference(sb.materialize(), exprs, meter, par).map(SelBatch::dense)
 }
 
 fn values_to_column(vals: &[Value]) -> Column {
@@ -702,7 +811,9 @@ struct ChunkAgg {
     states: Vec<Vec<AggState>>,
 }
 
-fn exec_aggregate(
+/// Reference aggregation over a dense batch: per-row `AggState::update`
+/// with the column-type match re-dispatched every row.
+fn exec_aggregate_reference(
     batch: RecordBatch,
     group_by: &[String],
     aggs: &[av_plan::AggExpr],
@@ -803,6 +914,227 @@ fn exec_aggregate(
     meter.alloc_bytes(out.byte_size());
     meter.free_bytes(in_bytes);
     Ok(out)
+}
+
+/// Optimized aggregation over a possibly-selected batch. Two changes over
+/// [`exec_aggregate_reference`], neither observable in the output:
+///
+/// - the input is consumed *through* the selection vector — only the
+///   group-key columns are gathered (for code encoding); aggregate inputs
+///   are read in place at their original row indices;
+/// - the per-row column-type and aggregate-function dispatch is hoisted out
+///   of the inner loop ([`update_chunk_hoisted`]): chunk slots are resolved
+///   first, then each aggregate updates its states in one typed pass that
+///   maintains only the state fields its output actually reads.
+///
+/// Chunk boundaries fall on logical rows, exactly where the reference path
+/// chunks the materialized batch, so per-group f64 partial sums add in the
+/// identical order and the outputs are bitwise equal.
+fn exec_aggregate_sel(
+    sb: SelBatch,
+    group_by: &[String],
+    aggs: &[av_plan::AggExpr],
+    meter: &mut CostMeter,
+    par: par::Par,
+) -> Result<RecordBatch, EngineError> {
+    let batch = &sb.batch;
+    let gidx: Vec<usize> = group_by
+        .iter()
+        .map(|g| require_column(batch, g))
+        .collect::<Result<_, _>>()?;
+    let ainput: Vec<Option<usize>> = aggs
+        .iter()
+        .map(|a| match &a.input {
+            Some(c) => require_column(batch, c).map(Some),
+            None => Ok(None),
+        })
+        .collect::<Result<_, _>>()?;
+    let acols: Vec<Option<&Column>> = ainput.iter().map(|ai| ai.map(|i| &batch.columns[i])).collect();
+
+    let rows = sb.num_rows();
+    meter.charge_rows(rows, (group_by.len() + aggs.len()).max(1) * 2);
+
+    let sel: Option<&[u32]> = sb.sel.as_deref();
+    let rowof = |j: usize| match sel {
+        Some(s) => s[j] as usize,
+        None => j,
+    };
+
+    // Group keys become u64 codes once, up front. With a selection, just
+    // the key columns are gathered so the encoder sees the live rows in
+    // logical order — the same sequence the reference path encodes from
+    // the materialized batch.
+    let mut interner = KeyInterner::new();
+    let gathered: Option<Vec<Column>> = match (sel, gidx.is_empty()) {
+        (Some(s), false) => Some(gidx.iter().map(|&k| batch.columns[k].take_sel(s)).collect()),
+        _ => None,
+    };
+    let codes: Vec<u64> = if gidx.is_empty() {
+        Vec::new() // global aggregate: one implicit group, nothing to encode
+    } else {
+        let kcols: Vec<KeyCol> = match &gathered {
+            Some(g) => g.iter().map(|c| KeyCol::of(c, false)).collect(),
+            None => gidx.iter().map(|&k| KeyCol::of(&batch.columns[k], false)).collect(),
+        };
+        keys::encode_rows(&kcols, rows, &mut interner)
+    };
+
+    let partials = par::map_chunks(rows, par, |_, range| {
+        let mut slot_of: keys::CodeMap<u64, usize> = keys::CodeMap::default();
+        let mut agg = ChunkAgg {
+            order: Vec::new(),
+            first_rows: Vec::new(),
+            states: Vec::new(),
+        };
+        // Resolve every row's group slot first, so the update loops below
+        // are free of hashing and of the per-row column-type match.
+        let mut slots: Vec<u32> = Vec::with_capacity(range.len());
+        for j in range.clone() {
+            let code = if gidx.is_empty() { 0 } else { codes[j] };
+            let slot = *slot_of.entry(code).or_insert_with(|| {
+                agg.order.push(code);
+                agg.first_rows.push(rowof(j));
+                agg.states.push(vec![AggState::new(); aggs.len()]);
+                agg.states.len() - 1
+            });
+            slots.push(slot as u32);
+        }
+        for (a, col) in acols.iter().enumerate() {
+            update_chunk_hoisted(*col, aggs[a].func, &mut agg.states, &slots, range.start, &rowof, a);
+        }
+        agg
+    });
+
+    let mut slot_of: keys::CodeMap<u64, usize> = keys::CodeMap::default();
+    let mut first_rows: Vec<usize> = Vec::new();
+    let mut states: Vec<Vec<AggState>> = Vec::new();
+    for chunk in partials {
+        for (local, &code) in chunk.order.iter().enumerate() {
+            let slot = *slot_of.entry(code).or_insert_with(|| {
+                first_rows.push(chunk.first_rows[local]);
+                states.push(vec![AggState::new(); aggs.len()]);
+                states.len() - 1
+            });
+            for (a, col) in acols.iter().enumerate() {
+                states[slot][a].merge(&chunk.states[local][a], *col);
+            }
+        }
+    }
+
+    // A global aggregate (no GROUP BY) over empty input still yields one row.
+    let empty_global = group_by.is_empty() && states.is_empty();
+    if empty_global {
+        first_rows.push(usize::MAX);
+        states.push(vec![AggState::new(); aggs.len()]);
+    }
+
+    let n_groups = states.len();
+    meter.alloc_bytes(n_groups * (group_by.len() + aggs.len()).max(1) * 16);
+
+    let mut names: Vec<String> = group_by.to_vec();
+    names.extend(aggs.iter().map(|a| a.output.clone()));
+
+    let mut columns: Vec<Column> = Vec::with_capacity(names.len());
+    // Group-key columns: `first_rows` holds *original* row indices, so the
+    // keys gather straight from the unmaterialized input.
+    for &src in &gidx {
+        columns.push(batch.columns[src].take(&first_rows));
+    }
+    for (a, agg) in aggs.iter().enumerate() {
+        columns.push(build_agg_column(agg.func, acols[a], &states, a));
+    }
+
+    let in_bytes = sb.byte_size();
+    let out = RecordBatch { names, columns };
+    meter.alloc_bytes(out.byte_size());
+    meter.free_bytes(in_bytes);
+    Ok(out)
+}
+
+/// One chunk's updates for a single aggregate with both the column-type
+/// match *and* the aggregate function hoisted out of the row loop.
+///
+/// The per-row [`AggState::update`] must maintain every state field because
+/// it cannot know which output will be read; here the function is known, so
+/// each pass touches only the fields its output reads (COUNT reads `count`,
+/// SUM reads `sum`, AVG both, MIN/MAX their extremum row). The fields that
+/// *are* read get field-for-field the reference's updates — same f64
+/// accumulation order, same strict-inequality first-occurrence
+/// tie-breaking — so outputs stay bitwise equal. `slots[off]` is the group
+/// slot of logical row `jstart + off`; `rowof` maps logical to original
+/// row indices.
+fn update_chunk_hoisted(
+    col: Option<&Column>,
+    func: AggFunc,
+    states: &mut [Vec<AggState>],
+    slots: &[u32],
+    jstart: usize,
+    rowof: &impl Fn(usize) -> usize,
+    a: usize,
+) {
+    macro_rules! pass {
+        (|$row:ident, $st:ident| $body:expr) => {
+            for (off, &s) in slots.iter().enumerate() {
+                let $row = rowof(jstart + off);
+                let $st: &mut AggState = &mut states[s as usize][a];
+                $body;
+            }
+        };
+    }
+    let count_only = |states: &mut [Vec<AggState>]| {
+        for &s in slots {
+            states[s as usize][a].count += 1;
+        }
+    };
+    match (col, func) {
+        // COUNT ignores its input; without an input column only `count`
+        // can advance (a MIN/MAX over no column emits zeros unread).
+        (None, _) | (_, AggFunc::Count) => count_only(states),
+        (Some(Column::Int(d)), AggFunc::Sum) => pass!(|row, st| st.sum += d[row] as f64),
+        (Some(Column::Int(d)), AggFunc::Avg) => pass!(|row, st| {
+            st.count += 1;
+            st.sum += d[row] as f64;
+        }),
+        (Some(Column::Int(d)), AggFunc::Min) => pass!(|row, st| {
+            if st.min_row.map(|m| d[row] < d[m]).unwrap_or(true) {
+                st.min_row = Some(row);
+            }
+        }),
+        (Some(Column::Int(d)), AggFunc::Max) => pass!(|row, st| {
+            if st.max_row.map(|m| d[m] < d[row]).unwrap_or(true) {
+                st.max_row = Some(row);
+            }
+        }),
+        (Some(Column::Float(d)), AggFunc::Sum) => pass!(|row, st| st.sum += d[row]),
+        (Some(Column::Float(d)), AggFunc::Avg) => pass!(|row, st| {
+            st.count += 1;
+            st.sum += d[row];
+        }),
+        (Some(Column::Float(d)), AggFunc::Min) => pass!(|row, st| {
+            if st.min_row.map(|m| d[row].total_cmp(&d[m]).is_lt()).unwrap_or(true) {
+                st.min_row = Some(row);
+            }
+        }),
+        (Some(Column::Float(d)), AggFunc::Max) => pass!(|row, st| {
+            if st.max_row.map(|m| d[m].total_cmp(&d[row]).is_lt()).unwrap_or(true) {
+                st.max_row = Some(row);
+            }
+        }),
+        // Strings never sum: SUM's output field stays 0.0 exactly as the
+        // reference leaves it, and AVG degenerates to 0.0 / count.
+        (Some(Column::Str(_)), AggFunc::Sum) => {}
+        (Some(Column::Str(_)), AggFunc::Avg) => count_only(states),
+        (Some(Column::Str(d)), AggFunc::Min) => pass!(|row, st| {
+            if st.min_row.map(|m| d[row] < d[m]).unwrap_or(true) {
+                st.min_row = Some(row);
+            }
+        }),
+        (Some(Column::Str(d)), AggFunc::Max) => pass!(|row, st| {
+            if st.max_row.map(|m| d[m] < d[row]).unwrap_or(true) {
+                st.max_row = Some(row);
+            }
+        }),
+    }
 }
 
 /// Materialise one aggregate's output column. Min/max over a group with no

@@ -46,6 +46,7 @@ pub mod meter;
 pub mod par;
 pub mod preflight;
 pub mod rewrite;
+mod sel;
 pub mod view;
 
 pub use batch::{Column, RecordBatch};

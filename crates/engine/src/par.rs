@@ -13,7 +13,7 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Rows per chunk. Fixed so that chunk boundaries (and therefore f64
 /// accumulation order inside partial aggregates) are independent of the
@@ -29,14 +29,24 @@ pub const CHUNK_ROWS: usize = 1024;
 pub const PAR_MIN_ROWS: usize = 32_768;
 
 /// The serial→parallel cutover used when none is configured explicitly:
-/// `AV_PAR_MIN_ROWS` from the environment, else [`PAR_MIN_ROWS`]. Reading
-/// an env var is deterministic for a fixed environment, so results are
-/// unaffected either way (only who computes them).
+/// `AV_PAR_MIN_ROWS` from the environment, else [`PAR_MIN_ROWS`].
+///
+/// The environment is read once per process and cached in a `OnceLock`:
+/// every executor constructed afterwards sees the same cutover, so a
+/// mid-run env change can never flip the serial/parallel decision between
+/// chunks of one query (results would still be identical — chunk
+/// boundaries don't move — but the policy should not be mutable either).
+/// Benchmarks that sweep the cutover use
+/// [`crate::Executor::with_par_min_rows`] instead of mutating the
+/// environment.
 pub fn par_min_rows_default() -> usize {
-    std::env::var("AV_PAR_MIN_ROWS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(PAR_MIN_ROWS)
+    static CUTOVER: OnceLock<usize> = OnceLock::new();
+    *CUTOVER.get_or_init(|| {
+        std::env::var("AV_PAR_MIN_ROWS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(PAR_MIN_ROWS)
+    })
 }
 
 /// Parallelism policy for one executor: worker count plus the row cutover
@@ -214,9 +224,20 @@ mod tests {
 
     #[test]
     fn env_override_sets_the_default_cutover() {
-        // `Par::auto()` reads `AV_PAR_MIN_ROWS` once per construction; the
-        // constant stays the fallback.
+        // `Par::auto()` uses the process-wide cached cutover; the constant
+        // stays the fallback.
         assert_eq!(Par::auto().min_rows, par_min_rows_default());
         assert!(Par::serial().threads == 1);
+    }
+
+    #[test]
+    fn cutover_env_is_read_once_and_cached() {
+        // The first call pins the cutover for the life of the process;
+        // later env mutations must not leak into new executors.
+        let first = par_min_rows_default();
+        std::env::set_var("AV_PAR_MIN_ROWS", "1");
+        assert_eq!(par_min_rows_default(), first, "cutover must be cached");
+        std::env::remove_var("AV_PAR_MIN_ROWS");
+        assert_eq!(par_min_rows_default(), first);
     }
 }

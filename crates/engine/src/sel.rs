@@ -1,0 +1,486 @@
+//! Selection-vector filters: compiled typed predicate kernels.
+//!
+//! A filter no longer materializes its output batch. It produces a sorted
+//! vector of surviving row indices (`u32`) over the untouched input batch,
+//! carried in a [`SelBatch`]. Downstream operators either consume the
+//! selection directly (stacked filters refine it, aggregates iterate it) or
+//! gather once at a materialization point (joins, projections, the plan
+//! root). A `Filter → Aggregate` pipeline therefore copies no row data at
+//! all between the scan and the aggregate's output.
+//!
+//! Predicates are compiled once per operator: each top-level conjunct of
+//! the common `column <op> literal` shape becomes a [`Kernel`] that loops
+//! over the raw `i64`/`f64`/`String` column slice with the comparison
+//! operator hoisted *out* of the loop (see [`cmp_fill!`]/[`cmp_retain!`]),
+//! so the inner loop carries no per-row enum dispatch and builds no
+//! [`av_plan::Value`]. Every other expression shape falls back to the
+//! interpreted [`BoundExpr::eval_bool`] over exactly the same rows, so a
+//! compiled filter keeps row-for-row the rows the reference mask filter
+//! keeps — the equivalence the executor's property tests pin down.
+
+use crate::batch::{Column, RecordBatch};
+use crate::exec::BoundExpr;
+use av_plan::{CmpOp, Value};
+use std::cmp::Ordering;
+use std::ops::Range;
+
+/// A record batch plus an optional selection: the unit of data flow between
+/// operators inside the executor. `sel: None` means "all rows" (a dense
+/// batch); `sel: Some(v)` means only the rows listed in `v` (ascending
+/// original row indices) are live — the column data is untouched input.
+#[derive(Debug, Clone)]
+pub(crate) struct SelBatch {
+    pub batch: RecordBatch,
+    pub sel: Option<Vec<u32>>,
+}
+
+impl SelBatch {
+    /// A batch with every row live.
+    pub fn dense(batch: RecordBatch) -> SelBatch {
+        SelBatch { batch, sel: None }
+    }
+
+    /// Live (logical) row count.
+    pub fn num_rows(&self) -> usize {
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.batch.num_rows(),
+        }
+    }
+
+    /// Byte size the live rows *would* occupy if materialized — the number
+    /// the cost meter charges, identical to what the materializing
+    /// reference path charges for the same rows.
+    pub fn byte_size(&self) -> usize {
+        match &self.sel {
+            Some(s) => self.batch.columns.iter().map(|c| c.byte_size_sel(s)).sum(),
+            None => self.batch.byte_size(),
+        }
+    }
+
+    /// Gather the live rows into a dense batch (a no-op when already dense).
+    pub fn materialize(self) -> RecordBatch {
+        match self.sel {
+            None => self.batch,
+            Some(sel) => RecordBatch {
+                names: self.batch.names,
+                columns: self
+                    .batch
+                    .columns
+                    .iter()
+                    .map(|c| c.take_sel(&sel))
+                    .collect(),
+            },
+        }
+    }
+}
+
+/// `Eq`/`Ne` under SQL equality, ordering ops from a total-order verdict —
+/// the split [`av_plan::CmpOp::apply`] makes. SQL equality and the total
+/// order disagree on floats (`-0.0 == 0.0` but `total_cmp` says less), so
+/// both verdicts are carried.
+pub(crate) fn apply_ord(op: CmpOp, ord: Ordering, sql_equal: bool) -> bool {
+    match op {
+        CmpOp::Eq => sql_equal,
+        CmpOp::Ne => !sql_equal,
+        CmpOp::Lt => ord.is_lt(),
+        CmpOp::Le => ord.is_le(),
+        CmpOp::Gt => ord.is_gt(),
+        CmpOp::Ge => ord.is_ge(),
+    }
+}
+
+/// Append the rows of `range` that satisfy `keep`.
+#[inline]
+fn fill_where(out: &mut Vec<u32>, range: Range<usize>, keep: impl Fn(usize) -> bool) {
+    for i in range {
+        if keep(i) {
+            out.push(i as u32);
+        }
+    }
+}
+
+/// Drop the candidates that fail `keep`, preserving order.
+#[inline]
+fn retain_where(cands: &mut Vec<u32>, keep: impl Fn(usize) -> bool) {
+    cands.retain(|&i| keep(i as usize));
+}
+
+/// Expand a comparison into one specialized `fill_where` loop per operator:
+/// the `CmpOp` match runs once, outside the loop, and each arm monomorphizes
+/// a branch-free-on-`op` row test from the `$ord`/`$eq` closures.
+macro_rules! cmp_fill {
+    ($out:expr, $range:expr, $op:expr, $ord:expr, $eq:expr) => {{
+        let ord = $ord;
+        let eq = $eq;
+        match $op {
+            CmpOp::Eq => fill_where($out, $range, |r| eq(r)),
+            CmpOp::Ne => fill_where($out, $range, |r| !eq(r)),
+            CmpOp::Lt => fill_where($out, $range, |r| ord(r) == Ordering::Less),
+            CmpOp::Le => fill_where($out, $range, |r| ord(r) != Ordering::Greater),
+            CmpOp::Gt => fill_where($out, $range, |r| ord(r) == Ordering::Greater),
+            CmpOp::Ge => fill_where($out, $range, |r| ord(r) != Ordering::Less),
+        }
+    }};
+}
+
+/// [`cmp_fill!`]'s refinement twin over an existing candidate vector.
+macro_rules! cmp_retain {
+    ($cands:expr, $op:expr, $ord:expr, $eq:expr) => {{
+        let ord = $ord;
+        let eq = $eq;
+        match $op {
+            CmpOp::Eq => retain_where($cands, |r| eq(r)),
+            CmpOp::Ne => retain_where($cands, |r| !eq(r)),
+            CmpOp::Lt => retain_where($cands, |r| ord(r) == Ordering::Less),
+            CmpOp::Le => retain_where($cands, |r| ord(r) != Ordering::Greater),
+            CmpOp::Gt => retain_where($cands, |r| ord(r) == Ordering::Greater),
+            CmpOp::Ge => retain_where($cands, |r| ord(r) != Ordering::Less),
+        }
+    }};
+}
+
+/// One conjunct of a compiled predicate. Typed variants replicate
+/// `cmp_col_lit`'s semantics exactly (int/float promotion, `total_cmp`
+/// ordering with SQL equality); `Const` covers comparisons decided at
+/// compile time (NULL literals, string-vs-number type mismatches).
+#[derive(Debug)]
+enum Kernel {
+    Const(bool),
+    /// `Int column <op> Int literal`.
+    IntInt { col: usize, op: CmpOp, lit: i64 },
+    /// `Int column <op> Float literal`: the cell promotes to `f64`.
+    IntFloat { col: usize, op: CmpOp, lit: f64 },
+    /// `Float column <op> numeric literal` (int literals pre-promoted).
+    Float { col: usize, op: CmpOp, lit: f64 },
+    /// `Str column <op> Str literal`.
+    Str { col: usize, op: CmpOp, lit: String },
+    /// Anything else: interpreted per row, same verdicts as the reference.
+    General(BoundExpr),
+}
+
+impl Kernel {
+    fn compile(e: BoundExpr) -> Kernel {
+        if let BoundExpr::Cmp { op, left, right } = &e {
+            match (left.as_ref(), right.as_ref()) {
+                (BoundExpr::Col(i), BoundExpr::Lit(v)) => return Kernel::typed(*op, *i, v),
+                (BoundExpr::Lit(v), BoundExpr::Col(i)) => {
+                    return Kernel::typed(op.flipped(), *i, v)
+                }
+                _ => {}
+            }
+        }
+        Kernel::General(e)
+    }
+
+    /// `column[col] <op> lit` with the literal's type known up front. The
+    /// column's type is resolved lazily at evaluation (the kernel is always
+    /// evaluated against the batch it was bound to).
+    fn typed(op: CmpOp, col: usize, lit: &Value) -> Kernel {
+        match lit {
+            Value::Null => Kernel::Const(false),
+            Value::Int(b) => Kernel::IntInt { col, op, lit: *b },
+            Value::Float(b) => Kernel::IntFloat { col, op, lit: *b },
+            Value::Str(s) => Kernel::Str {
+                col,
+                op,
+                lit: s.clone(),
+            },
+        }
+    }
+
+    /// Resolve the column type the first time the kernel meets its batch:
+    /// numeric promotions and string/number mismatches depend on it.
+    fn bind(self, batch: &RecordBatch) -> Kernel {
+        match self {
+            Kernel::IntInt { col, op, lit } => match &batch.columns[col] {
+                Column::Int(_) => Kernel::IntInt { col, op, lit },
+                Column::Float(_) => Kernel::Float {
+                    col,
+                    op,
+                    lit: lit as f64,
+                },
+                // String column vs number: never SQL-equal; strings sort
+                // after numbers (the reference's `cmp_col_lit` fallback).
+                Column::Str(_) => Kernel::Const(apply_ord(op, Ordering::Greater, false)),
+            },
+            Kernel::IntFloat { col, op, lit } => match &batch.columns[col] {
+                Column::Int(_) => Kernel::IntFloat { col, op, lit },
+                Column::Float(_) => Kernel::Float { col, op, lit },
+                Column::Str(_) => Kernel::Const(apply_ord(op, Ordering::Greater, false)),
+            },
+            Kernel::Str { col, op, lit } => match &batch.columns[col] {
+                Column::Str(_) => Kernel::Str { col, op, lit },
+                // Number column vs string literal: numbers sort before.
+                _ => Kernel::Const(apply_ord(op, Ordering::Less, false)),
+            },
+            k => k,
+        }
+    }
+
+    /// Append the rows of `range` this conjunct keeps.
+    fn fill(&self, batch: &RecordBatch, range: Range<usize>, out: &mut Vec<u32>) {
+        match self {
+            Kernel::Const(true) => out.extend(range.map(|i| i as u32)),
+            Kernel::Const(false) => {}
+            Kernel::IntInt { col, op, lit } => {
+                let Column::Int(d) = &batch.columns[*col] else {
+                    unreachable!("kernel bound to this batch")
+                };
+                let lit = *lit;
+                cmp_fill!(out, range, *op, |r: usize| d[r].cmp(&lit), |r: usize| d[r]
+                    == lit);
+            }
+            Kernel::IntFloat { col, op, lit } => {
+                let Column::Int(d) = &batch.columns[*col] else {
+                    unreachable!("kernel bound to this batch")
+                };
+                let lit = *lit;
+                cmp_fill!(
+                    out,
+                    range,
+                    *op,
+                    |r: usize| (d[r] as f64).total_cmp(&lit),
+                    |r: usize| d[r] as f64 == lit
+                );
+            }
+            Kernel::Float { col, op, lit } => {
+                let Column::Float(d) = &batch.columns[*col] else {
+                    unreachable!("kernel bound to this batch")
+                };
+                let lit = *lit;
+                cmp_fill!(
+                    out,
+                    range,
+                    *op,
+                    |r: usize| d[r].total_cmp(&lit),
+                    |r: usize| d[r] == lit
+                );
+            }
+            Kernel::Str { col, op, lit } => {
+                let Column::Str(d) = &batch.columns[*col] else {
+                    unreachable!("kernel bound to this batch")
+                };
+                let lit = lit.as_str();
+                cmp_fill!(
+                    out,
+                    range,
+                    *op,
+                    |r: usize| d[r].as_str().cmp(lit),
+                    |r: usize| d[r] == lit
+                );
+            }
+            Kernel::General(e) => fill_where(out, range, |r| e.eval_bool(batch, r)),
+        }
+    }
+
+    /// Drop the candidates this conjunct rejects.
+    fn refine(&self, batch: &RecordBatch, cands: &mut Vec<u32>) {
+        match self {
+            Kernel::Const(true) => {}
+            Kernel::Const(false) => cands.clear(),
+            Kernel::IntInt { col, op, lit } => {
+                let Column::Int(d) = &batch.columns[*col] else {
+                    unreachable!("kernel bound to this batch")
+                };
+                let lit = *lit;
+                cmp_retain!(cands, *op, |r: usize| d[r].cmp(&lit), |r: usize| d[r]
+                    == lit);
+            }
+            Kernel::IntFloat { col, op, lit } => {
+                let Column::Int(d) = &batch.columns[*col] else {
+                    unreachable!("kernel bound to this batch")
+                };
+                let lit = *lit;
+                cmp_retain!(
+                    cands,
+                    *op,
+                    |r: usize| (d[r] as f64).total_cmp(&lit),
+                    |r: usize| d[r] as f64 == lit
+                );
+            }
+            Kernel::Float { col, op, lit } => {
+                let Column::Float(d) = &batch.columns[*col] else {
+                    unreachable!("kernel bound to this batch")
+                };
+                let lit = *lit;
+                cmp_retain!(
+                    cands,
+                    *op,
+                    |r: usize| d[r].total_cmp(&lit),
+                    |r: usize| d[r] == lit
+                );
+            }
+            Kernel::Str { col, op, lit } => {
+                let Column::Str(d) = &batch.columns[*col] else {
+                    unreachable!("kernel bound to this batch")
+                };
+                let lit = lit.as_str();
+                cmp_retain!(
+                    cands,
+                    *op,
+                    |r: usize| d[r].as_str().cmp(lit),
+                    |r: usize| d[r] == lit
+                );
+            }
+            Kernel::General(e) => retain_where(cands, |r| e.eval_bool(batch, r)),
+        }
+    }
+}
+
+/// A predicate compiled to a conjunction of [`Kernel`]s. The first conjunct
+/// fills a fresh selection; the rest refine it, so later conjuncts only
+/// touch rows the earlier ones kept — the columnar analogue of the
+/// reference path's per-row short-circuit, producing the identical row set.
+#[derive(Debug)]
+pub(crate) struct CompiledPred {
+    kernels: Vec<Kernel>,
+}
+
+impl CompiledPred {
+    /// Compile a bound predicate against the batch shape it was bound to.
+    /// Top-level conjunctions are flattened; each conjunct becomes a typed
+    /// kernel when it is a `column <op> literal`, an interpreted fallback
+    /// otherwise.
+    pub fn compile(bound: BoundExpr, batch: &RecordBatch) -> CompiledPred {
+        fn flatten(e: BoundExpr, batch: &RecordBatch, out: &mut Vec<Kernel>) {
+            match e {
+                BoundExpr::And(v) => {
+                    for c in v {
+                        flatten(c, batch, out);
+                    }
+                }
+                other => out.push(Kernel::compile(other).bind(batch)),
+            }
+        }
+        let mut kernels = Vec::new();
+        flatten(bound, batch, &mut kernels);
+        CompiledPred { kernels }
+    }
+
+    /// Rows of `range` kept by every conjunct, ascending.
+    pub fn eval_dense(&self, batch: &RecordBatch, range: Range<usize>) -> Vec<u32> {
+        let mut out = Vec::new();
+        let Some((first, rest)) = self.kernels.split_first() else {
+            // Empty conjunction (`And([])`) keeps everything, like the
+            // reference's vacuous `all()`.
+            out.extend(range.map(|i| i as u32));
+            return out;
+        };
+        first.fill(batch, range, &mut out);
+        for k in rest {
+            if out.is_empty() {
+                break;
+            }
+            k.refine(batch, &mut out);
+        }
+        out
+    }
+
+    /// Candidates of `cands` kept by every conjunct, in order.
+    pub fn eval_sel(&self, batch: &RecordBatch, cands: &[u32]) -> Vec<u32> {
+        let mut out = cands.to_vec();
+        for k in &self.kernels {
+            if out.is_empty() {
+                break;
+            }
+            k.refine(batch, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_plan::Expr;
+
+    fn batch() -> RecordBatch {
+        RecordBatch {
+            names: vec!["t.i".into(), "t.f".into(), "t.s".into()],
+            columns: vec![
+                Column::Int(vec![-2, -1, 0, 1, 2, 3]),
+                Column::Float(vec![-0.0, 0.0, 1.5, f64::NAN, 2.5, -3.0]),
+                Column::str(
+                    ["a", "bb", "c", "", "bb", "z"]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
+                ),
+            ],
+        }
+    }
+
+    /// Compiled verdicts must match the interpreted reference row for row.
+    fn assert_matches_reference(expr: &Expr) {
+        let b = batch();
+        let bound = BoundExpr::bind(expr, &b).expect("binds");
+        let reference: Vec<u32> = (0..b.num_rows())
+            .filter(|&r| bound.eval_bool(&b, r))
+            .map(|r| r as u32)
+            .collect();
+        let bound = BoundExpr::bind(expr, &b).expect("binds");
+        let pred = CompiledPred::compile(bound, &b);
+        assert_eq!(
+            pred.eval_dense(&b, 0..b.num_rows()),
+            reference,
+            "dense eval of {expr:?}"
+        );
+        // Refinement over a partial candidate list keeps the same subset.
+        let cands: Vec<u32> = (0..b.num_rows() as u32).step_by(2).collect();
+        let expect: Vec<u32> = cands
+            .iter()
+            .copied()
+            .filter(|c| reference.contains(c))
+            .collect();
+        assert_eq!(pred.eval_sel(&b, &cands), expect, "sel eval of {expr:?}");
+    }
+
+    #[test]
+    fn typed_kernels_match_interpreted_eval() {
+        let ops = [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ];
+        for op in ops {
+            assert_matches_reference(&Expr::col("t.i").cmp(op, Expr::int(1)));
+            assert_matches_reference(&Expr::col("t.i").cmp(op, Expr::Literal(Value::Float(0.5))));
+            assert_matches_reference(&Expr::col("t.f").cmp(op, Expr::int(0)));
+            assert_matches_reference(&Expr::col("t.f").cmp(op, Expr::Literal(Value::Float(0.0))));
+            assert_matches_reference(&Expr::col("t.s").cmp(op, Expr::str("bb")));
+            // Flipped literal-column order.
+            assert_matches_reference(&Expr::int(1).cmp(op, Expr::col("t.i")));
+            // Type mismatches decided at compile time.
+            assert_matches_reference(&Expr::col("t.s").cmp(op, Expr::int(1)));
+            assert_matches_reference(&Expr::col("t.i").cmp(op, Expr::str("1")));
+            assert_matches_reference(&Expr::col("t.f").cmp(op, Expr::Literal(Value::Null)));
+        }
+    }
+
+    #[test]
+    fn conjunctions_and_fallbacks_match_interpreted_eval() {
+        let p = Expr::col("t.i").cmp(CmpOp::Gt, Expr::int(-1));
+        let q = Expr::col("t.f").cmp(CmpOp::Le, Expr::Literal(Value::Float(2.0)));
+        let r = Expr::col("t.s").cmp(CmpOp::Ne, Expr::str("c"));
+        assert_matches_reference(&p.clone().and(q.clone()));
+        assert_matches_reference(&p.clone().and(q.clone()).and(r.clone()));
+        // Or / Not fall back to the interpreted kernel.
+        assert_matches_reference(&Expr::Or(vec![p.clone(), q.clone()]));
+        assert_matches_reference(&Expr::Not(Box::new(p.clone())).and(r));
+        // Column-vs-column comparison is a general kernel too.
+        assert_matches_reference(&Expr::col("t.i").cmp(CmpOp::Lt, Expr::col("t.f")));
+    }
+
+    #[test]
+    fn float_total_order_and_sql_equality_both_respected() {
+        // -0.0: SQL-equal to 0.0, but total_cmp orders it below.
+        assert_matches_reference(&Expr::col("t.f").eq(Expr::Literal(Value::Float(0.0))));
+        assert_matches_reference(&Expr::col("t.f").cmp(CmpOp::Lt, Expr::Literal(Value::Float(0.0))));
+        // NaN cells: never SQL-equal, ordered above everything by total_cmp.
+        assert_matches_reference(&Expr::col("t.f").cmp(CmpOp::Gt, Expr::Literal(Value::Float(1e300))));
+    }
+}

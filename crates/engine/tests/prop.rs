@@ -192,6 +192,75 @@ proptest! {
         prop_assert_eq!(serial.report, par.report);
     }
 
+    /// Selection-vector execution is bit-identical to the materializing
+    /// reference path: same batches, same cost reports, over plans mixing
+    /// typed filter kernels (int/float/string, stacked and conjoined),
+    /// projections and grouped aggregates. This is the contract that lets
+    /// `exec_bench` compare the two modes as a pure speedup.
+    #[test]
+    fn selection_vectors_match_reference_kernels(
+        a in proptest::collection::vec(-6i64..6, 1..60),
+        t1 in -5i64..5,
+        t2 in -5i64..5,
+        stacked in proptest::any::<bool>(),
+    ) {
+        let n = a.len();
+        let vals: Vec<i64> = a.iter().map(|&k| k.wrapping_mul(7) + 2).collect();
+        let c = catalog_from(a, vals[..n].to_vec(), vec![0]);
+        let p = Expr::col("a.k").cmp(CmpOp::Gt, Expr::int(t1));
+        let q = Expr::col("a.v").cmp(CmpOp::Le, Expr::int(t2));
+        let builder = if stacked {
+            // Two stacked filters: the second refines the selection.
+            PlanBuilder::scan("ta", "a").filter(p).filter(q)
+        } else {
+            PlanBuilder::scan("ta", "a").filter(p.and(q))
+        };
+        let plan = builder
+            .aggregate(
+                &["a.k"],
+                vec![
+                    agg(av_plan::AggFunc::Count, None, "n"),
+                    agg(av_plan::AggFunc::Sum, Some("a.v"), "s"),
+                    agg(av_plan::AggFunc::Min, Some("a.v"), "lo"),
+                    agg(av_plan::AggFunc::Max, Some("a.v"), "hi"),
+                ],
+            )
+            .build();
+        let optimized = exec(&c, &plan);
+        let reference = Executor::new(&c, Pricing::paper_defaults())
+            .with_reference_kernels(true)
+            .run(&plan)
+            .expect("reference");
+        prop_assert_eq!(optimized.batch, reference.batch);
+        prop_assert_eq!(optimized.report, reference.report);
+    }
+
+    /// A filtered plan that ends *without* an aggregate materializes at the
+    /// root; both modes must still agree bitwise, including on projections.
+    #[test]
+    fn selection_vectors_match_reference_at_root(
+        a in proptest::collection::vec(-6i64..6, 1..60),
+        t in -5i64..5,
+        project in proptest::any::<bool>(),
+    ) {
+        let n = a.len();
+        let c = catalog_from(a, vec![3; n], vec![0]);
+        let builder = PlanBuilder::scan("ta", "a")
+            .filter(Expr::col("a.k").cmp(CmpOp::Ne, Expr::int(t)));
+        let plan = if project {
+            builder.project(&[("a.v", "v")]).build()
+        } else {
+            builder.build()
+        };
+        let optimized = exec(&c, &plan);
+        let reference = Executor::new(&c, Pricing::paper_defaults())
+            .with_reference_kernels(true)
+            .run(&plan)
+            .expect("reference");
+        prop_assert_eq!(optimized.batch, reference.batch);
+        prop_assert_eq!(optimized.report, reference.report);
+    }
+
     /// A cache hit returns the same batch and the same report as the cold
     /// run, and never re-executes while the catalog is unchanged.
     #[test]

@@ -766,20 +766,19 @@ impl Graph {
                         None => pooled_zeros(&mut self.pool, in_dim, out_dim),
                     };
                     {
+                        // Same SIMD scatter as `at_matmul_into`, minus the
+                        // zeroing: accumulates into the live grad with the
+                        // identical ascending-row fma chain per element, so
+                        // fused == unfused stays bitwise.
                         let xv = &self.nodes[x.0].value;
-                        for r in 0..grad.rows() {
-                            let gr = grad.row(r);
-                            for (k, &a) in xv.row(r).iter().enumerate() {
-                                if a == 0.0 {
-                                    continue;
-                                }
-                                let row = &mut gw.as_mut_slice()
-                                    [k * out_dim..(k + 1) * out_dim];
-                                for (o, &d) in row.iter_mut().zip(gr) {
-                                    *o += a * d;
-                                }
-                            }
-                        }
+                        crate::simd::scatter_at(
+                            xv.as_slice(),
+                            grad.rows(),
+                            in_dim,
+                            grad.as_slice(),
+                            out_dim,
+                            gw.as_mut_slice(),
+                        );
                     }
                     self.nodes[w.0].grad = Some(gw);
                     let mut gb = match self.nodes[b.0].grad.take() {
@@ -1027,15 +1026,7 @@ impl Graph {
                     {
                         let xv = self.nodes[x.0].value.as_slice();
                         let dp = dpre.as_slice();
-                        for (k, &a) in xv.iter().enumerate() {
-                            if a == 0.0 {
-                                continue;
-                            }
-                            let row = &mut gwx.as_mut_slice()[k * 4 * hh..(k + 1) * 4 * hh];
-                            for (o, &d) in row.iter_mut().zip(dp) {
-                                *o += a * d;
-                            }
-                        }
+                        crate::simd::scatter_at(xv, 1, in_dim, dp, 4 * hh, gwx.as_mut_slice());
                     }
                     self.nodes[wx.0].grad = Some(gwx);
                     if let Some(p) = prev {
@@ -1046,27 +1037,21 @@ impl Graph {
                         let dp = dpre.as_slice();
                         {
                             let pv = &self.nodes[p.0].value.as_slice()[..hh];
-                            for (k, &hk) in pv.iter().enumerate() {
-                                if hk == 0.0 {
-                                    continue;
-                                }
-                                let row =
-                                    &mut gwh.as_mut_slice()[k * 4 * hh..(k + 1) * 4 * hh];
-                                for (o, &d) in row.iter_mut().zip(dp) {
-                                    *o += hk * d;
-                                }
-                            }
+                            crate::simd::scatter_at(pv, 1, hh, dp, 4 * hh, gwh.as_mut_slice());
                         }
                         self.nodes[wh.0].grad = Some(gwh);
                         if let Some(d) = dprev.as_mut() {
+                            // dh_prev = dpre × Whᵀ: one lane-accumulator dot
+                            // per hidden unit, streaming Wh by rows.
                             let whv = &self.nodes[wh.0].value;
-                            for k in 0..hh {
-                                let mut acc = 0.0f32;
-                                for (&dv, &wv) in dp.iter().zip(whv.row(k)) {
-                                    acc += dv * wv;
-                                }
-                                d.as_mut_slice()[k] = acc;
-                            }
+                            crate::simd::dot_bt(
+                                dp,
+                                1,
+                                4 * hh,
+                                whv.as_slice(),
+                                hh,
+                                &mut d.as_mut_slice()[..hh],
+                            );
                         }
                     } else if self.nodes[wh.0].grad.is_none() {
                         // Keep the grad present even for single-step

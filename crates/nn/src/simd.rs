@@ -1,0 +1,726 @@
+//! Runtime-dispatched SIMD lane kernels for the hot tensor paths.
+//!
+//! This is the only module in the workspace allowed to contain `unsafe`
+//! code (enforced by av-analyze's `unsafe-scope` lint): the `core::arch`
+//! intrinsics below take raw pointers. Everything else stays
+//! `deny(unsafe_code)`.
+//!
+//! # The fixed-order reduction contract
+//!
+//! Every kernel here commits to a *semantic* definition of each output
+//! element that is independent of vector width, strip size, or backend,
+//! so results are bitwise identical between the AVX2 path, the portable
+//! fallback, and the scalar reference functions used by the property
+//! tests:
+//!
+//! - **axpy family** ([`matmul_rows`], [`scatter_at`]): each output
+//!   element is a chain of fused multiply-adds over the shared dimension
+//!   in ascending order, `out = fma(a, b, out)`, with the term *skipped*
+//!   when the broadcast scalar `a` is exactly `0.0` (embedding one-hots
+//!   and ReLU-sparse activations make this skip profitable, and skipping
+//!   is not a no-op under FMA semantics — `fma(0, ±inf, x)` is NaN — so
+//!   all paths must skip identically). Vectorizing over the *output*
+//!   index never reorders a per-element chain, which is what makes the
+//!   register-tiled AVX2 strips bitwise-equal to the scalar loop.
+//! - **dot family** ([`dot_bt`]): each output element is reduced through
+//!   8 fixed lane accumulators — lane `l` sums the terms with index
+//!   `t ≡ l (mod 8)` in ascending order via fma — and the lanes are then
+//!   folded sequentially `((l0+l1)+l2)…+l7`. An 8-wide vector
+//!   accumulator implements exactly this, so the SIMD dot is bitwise
+//!   identical to [`dot_lanes_ref`].
+//!
+//! Both backends use fused multiply-add semantics (`f32::mul_add` in the
+//! portable path compiles to the hardware FMA wherever one exists), so a
+//! given process produces the same bytes regardless of which backend the
+//! dispatcher picks. `AV_NN_SIMD=portable` forces the fallback, which the
+//! property tests use to cross-check the two paths on AVX2 hosts.
+
+#![allow(unsafe_code)]
+
+use std::sync::OnceLock;
+
+/// Which kernel implementation the process dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// `core::arch::x86_64` AVX2 + FMA intrinsics (runtime-detected).
+    Avx2Fma,
+    /// Portable `f32::mul_add` loops with the same reduction order.
+    Portable,
+}
+
+/// The backend every kernel in this module dispatches to, decided once
+/// per process: AVX2+FMA when the CPU has it, unless `AV_NN_SIMD=portable`
+/// pins the fallback (the property tests use that to compare both paths).
+pub fn backend() -> Backend {
+    static CHOICE: OnceLock<Backend> = OnceLock::new();
+    *CHOICE.get_or_init(|| {
+        if std::env::var("AV_NN_SIMD").as_deref() == Ok("portable") {
+            return Backend::Portable;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return Backend::Avx2Fma;
+            }
+        }
+        Backend::Portable
+    })
+}
+
+/// `out += A × B` over row-major slices (`A` is `m×k`, `B` is `k×n`,
+/// `out` is `m×n` and must be pre-zeroed by the caller). Ascending-`k`
+/// fma chain per output element with zero-skip — see the module docs.
+pub fn matmul_rows(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2Fma => unsafe { avx2::matmul_rows(a, m, k, b, n, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2Fma => unreachable!("Avx2Fma backend selected off x86_64"),
+        Backend::Portable => portable::matmul_rows(a, m, k, b, n, out),
+    }
+}
+
+/// One row of the axpy family: `out_row += v × B` for a `1×k` vector over
+/// a `k×n` matrix (`out_row` pre-zeroed). Bitwise identical to
+/// [`matmul_rows`] with `m = 1`.
+pub fn vecmat_row(v: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+    matmul_rows(v, 1, v.len(), b, n, out_row);
+}
+
+/// `out = A × Bᵀ` over row-major slices (`A` is `m×k`, `B` is `p×k`,
+/// `out` is `m×p`; fully overwritten). Each element is a lane-accumulator
+/// dot of two rows — see [`dot_lanes_ref`] for the exact reduction order.
+pub fn dot_bt(a: &[f32], m: usize, k: usize, b: &[f32], p: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), p * k);
+    debug_assert_eq!(out.len(), m * p);
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2Fma => unsafe { avx2::dot_bt(a, m, k, b, p, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2Fma => unreachable!("Avx2Fma backend selected off x86_64"),
+        Backend::Portable => portable::dot_bt(a, m, k, b, p, out),
+    }
+}
+
+/// `out += Aᵀ × B` over row-major slices (`A` is `m×k`, `B` is `m×n`,
+/// `out` is `k×n` and must be pre-zeroed). Ascending-row fma chain per
+/// output element with zero-skip.
+pub fn scatter_at(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), m * n);
+    debug_assert_eq!(out.len(), k * n);
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2Fma => unsafe { avx2::scatter_at(a, m, k, b, n, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2Fma => unreachable!("Avx2Fma backend selected off x86_64"),
+        Backend::Portable => portable::scatter_at(a, m, k, b, n, out),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar references — the semantic ground truth the property tests pin the
+// SIMD kernels against. Deliberately the simplest possible expression of the
+// fixed-order contract; no unsafe, no unrolling.
+// ---------------------------------------------------------------------------
+
+/// Scalar reference for the axpy family: `out += A × B` with per-element
+/// ascending-`k` `f32::mul_add` chains and zero-skip.
+pub fn matmul_rows_ref(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o = av.mul_add(bv, *o);
+            }
+        }
+    }
+}
+
+/// Scalar reference for the dot family's per-element reduction: 8 fixed
+/// lane accumulators by `t mod 8` (each advanced with `f32::mul_add` in
+/// ascending `t`), folded sequentially lane 0 → 7.
+pub fn dot_lanes_ref(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut lane = [0.0f32; 8];
+    for (t, (&a, &b)) in x.iter().zip(y).enumerate() {
+        lane[t % 8] = a.mul_add(b, lane[t % 8]);
+    }
+    let mut acc = lane[0];
+    for &l in &lane[1..] {
+        acc += l;
+    }
+    acc
+}
+
+/// Scalar reference for [`dot_bt`].
+pub fn dot_bt_ref(a: &[f32], m: usize, k: usize, b: &[f32], p: usize, out: &mut [f32]) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..p {
+            let brow = &b[j * k..(j + 1) * k];
+            out[i * p + j] = dot_lanes_ref(arow, brow);
+        }
+    }
+}
+
+/// Scalar reference for [`scatter_at`]: `out += Aᵀ × B` with per-element
+/// ascending-row `f32::mul_add` chains and zero-skip.
+pub fn scatter_at_ref(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let brow = &b[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o = av.mul_add(bv, *o);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portable backend: same loops as the references, with the row kernel
+// unrolled into fixed-width strips so autovectorizers have something to
+// chew on even without the intrinsics path.
+// ---------------------------------------------------------------------------
+
+mod portable {
+    /// Strip width of the portable unrolled row kernel. Matches one AVX2
+    /// register so both backends tile the same way (the contract makes
+    /// tiling invisible to results either way).
+    const LANES: usize = 8;
+
+    pub fn matmul_rows(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            axpy_row(arow, b, n, orow);
+        }
+    }
+
+    /// `orow += arow × B`, unrolled into [`LANES`]-wide strips.
+    fn axpy_row(arow: &[f32], b: &[f32], n: usize, orow: &mut [f32]) {
+        let strips = n / LANES * LANES;
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            let mut j = 0;
+            while j < strips {
+                let o = &mut orow[j..j + LANES];
+                let bv = &brow[j..j + LANES];
+                for l in 0..LANES {
+                    o[l] = av.mul_add(bv[l], o[l]);
+                }
+                j += LANES;
+            }
+            while j < n {
+                orow[j] = av.mul_add(brow[j], orow[j]);
+                j += 1;
+            }
+        }
+    }
+
+    pub fn dot_bt(a: &[f32], m: usize, k: usize, b: &[f32], p: usize, out: &mut [f32]) {
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..p {
+                let brow = &b[j * k..(j + 1) * k];
+                out[i * p + j] = dot_lanes(arow, brow);
+            }
+        }
+    }
+
+    /// The 8-lane dot with the loop structured as whole [`LANES`]-wide
+    /// chunks plus a tail, which is the same association as
+    /// [`super::dot_lanes_ref`]'s `t mod 8` assignment.
+    fn dot_lanes(x: &[f32], y: &[f32]) -> f32 {
+        let mut lane = [0.0f32; LANES];
+        let chunks = x.len() / LANES * LANES;
+        let mut t = 0;
+        while t < chunks {
+            for l in 0..LANES {
+                lane[l] = x[t + l].mul_add(y[t + l], lane[l]);
+            }
+            t += LANES;
+        }
+        while t < x.len() {
+            lane[t % LANES] = x[t].mul_add(y[t], lane[t % LANES]);
+            t += 1;
+        }
+        let mut acc = lane[0];
+        for &l in &lane[1..] {
+            acc += l;
+        }
+        acc
+    }
+
+    pub fn scatter_at(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let brow = &b[i * n..(i + 1) * n];
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[kk * n..(kk + 1) * n];
+                let strips = n / LANES * LANES;
+                let mut j = 0;
+                while j < strips {
+                    let o = &mut orow[j..j + LANES];
+                    let bv = &brow[j..j + LANES];
+                    for l in 0..LANES {
+                        o[l] = av.mul_add(bv[l], o[l]);
+                    }
+                    j += LANES;
+                }
+                while j < n {
+                    orow[j] = av.mul_add(brow[j], orow[j]);
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 + FMA backend. Register-tiled: the row kernel holds 8 ymm
+// accumulators (a 64-float output strip) across the whole k loop, so each
+// k step is one broadcast + 8 loads + 8 fmadds with no output traffic.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use core::arch::x86_64::{
+        __m256, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_setzero_ps,
+        _mm256_storeu_ps,
+    };
+
+    /// Shared-dimension panel height: a 32-column strip of a `KC`-row B
+    /// panel is 16 KiB, which stays L1-resident while every row pair of A
+    /// sweeps it. Panelling never reorders a per-element fma chain (each
+    /// panel resumes the chain from the stored partial, and an f32
+    /// store/reload round-trip is exact), so the contract holds for any
+    /// `KC`.
+    const KC: usize = 256;
+
+    /// Row count from which a B tile is packed into a contiguous scratch
+    /// buffer before the row sweep. Packing defeats the L1 set-aliasing
+    /// that power-of-two row strides cause (a 1 KiB stride maps every tile
+    /// row to the same handful of cache sets), and its cost — one copy of
+    /// the tile — is amortized over `m` rows. Below the threshold the copy
+    /// would rival the math, so tiles read B in place. Packing only moves
+    /// bytes; it cannot change any fma chain.
+    const PACK_MIN_M: usize = 8;
+
+    /// # Safety
+    /// Caller must have verified `avx2` and `fma` CPU support, and slice
+    /// lengths must satisfy the shapes documented on [`super::matmul_rows`].
+    ///
+    /// Loop nest: k-panel → 32-column B tile (packed) → A row pair → k.
+    /// The packed tile (≤16 KiB, sequential) is the innermost reuse unit,
+    /// hot in L1 across all row pairs; per k step a pair costs 4 shared B
+    /// loads + 2 broadcasts feeding 8 independent fma chains. Zero-skip is
+    /// applied per (row, k) term, exactly like the scalar reference.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn matmul_rows(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        let mut pack: Vec<f32> = if m >= PACK_MIN_M && n >= 8 {
+            vec![0.0; KC.min(k) * 32]
+        } else {
+            Vec::new()
+        };
+        let mut k0 = 0;
+        while k0 < k {
+            let kc = (k - k0).min(KC);
+            let arow = |i: usize| &a[i * k + k0..i * k + k0 + kc];
+            let mut j = 0;
+            while j + 32 <= n {
+                let (bt, bstride) = if pack.is_empty() {
+                    (b.as_ptr().add(k0 * n + j), n)
+                } else {
+                    for kk in 0..kc {
+                        pack[kk * 32..kk * 32 + 32]
+                            .copy_from_slice(&b[(k0 + kk) * n + j..(k0 + kk) * n + j + 32]);
+                    }
+                    (pack.as_ptr(), 32)
+                };
+                let mut i = 0;
+                while i + 2 <= m {
+                    tile32_pair(arow(i), arow(i + 1), bt, bstride, out.as_mut_ptr().add(i * n + j), n);
+                    i += 2;
+                }
+                if i < m {
+                    tile32_one(arow(i), bt, bstride, out.as_mut_ptr().add(i * n + j));
+                }
+                j += 32;
+            }
+            while j + 8 <= n {
+                let (bt, bstride) = if pack.is_empty() {
+                    (b.as_ptr().add(k0 * n + j), n)
+                } else {
+                    for kk in 0..kc {
+                        pack[kk * 8..kk * 8 + 8]
+                            .copy_from_slice(&b[(k0 + kk) * n + j..(k0 + kk) * n + j + 8]);
+                    }
+                    (pack.as_ptr(), 8)
+                };
+                let mut i = 0;
+                while i + 2 <= m {
+                    tile8_pair(arow(i), arow(i + 1), bt, bstride, out.as_mut_ptr().add(i * n + j), n);
+                    i += 2;
+                }
+                if i < m {
+                    tile8_one(arow(i), bt, bstride, out.as_mut_ptr().add(i * n + j));
+                }
+                j += 8;
+            }
+            // Scalar tail columns (n mod 8), plain mul_add chains.
+            while j < n {
+                for i in 0..m {
+                    let mut s = out[i * n + j];
+                    for (kk, &av) in arow(i).iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        s = av.mul_add(b[(k0 + kk) * n + j], s);
+                    }
+                    out[i * n + j] = s;
+                }
+                j += 1;
+            }
+            k0 += kc;
+        }
+    }
+
+    /// One 2-row × 32-column register tile: 8 accumulators held across the
+    /// whole k panel. `bt` points at the tile's B data (packed or in
+    /// place) advancing by `bstride` per k; `p0` at the first of the two
+    /// output strips, the second `n` floats later.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn tile32_pair(
+        ar0: &[f32],
+        ar1: &[f32],
+        bt: *const f32,
+        bstride: usize,
+        p0: *mut f32,
+        n: usize,
+    ) {
+        let bp = bt;
+        let p1 = p0.add(n);
+        let mut c00 = _mm256_loadu_ps(p0);
+        let mut c01 = _mm256_loadu_ps(p0.add(8));
+        let mut c02 = _mm256_loadu_ps(p0.add(16));
+        let mut c03 = _mm256_loadu_ps(p0.add(24));
+        let mut c10 = _mm256_loadu_ps(p1);
+        let mut c11 = _mm256_loadu_ps(p1.add(8));
+        let mut c12 = _mm256_loadu_ps(p1.add(16));
+        let mut c13 = _mm256_loadu_ps(p1.add(24));
+        for kk in 0..ar0.len() {
+            let a0 = *ar0.get_unchecked(kk);
+            let a1 = *ar1.get_unchecked(kk);
+            if a0 == 0.0 && a1 == 0.0 {
+                continue;
+            }
+            let r = bp.add(kk * bstride);
+            let b0 = _mm256_loadu_ps(r);
+            let b1 = _mm256_loadu_ps(r.add(8));
+            let b2 = _mm256_loadu_ps(r.add(16));
+            let b3 = _mm256_loadu_ps(r.add(24));
+            if a0 != 0.0 {
+                let v = _mm256_set1_ps(a0);
+                c00 = _mm256_fmadd_ps(v, b0, c00);
+                c01 = _mm256_fmadd_ps(v, b1, c01);
+                c02 = _mm256_fmadd_ps(v, b2, c02);
+                c03 = _mm256_fmadd_ps(v, b3, c03);
+            }
+            if a1 != 0.0 {
+                let v = _mm256_set1_ps(a1);
+                c10 = _mm256_fmadd_ps(v, b0, c10);
+                c11 = _mm256_fmadd_ps(v, b1, c11);
+                c12 = _mm256_fmadd_ps(v, b2, c12);
+                c13 = _mm256_fmadd_ps(v, b3, c13);
+            }
+        }
+        _mm256_storeu_ps(p0, c00);
+        _mm256_storeu_ps(p0.add(8), c01);
+        _mm256_storeu_ps(p0.add(16), c02);
+        _mm256_storeu_ps(p0.add(24), c03);
+        _mm256_storeu_ps(p1, c10);
+        _mm256_storeu_ps(p1.add(8), c11);
+        _mm256_storeu_ps(p1.add(16), c12);
+        _mm256_storeu_ps(p1.add(24), c13);
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn tile32_one(ar: &[f32], bt: *const f32, bstride: usize, p: *mut f32) {
+        let mut c0 = _mm256_loadu_ps(p);
+        let mut c1 = _mm256_loadu_ps(p.add(8));
+        let mut c2 = _mm256_loadu_ps(p.add(16));
+        let mut c3 = _mm256_loadu_ps(p.add(24));
+        for (kk, &av) in ar.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let v = _mm256_set1_ps(av);
+            let r = bt.add(kk * bstride);
+            c0 = _mm256_fmadd_ps(v, _mm256_loadu_ps(r), c0);
+            c1 = _mm256_fmadd_ps(v, _mm256_loadu_ps(r.add(8)), c1);
+            c2 = _mm256_fmadd_ps(v, _mm256_loadu_ps(r.add(16)), c2);
+            c3 = _mm256_fmadd_ps(v, _mm256_loadu_ps(r.add(24)), c3);
+        }
+        _mm256_storeu_ps(p, c0);
+        _mm256_storeu_ps(p.add(8), c1);
+        _mm256_storeu_ps(p.add(16), c2);
+        _mm256_storeu_ps(p.add(24), c3);
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn tile8_pair(
+        ar0: &[f32],
+        ar1: &[f32],
+        bt: *const f32,
+        bstride: usize,
+        p0: *mut f32,
+        n: usize,
+    ) {
+        let p1 = p0.add(n);
+        let mut c0 = _mm256_loadu_ps(p0);
+        let mut c1 = _mm256_loadu_ps(p1);
+        for kk in 0..ar0.len() {
+            let a0 = *ar0.get_unchecked(kk);
+            let a1 = *ar1.get_unchecked(kk);
+            if a0 == 0.0 && a1 == 0.0 {
+                continue;
+            }
+            let bv = _mm256_loadu_ps(bt.add(kk * bstride));
+            if a0 != 0.0 {
+                c0 = _mm256_fmadd_ps(_mm256_set1_ps(a0), bv, c0);
+            }
+            if a1 != 0.0 {
+                c1 = _mm256_fmadd_ps(_mm256_set1_ps(a1), bv, c1);
+            }
+        }
+        _mm256_storeu_ps(p0, c0);
+        _mm256_storeu_ps(p1, c1);
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn tile8_one(ar: &[f32], bt: *const f32, bstride: usize, p: *mut f32) {
+        let mut c0 = _mm256_loadu_ps(p);
+        for (kk, &av) in ar.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            c0 = _mm256_fmadd_ps(_mm256_set1_ps(av), _mm256_loadu_ps(bt.add(kk * bstride)), c0);
+        }
+        _mm256_storeu_ps(p, c0);
+    }
+
+    /// # Safety
+    /// Caller must have verified `avx2` and `fma` CPU support, and slice
+    /// lengths must satisfy the shapes documented on [`super::dot_bt`].
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot_bt(a: &[f32], m: usize, k: usize, b: &[f32], p: usize, out: &mut [f32]) {
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * p..(i + 1) * p];
+            // Four output columns at a time: four independent accumulator
+            // chains hide the fma latency; each chain is still the 8-lane
+            // reduction of the contract.
+            let mut j = 0;
+            while j + 4 <= p {
+                let (d0, d1, d2, d3) = dot4(
+                    arow,
+                    &b[j * k..(j + 1) * k],
+                    &b[(j + 1) * k..(j + 2) * k],
+                    &b[(j + 2) * k..(j + 3) * k],
+                    &b[(j + 3) * k..(j + 4) * k],
+                );
+                orow[j] = d0;
+                orow[j + 1] = d1;
+                orow[j + 2] = d2;
+                orow[j + 3] = d3;
+                j += 4;
+            }
+            while j < p {
+                orow[j] = dot1(arow, &b[j * k..(j + 1) * k]);
+                j += 1;
+            }
+        }
+    }
+
+    /// Sequential lane fold `((l0+l1)+l2)…+l7` of a ymm accumulator plus a
+    /// scalar tail folded into the same lanes by `t mod 8`.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn reduce_lanes(acc: __m256, x: &[f32], y: &[f32], from: usize) -> f32 {
+        let mut lane = [0.0f32; 8];
+        _mm256_storeu_ps(lane.as_mut_ptr(), acc);
+        for t in from..x.len() {
+            lane[t % 8] = x[t].mul_add(y[t], lane[t % 8]);
+        }
+        let mut s = lane[0];
+        for &l in &lane[1..] {
+            s += l;
+        }
+        s
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn dot1(x: &[f32], y: &[f32]) -> f32 {
+        let chunks = x.len() / 8 * 8;
+        let mut acc = _mm256_setzero_ps();
+        let xp = x.as_ptr();
+        let yp = y.as_ptr();
+        let mut t = 0;
+        while t < chunks {
+            acc = _mm256_fmadd_ps(_mm256_loadu_ps(xp.add(t)), _mm256_loadu_ps(yp.add(t)), acc);
+            t += 8;
+        }
+        reduce_lanes(acc, x, y, chunks)
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::many_single_char_names)]
+    unsafe fn dot4(x: &[f32], y0: &[f32], y1: &[f32], y2: &[f32], y3: &[f32]) -> (f32, f32, f32, f32) {
+        let chunks = x.len() / 8 * 8;
+        let mut a0 = _mm256_setzero_ps();
+        let mut a1 = _mm256_setzero_ps();
+        let mut a2 = _mm256_setzero_ps();
+        let mut a3 = _mm256_setzero_ps();
+        let xp = x.as_ptr();
+        let mut t = 0;
+        while t < chunks {
+            let xv = _mm256_loadu_ps(xp.add(t));
+            a0 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(y0.as_ptr().add(t)), a0);
+            a1 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(y1.as_ptr().add(t)), a1);
+            a2 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(y2.as_ptr().add(t)), a2);
+            a3 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(y3.as_ptr().add(t)), a3);
+            t += 8;
+        }
+        (
+            reduce_lanes(a0, x, y0, chunks),
+            reduce_lanes(a1, x, y1, chunks),
+            reduce_lanes(a2, x, y2, chunks),
+            reduce_lanes(a3, x, y3, chunks),
+        )
+    }
+
+    /// # Safety
+    /// Caller must have verified `avx2` and `fma` CPU support, and slice
+    /// lengths must satisfy the shapes documented on [`super::scatter_at`].
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn scatter_at(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+        let strips = n / 8 * 8;
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let brow = &b[i * n..(i + 1) * n];
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[kk * n..(kk + 1) * n];
+                let a8 = _mm256_set1_ps(av);
+                let op = orow.as_mut_ptr();
+                let bp = brow.as_ptr();
+                let mut j = 0;
+                while j < strips {
+                    let o = _mm256_loadu_ps(op.add(j));
+                    _mm256_storeu_ps(op.add(j), _mm256_fmadd_ps(a8, _mm256_loadu_ps(bp.add(j)), o));
+                    j += 8;
+                }
+                while j < n {
+                    orow[j] = av.mul_add(brow[j], orow[j]);
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(len: usize, seed: f32) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                if i % 7 == 3 {
+                    0.0
+                } else {
+                    ((i as f32) * 0.37 + seed).sin()
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matmul_rows_matches_reference_on_awkward_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (2, 3, 5), (3, 17, 9), (4, 8, 64), (5, 33, 71), (1, 19, 130)] {
+            let a = pattern(m * k, 0.1);
+            let b = pattern(k * n, 0.9);
+            let mut fast = vec![0.0; m * n];
+            let mut slow = vec![0.0; m * n];
+            matmul_rows(&a, m, k, &b, n, &mut fast);
+            matmul_rows_ref(&a, m, k, &b, n, &mut slow);
+            assert_eq!(fast, slow, "matmul_rows diverged at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn dot_bt_matches_reference_on_awkward_shapes() {
+        for &(m, k, p) in &[(1, 1, 1), (2, 5, 3), (3, 16, 4), (2, 23, 7), (4, 40, 6), (1, 9, 13)] {
+            let a = pattern(m * k, 0.2);
+            let b = pattern(p * k, 0.8);
+            let mut fast = vec![0.0; m * p];
+            let mut slow = vec![0.0; m * p];
+            dot_bt(&a, m, k, &b, p, &mut fast);
+            dot_bt_ref(&a, m, k, &b, p, &mut slow);
+            assert_eq!(fast, slow, "dot_bt diverged at {m}x{k}x{p}");
+        }
+    }
+
+    #[test]
+    fn scatter_at_matches_reference_on_awkward_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 2, 5), (5, 16, 9), (7, 4, 40), (2, 6, 13)] {
+            let a = pattern(m * k, 0.3);
+            let b = pattern(m * n, 0.7);
+            let mut fast = vec![0.0; k * n];
+            let mut slow = vec![0.0; k * n];
+            scatter_at(&a, m, k, &b, n, &mut fast);
+            scatter_at_ref(&a, m, k, &b, n, &mut slow);
+            assert_eq!(fast, slow, "scatter_at diverged at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn lane_dot_handles_special_values_via_zero_skip() {
+        // fma(0, inf, x) would poison the axpy chain; the contract skips it.
+        let a = vec![0.0, 1.0];
+        let b = vec![f32::INFINITY, 2.0, f32::NEG_INFINITY, 3.0];
+        let mut fast = vec![0.0; 2];
+        let mut slow = vec![0.0; 2];
+        matmul_rows(&a, 1, 2, &b, 2, &mut fast);
+        matmul_rows_ref(&a, 1, 2, &b, 2, &mut slow);
+        assert_eq!(fast, slow);
+        assert_eq!(fast, vec![f32::NEG_INFINITY, 3.0]);
+    }
+}

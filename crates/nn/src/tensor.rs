@@ -1,4 +1,14 @@
 //! Dense row-major `f32` matrices and the parameter store.
+//!
+//! The matmul-family kernels dispatch into [`crate::simd`] and share its
+//! fixed-order reduction contract: per output element, a fused
+//! multiply-add chain over the shared dimension in ascending order (with
+//! exact-zero terms skipped), or — for the dot-product kernel
+//! [`Tensor::matmul_bt_into`] — 8 fixed lane accumulators folded in a
+//! deterministic order. Results are bitwise identical across SIMD
+//! backends, blocking factors, and thread counts, which is what keeps
+//! `fit(threads=N) == serial` and the executor's determinism properties
+//! intact.
 
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
@@ -130,20 +140,18 @@ impl Tensor {
         out
     }
 
-    /// Rows per k-panel of the blocked matmul kernel. Sized so one panel of
-    /// the right-hand matrix (`K_BLOCK × n` floats) stays L1-resident across
-    /// every row of the left-hand matrix.
-    pub const K_BLOCK: usize = 64;
-
-    /// Blocked matrix product `out = self × other`, writing into a caller
+    /// SIMD matrix product `out = self × other`, writing into a caller
     /// -owned (arena-recycled) output tensor.
     ///
-    /// The kernel panels the shared dimension `k` in [`Tensor::K_BLOCK`]
-    /// chunks so a panel of `other` is reused across all rows of `self`
-    /// while hot in cache. For every output cell the accumulation over `k`
-    /// still runs in ascending order — panel boundaries only reorder the
-    /// *row* loop — so the result is bitwise identical to the naive
-    /// `i·k·j` kernel ([`matmul_naive`]) and independent of the block size.
+    /// Dispatches to [`crate::simd::matmul_rows`]: register-tiled AVX2+FMA
+    /// strips where the CPU has them, an unrolled portable `mul_add` loop
+    /// otherwise. Per output cell the value is defined as an ascending-`k`
+    /// fused multiply-add chain with exact-zero terms skipped, so the
+    /// result is bitwise identical to the scalar reference
+    /// ([`Tensor::matmul_reference`]) on every backend and independent of
+    /// strip width. (It is *not* bitwise identical to the non-fused seed
+    /// kernel [`Tensor::matmul_naive`], which rounds after every multiply;
+    /// `matmul_naive` survives only as the bench baseline.)
     ///
     /// # Panics
     /// Panics on inner-dimension or output-shape mismatch.
@@ -160,51 +168,56 @@ impl Tensor {
             "matmul output shape mismatch"
         );
         out.zero();
-        let n = other.cols;
-        for k0 in (0..self.cols).step_by(Self::K_BLOCK) {
-            let k1 = (k0 + Self::K_BLOCK).min(self.cols);
-            for i in 0..self.rows {
-                let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (k, &a) in arow.iter().enumerate().take(k1).skip(k0) {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let orow = &other.data[k * n..(k + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(orow) {
-                        *o += a * b;
-                    }
-                }
-            }
-        }
+        crate::simd::matmul_rows(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
+    }
+
+    /// Scalar reference for [`Tensor::matmul_into`]: the simplest loop that
+    /// satisfies the fixed-order fma contract. Property tests and the bench
+    /// bitwise gates pin the SIMD kernels against this.
+    pub fn matmul_reference(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {:?} × {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        crate::simd::matmul_rows_ref(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
+        out
     }
 
     /// `out = v × self` for a row vector `v` (`1×k` over a `k×n` matrix),
-    /// writing into a `1×n` output. Same inner structure as
-    /// [`Tensor::matmul_into`] restricted to one row — ascending `k`,
-    /// zero-skip — so the result is bitwise identical to wrapping `v` in a
-    /// `1×k` tensor and calling `matmul_into`.
+    /// writing into a `1×n` output. Exactly [`Tensor::matmul_into`]
+    /// restricted to one row — ascending-`k` fma chain, zero-skip — so the
+    /// result is bitwise identical to wrapping `v` in a `1×k` tensor and
+    /// calling `matmul_into`.
     pub fn left_vecmat_into(&self, v: &[f32], out: &mut Tensor) {
         assert_eq!(v.len(), self.rows, "left_vecmat shape mismatch");
         assert_eq!(out.shape(), (1, self.cols), "left_vecmat output mismatch");
         out.zero();
-        let n = self.cols;
-        let out_row = &mut out.data[..n];
-        for (k, &a) in v.iter().enumerate() {
-            if a == 0.0 {
-                continue;
-            }
-            let orow = &self.data[k * n..(k + 1) * n];
-            for (o, &b) in out_row.iter_mut().zip(orow) {
-                *o += a * b;
-            }
-        }
+        crate::simd::vecmat_row(v, &self.data, self.cols, &mut out.data);
     }
 
     /// `out = self × otherᵀ` without materializing the transpose: each
     /// output cell is a dot product of two rows, which streams both inputs
-    /// contiguously. Accumulation over `k` runs in ascending order, so the
-    /// result is bitwise identical to `self.matmul(&other.transpose())`.
+    /// contiguously. Each dot is reduced through 8 fixed lane accumulators
+    /// (lane `l` sums terms `k ≡ l mod 8` ascending, lanes folded
+    /// sequentially — [`crate::simd::dot_lanes_ref`]), so the result is
+    /// bitwise identical across SIMD backends and output tilings.
     pub fn matmul_bt_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols, other.cols,
@@ -217,24 +230,21 @@ impl Tensor {
             (self.rows, other.rows),
             "matmul_bt output shape mismatch"
         );
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            for j in 0..other.rows {
-                let brow = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    acc += a * b;
-                }
-                out.set(i, j, acc);
-            }
-        }
+        crate::simd::dot_bt(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.rows,
+            &mut out.data,
+        );
     }
 
     /// `out = selfᵀ × other` without materializing the transpose: row `i`
     /// of `self` scatters into every output row it touches, so both inputs
-    /// stream contiguously. Accumulation over the shared dimension runs in
-    /// ascending row order — bitwise identical to
-    /// `self.transpose().matmul(&other)`.
+    /// stream contiguously. Per output element the accumulation is an
+    /// ascending-row fma chain with zero-skip (the axpy contract), bitwise
+    /// identical across SIMD backends.
     pub fn at_matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.rows, other.rows,
@@ -248,20 +258,14 @@ impl Tensor {
             "at_matmul output shape mismatch"
         );
         out.zero();
-        let n = other.cols;
-        for i in 0..self.rows {
-            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-            let brow = &other.data[i * n..(i + 1) * n];
-            for (k, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::simd::scatter_at(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
     }
 
     /// Fused bias-add: `self[r, c] += bias[0, c]` for every row, one pass
@@ -315,9 +319,10 @@ impl Tensor {
         self.data.extend_from_slice(&src.data);
     }
 
-    /// Reference `i·k·j` matmul without k-panel blocking — the seed kernel,
-    /// kept as the baseline for `nn_bench` and the bitwise-identity tests
-    /// of [`Tensor::matmul_into`].
+    /// Seed `i·k·j` matmul — separate multiply and add per term, no fma —
+    /// kept as the honest speed baseline for `nn_bench`. NOT bitwise
+    /// comparable to [`Tensor::matmul_into`] (which rounds once per fused
+    /// term); use [`Tensor::matmul_reference`] for bitwise checks.
     pub fn matmul_naive(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.rows,

@@ -1,0 +1,131 @@
+//! SIMD kernels vs. scalar references: bitwise determinism.
+//!
+//! Every kernel in `av_nn::simd` promises the *fixed-order* reduction
+//! contract — not approximate equality, the exact same f32 at every output
+//! position as the scalar reference that spells the contract out. These
+//! properties compare raw bit patterns (`f32::to_bits`), so a reassociated
+//! accumulation, a dropped zero-skip, or an FMA/non-FMA mismatch in the
+//! intrinsics path fails loudly even when the values agree to many ulps.
+//!
+//! On AVX2+FMA hardware the dispatched backend is the intrinsics path, so
+//! this pins SIMD == scalar; elsewhere it pins the portable unrolled path,
+//! which `AV_NN_SIMD=portable` also forces on SIMD hardware (CI runs both).
+
+use proptest::prelude::*;
+
+fn assert_bits_eq(simd: &[f32], scalar: &[f32], kernel: &str) {
+    assert_eq!(simd.len(), scalar.len());
+    for (i, (s, r)) in simd.iter().zip(scalar).enumerate() {
+        assert!(
+            s.to_bits() == r.to_bits(),
+            "{kernel}: bit mismatch at {i}: simd {s} ({:#010x}) vs scalar {r} ({:#010x}) \
+             [backend {:?}]",
+            s.to_bits(),
+            r.to_bits(),
+            av_nn::simd::backend(),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `out += A × B` (axpy family): dispatched kernel == scalar reference,
+    /// bit for bit, including accumulation into a non-zero `out`.
+    #[test]
+    fn matmul_rows_matches_scalar_bitwise(
+        m in 1usize..24,
+        k in 1usize..48,
+        n in 1usize..48,
+        seed in 0u32..4,
+    ) {
+        let a = grid_vec(m * k, seed);
+        let b = grid_vec(k * n, seed.wrapping_add(1));
+        let init = grid_vec(m * n, seed.wrapping_add(2));
+        let mut simd = init.clone();
+        let mut scalar = init;
+        av_nn::simd::matmul_rows(&a, m, k, &b, n, &mut simd);
+        av_nn::simd::matmul_rows_ref(&a, m, k, &b, n, &mut scalar);
+        assert_bits_eq(&simd, &scalar, "matmul_rows");
+    }
+
+    /// `out = A × Bᵀ` (dot family): the 8-lane fixed accumulator order of
+    /// `dot_lanes_ref` must survive the intrinsics path exactly.
+    #[test]
+    fn dot_bt_matches_scalar_bitwise(
+        m in 1usize..16,
+        k in 1usize..80,
+        p in 1usize..16,
+        seed in 0u32..4,
+    ) {
+        let a = grid_vec(m * k, seed);
+        let b = grid_vec(p * k, seed.wrapping_add(9));
+        let mut simd = vec![f32::NAN; m * p]; // fully overwritten by contract
+        let mut scalar = vec![f32::NAN; m * p];
+        av_nn::simd::dot_bt(&a, m, k, &b, p, &mut simd);
+        av_nn::simd::dot_bt_ref(&a, m, k, &b, p, &mut scalar);
+        assert_bits_eq(&simd, &scalar, "dot_bt");
+    }
+
+    /// `out += Aᵀ × B` (gradient scatter): ascending-row chains with
+    /// zero-skip, bit for bit.
+    #[test]
+    fn scatter_at_matches_scalar_bitwise(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..48,
+        seed in 0u32..4,
+    ) {
+        let a = grid_vec(m * k, seed);
+        let b = grid_vec(m * n, seed.wrapping_add(3));
+        let init = grid_vec(k * n, seed.wrapping_add(5));
+        let mut simd = init.clone();
+        let mut scalar = init;
+        av_nn::simd::scatter_at(&a, m, k, &b, n, &mut simd);
+        av_nn::simd::scatter_at_ref(&a, m, k, &b, n, &mut scalar);
+        assert_bits_eq(&simd, &scalar, "scatter_at");
+    }
+
+    /// `vecmat_row` is defined as `matmul_rows` with m = 1; hold it to that.
+    #[test]
+    fn vecmat_row_is_matmul_rows_m1(k in 1usize..64, n in 1usize..64, seed in 0u32..4) {
+        let v = grid_vec(k, seed);
+        let b = grid_vec(k * n, seed.wrapping_add(1));
+        let mut via_vecmat = vec![0.0f32; n];
+        let mut via_matmul = vec![0.0f32; n];
+        av_nn::simd::vecmat_row(&v, &b, n, &mut via_vecmat);
+        av_nn::simd::matmul_rows(&v, 1, k, &b, n, &mut via_matmul);
+        assert_bits_eq(&via_vecmat, &via_matmul, "vecmat_row");
+    }
+}
+
+/// Deterministic fill from a small exact grid, zero included: zeros
+/// exercise the axpy family's zero-skip, and the 0.37 scale keeps
+/// mantissas non-trivial so reduction-order bugs actually change bits.
+/// xorshift (rather than a proptest strategy) because the vector length
+/// depends on generated shapes; the proptest seeds still vary the data.
+fn grid_vec(len: usize, seed: u32) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(747_796_405).wrapping_add(2_891_336_453) | 1;
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 17;
+            s ^= s << 5;
+            ((s % 17) as i32 - 8) as f32 * 0.37
+        })
+        .collect()
+}
+
+/// The tensor-level contract in one shot: `Tensor::matmul` (whatever
+/// backend dispatch picked) equals `Tensor::matmul_reference` bitwise.
+#[test]
+fn tensor_matmul_matches_reference_bitwise() {
+    use av_nn::Tensor;
+    for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (8, 33, 40), (17, 64, 65)] {
+        let a = Tensor::from_vec(m, k, grid_vec(m * k, 42));
+        let b = Tensor::from_vec(k, n, grid_vec(k * n, 43));
+        let fast = a.matmul(&b);
+        let slow = a.matmul_reference(&b);
+        assert_bits_eq(fast.as_slice(), slow.as_slice(), "Tensor::matmul");
+    }
+}

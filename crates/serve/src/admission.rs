@@ -214,6 +214,45 @@ mod tests {
         assert_eq!(ctl.load_of("b").inflight, 1);
     }
 
+    /// Hammer the condvar path: many threads, several acquisitions each,
+    /// against tight caps. Tracks the high-water mark of concurrently held
+    /// permits with a CAS loop; if the wait loop ever admitted past the cap
+    /// (e.g. a woken waiter skipping the re-check), the mark would exceed
+    /// it. Run for both cap 1 (mutual exclusion) and cap 2 (the smallest
+    /// cap where two waiters can race for the same freed slot).
+    #[test]
+    fn hammer_never_exceeds_inflight_cap() {
+        for cap in [1usize, 2] {
+            let ctl = AdmissionController::new(AdmissionConfig {
+                max_inflight_per_tenant: cap,
+                max_queued_per_tenant: 64,
+            });
+            let current = AtomicUsize::new(0);
+            let high_water = AtomicUsize::new(0);
+            let done = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..12 {
+                    s.spawn(|| {
+                        for _ in 0..25 {
+                            let _p = ctl.acquire("t").expect("queue has room");
+                            let now = current.fetch_add(1, Ordering::SeqCst) + 1;
+                            high_water.fetch_max(now, Ordering::SeqCst);
+                            std::hint::black_box(now);
+                            current.fetch_sub(1, Ordering::SeqCst);
+                            done.fetch_add(1, Ordering::SeqCst);
+                        }
+                    });
+                }
+            });
+            assert_eq!(done.load(Ordering::SeqCst), 12 * 25, "cap {cap}");
+            let peak = high_water.load(Ordering::SeqCst);
+            assert!(peak <= cap, "cap {cap} exceeded: saw {peak} concurrent permits");
+            assert!(peak >= 1, "hammer never ran");
+            assert_eq!(ctl.load_of("t").inflight, 0, "all permits released");
+            assert_eq!(ctl.load_of("t").queued, 0, "no waiter stranded");
+        }
+    }
+
     #[test]
     fn queued_waiters_run_eventually() {
         let ctl = AdmissionController::new(AdmissionConfig {

@@ -86,13 +86,16 @@ impl Histogram {
     /// assuming observations are uniform within each bucket. The estimate is
     /// clamped to the observed `[min, max]`, so `quantile(0.0)` is exactly
     /// the minimum and `quantile(1.0)` exactly the maximum. Returns `None`
-    /// for an empty histogram or `q` outside `[0, 1]`.
+    /// for an empty histogram or `q` outside `[0, 1]` — including NaN,
+    /// which is spelled out rather than left to range-containment semantics
+    /// so a refactor of the bounds check can't silently start treating NaN
+    /// as a valid rank.
     ///
     /// Accuracy is bounded by bucket width — good enough for tail summaries
     /// (p95/p99 dashboards); harnesses that need exact percentiles (e.g.
     /// `serve_bench`) keep raw samples instead.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+        if self.count == 0 || q.is_nan() || !(0.0..=1.0).contains(&q) {
             return None;
         }
         let rank = q * self.count as f64;
@@ -423,6 +426,53 @@ mod tests {
         assert!(p50 > 1e-3 && p50 <= 1e-2, "p50={p50}");
         assert!(p95 > 1e-2 && p95 <= 1e-1, "p95={p95}");
         assert_eq!(Histogram::default().quantile(0.5), None, "empty is None");
+    }
+
+    #[test]
+    fn quantile_rejects_nan_rank() {
+        let m = Metrics::new();
+        m.observe("lat", 1.0);
+        let h = m.histogram("lat").expect("exists");
+        assert_eq!(h.quantile(f64::NAN), None, "NaN q must not pick a bucket");
+        assert_eq!(h.quantile(0.5), Some(1.0), "valid q still works");
+    }
+
+    #[test]
+    fn quantile_single_bucket_stays_within_observed_range() {
+        // All mass in one bucket: every quantile must land in [min, max],
+        // with the endpoints exact, regardless of where uniform-in-bucket
+        // interpolation would otherwise put them.
+        let m = Metrics::new();
+        for v in [3e-3, 4e-3, 5e-3] {
+            m.observe("lat", v);
+        }
+        let h = m.histogram("lat").expect("exists");
+        assert_eq!(h.quantile(0.0), Some(3e-3));
+        assert_eq!(h.quantile(1.0), Some(5e-3));
+        for q in [0.25, 0.5, 0.75, 0.95] {
+            let est = h.quantile(q).expect("some");
+            assert!((3e-3..=5e-3).contains(&est), "q={q} escaped: {est}");
+        }
+    }
+
+    #[test]
+    fn quantile_all_mass_in_overflow_bucket() {
+        // Observations above the last bound have no upper bucket edge; the
+        // estimator substitutes the observed max and must stay finite and
+        // within [min, max].
+        let m = Metrics::new();
+        for v in [5e3, 6e3, 7e3] {
+            m.observe("lat", v);
+        }
+        let h = m.histogram("lat").expect("exists");
+        assert_eq!(h.bucket_count(f64::INFINITY), 3);
+        assert_eq!(h.quantile(0.0), Some(5e3));
+        assert_eq!(h.quantile(1.0), Some(7e3));
+        for q in [0.5, 0.99] {
+            let est = h.quantile(q).expect("some");
+            assert!(est.is_finite());
+            assert!((5e3..=7e3).contains(&est), "q={q} escaped: {est}");
+        }
     }
 
     #[test]
