@@ -24,11 +24,15 @@
 
 #![forbid(unsafe_code)]
 
+pub mod containment;
 pub mod lint;
+pub mod lockorder;
 pub mod nncheck;
 pub mod schema;
 pub mod verify;
 
+pub use containment::{prove_rewrite, Verdict, ViewDef};
+pub use lockorder::{LockEdge, LockOrderReport, ALLOWED_EDGES, BOUNDARY_LOCKS, LOCK_CRATES};
 pub use nncheck::{widedeep_spec, GraphSpec, NnFinding};
 pub use schema::{infer_schema, type_of_expr, Schema};
 pub use verify::{install_engine_gate, verify_plan, verify_rewrite};

@@ -64,12 +64,16 @@ pub struct LintReport {
 }
 
 // Pattern strings are assembled from pieces so this file does not trip its
-// own scanner.
-fn wall_clock_patterns() -> [String; 2] {
-    [
-        format!("SystemTime{}", "::now"),
-        format!("Instant{}", "::now"),
-    ]
+// own scanner, and cached in `OnceLock`s so the assembly happens once per
+// process, not once per scanned file.
+fn wall_clock_patterns() -> &'static [String; 2] {
+    static PATTERNS: std::sync::OnceLock<[String; 2]> = std::sync::OnceLock::new();
+    PATTERNS.get_or_init(|| {
+        [
+            format!("SystemTime{}", "::now"),
+            format!("Instant{}", "::now"),
+        ]
+    })
 }
 
 /// Binaries may read the wall clock (to time benchmarks, stamp manifests):
@@ -96,18 +100,21 @@ fn is_wall_clock_allowed_file(file: &str) -> bool {
         .any(|allowed| file == *allowed || file.ends_with(&format!("/{allowed}")))
 }
 
-fn unwrap_pattern() -> String {
-    format!(".unw{}(", "rap")
+fn unwrap_pattern() -> &'static str {
+    static PAT: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    PAT.get_or_init(|| format!(".unw{}(", "rap"))
 }
 
 // Assembled from pieces like the patterns above, so this scanner's own
 // source stays clean under its own rules.
-fn unsafe_keyword() -> String {
-    format!("uns{}", "afe")
+fn unsafe_keyword() -> &'static str {
+    static KW: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    KW.get_or_init(|| format!("uns{}", "afe"))
 }
 
-fn unsafe_optin_pattern() -> String {
-    format!("allow({}_code)", unsafe_keyword())
+fn unsafe_optin_pattern() -> &'static str {
+    static PAT: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    PAT.get_or_init(|| format!("allow({}_code)", unsafe_keyword()))
 }
 
 /// The rule identifier, leaked once: findings carry `&'static str` rule
@@ -139,7 +146,7 @@ fn is_unsafe_allowed_file(file: &str) -> bool {
 fn uses_unsafe_keyword(line: &str) -> bool {
     let kw = unsafe_keyword();
     let mut from = 0;
-    while let Some(rel) = line[from..].find(&kw) {
+    while let Some(rel) = line[from..].find(kw) {
         let pos = from + rel;
         from = pos + kw.len();
         let before_ok = line[..pos]
@@ -318,7 +325,7 @@ pub fn lint_source(file: &str, src: &str) -> Vec<LintFinding> {
     for (i, line) in lines.iter().enumerate() {
         // No inline allow-marker for this rule: the file allowlist is the
         // only exemption, so every new unsafe site is a reviewed decision.
-        if !unsafe_exempt && (uses_unsafe_keyword(line) || line.contains(&unsafe_optin)) {
+        if !unsafe_exempt && (uses_unsafe_keyword(line) || line.contains(unsafe_optin)) {
             findings.push(LintFinding {
                 file: file.to_string(),
                 line: i + 1,
@@ -677,6 +684,16 @@ mod tests {
 ";
         assert!(lint_source("x.rs", src).is_empty());
         assert_eq!(count_unwraps("fn f() {}\n#[cfg(test)]\nmod t { fn g() { x.unw\u{0072}ap(); } }"), 0);
+    }
+
+    #[test]
+    fn pattern_strings_are_cached_per_process() {
+        // Each accessor hands back the same allocation on every call — the
+        // assembly cost is paid once, not once per scanned file.
+        assert!(std::ptr::eq(unwrap_pattern(), unwrap_pattern()));
+        assert!(std::ptr::eq(unsafe_keyword(), unsafe_keyword()));
+        assert!(std::ptr::eq(unsafe_optin_pattern(), unsafe_optin_pattern()));
+        assert!(std::ptr::eq(wall_clock_patterns(), wall_clock_patterns()));
     }
 
     #[test]

@@ -1,16 +1,26 @@
 //! `cargo run -p av-analyze` — the full static-analysis gate.
 //!
-//! Runs every pass and exits non-zero if any finding survives:
+//! With no arguments, runs every pass and exits non-zero if any finding
+//! survives:
 //!
 //! 1. the determinism lint over `crates/*/src` (plus the panic-site
 //!    ratchet against `crates/analyze/unwrap-baseline.txt`),
 //! 2. the NN graph checker over the Wide-Deep cost-model spec,
-//! 3. the plan verifier over the full JOB workload (all 226 queries at
-//!    `AV_JOB_SCALE`, default 0.05), every candidate the equivalence
-//!    analyzer emits, and every view rewrite those candidates produce.
+//! 3. the plan verifier + semantic rewrite prover over the full JOB
+//!    workload (all 226 queries at `AV_JOB_SCALE`, default 0.05), every
+//!    candidate the equivalence analyzer emits, and every view rewrite
+//!    those candidates produce — the CI gate requires ≥95% of rewrites
+//!    statically `Proved` and none `Refuted`,
+//! 4. the lock-order analysis over `crates/{serve,engine,online}` —
+//!    the acquired-while-held graph must be cycle-free with every
+//!    planner/deployment boundary edge on the audited allowlist.
+//!
+//! Subcommands run a single pass: `av-analyze prove` (pass 3),
+//! `av-analyze lockorder [--dot PATH]` (pass 4, optionally writing the
+//! graph as DOT), `av-analyze lint` (pass 1).
 
 use av_analyze::lint::{lint_repo, parse_baseline, ratchet_findings};
-use av_analyze::{verify_plan, verify_rewrite, widedeep_spec};
+use av_analyze::{prove_rewrite, verify_plan, verify_rewrite, widedeep_spec, Verdict, LOCK_CRATES};
 use av_engine::{rewrite_subtree_with_view, Catalog, Pricing, ViewStore};
 use av_plan::{Fingerprint, PlanRef};
 use std::path::Path;
@@ -107,7 +117,15 @@ fn run_plan_pass(failures: &mut usize) {
             bad += 1;
         }
     }
+    let resolve = |t: &str| {
+        views
+            .views()
+            .iter()
+            .find(|v| v.table_name == t)
+            .map(|v| v.plan.clone())
+    };
     let mut rewrites = 0usize;
+    let (mut proved, mut unknown, mut refuted) = (0usize, 0usize, 0usize);
     for (i, matches) in analysis.query_matches.iter().enumerate() {
         for m in matches {
             let Some(view) = views.view(av_engine::ViewId(m.candidate)) else {
@@ -136,28 +154,119 @@ fn run_plan_pass(failures: &mut usize) {
                 continue;
             }
             rewrites += 1;
-            if let Err(e) = verify_rewrite(&catalog, &plans[i], &rewritten) {
-                eprintln!(
-                    "plans: rewrite of query {i} with candidate {} rejected: {e}",
-                    m.candidate
-                );
-                bad += 1;
+            match prove_rewrite(&catalog, &plans[i], &rewritten, &resolve) {
+                Verdict::Proved => proved += 1,
+                Verdict::Refuted { witness } => {
+                    eprintln!(
+                        "plans: rewrite of query {i} with candidate {} REFUTED: {witness}",
+                        m.candidate
+                    );
+                    refuted += 1;
+                    bad += 1;
+                }
+                Verdict::Unknown { reason } => {
+                    unknown += 1;
+                    eprintln!(
+                        "plans: rewrite of query {i} with candidate {} unproved ({reason}); \
+                         falling back to schema check",
+                        m.candidate
+                    );
+                    if let Err(e) = verify_rewrite(&catalog, &plans[i], &rewritten) {
+                        eprintln!(
+                            "plans: rewrite of query {i} with candidate {} rejected: {e}",
+                            m.candidate
+                        );
+                        bad += 1;
+                    }
+                }
             }
         }
     }
+    // The prover gate: ≥95% of rewrites must be statically proved (the
+    // remainder may be Unknown; Refuted already counted as failures).
+    if rewrites > 0 && proved * 100 < rewrites * 95 {
+        eprintln!(
+            "plans: only {proved}/{rewrites} rewrites statically proved (<95%)"
+        );
+        bad += 1;
+    }
     println!(
-        "plans: {} queries, {} candidates, {rewrites} rewrites verified, {bad} failure(s)",
+        "plans: {} queries, {} candidates, {rewrites} rewrites \
+         ({proved} proved / {unknown} unknown / {refuted} refuted), {bad} failure(s)",
         plans.len(),
         analysis.candidates.len()
     );
     *failures += bad;
 }
 
+fn run_lockorder_pass(failures: &mut usize, dot_path: Option<&str>) {
+    let root = repo_root();
+    match av_analyze::lockorder::analyze_repo(root, &LOCK_CRATES) {
+        Ok(report) => {
+            for f in &report.findings {
+                eprintln!("lockorder: {f}");
+            }
+            *failures += report.findings.len();
+            println!(
+                "lockorder: {} lock(s), {} edge(s), {} finding(s) over crates/{{{}}}",
+                report.locks.len(),
+                report.edges.len(),
+                report.findings.len(),
+                LOCK_CRATES.join(",")
+            );
+            if let Some(path) = dot_path {
+                if let Err(e) = std::fs::write(path, report.to_dot()) {
+                    eprintln!("lockorder: cannot write {path}: {e}");
+                    *failures += 1;
+                } else {
+                    println!("lockorder: graph written to {path}");
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("lockorder: cannot scan repo: {e}");
+            *failures += 1;
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut failures = 0usize;
-    run_lint_pass(&mut failures);
-    run_nn_pass(&mut failures);
-    run_plan_pass(&mut failures);
+    match args.first().map(String::as_str) {
+        None => {
+            run_lint_pass(&mut failures);
+            run_nn_pass(&mut failures);
+            run_plan_pass(&mut failures);
+            run_lockorder_pass(&mut failures, None);
+        }
+        Some("prove") => run_plan_pass(&mut failures),
+        Some("lockorder") => {
+            let dot = match args.get(1).map(String::as_str) {
+                Some("--dot") => match args.get(2) {
+                    Some(p) => Some(p.as_str()),
+                    None => {
+                        eprintln!("av-analyze lockorder --dot requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                Some(other) => {
+                    eprintln!("av-analyze lockorder: unknown flag `{other}`");
+                    return ExitCode::FAILURE;
+                }
+                None => None,
+            };
+            run_lockorder_pass(&mut failures, dot);
+        }
+        Some("lint") => run_lint_pass(&mut failures),
+        Some(other) => {
+            eprintln!(
+                "av-analyze: unknown subcommand `{other}` \
+                 (expected `prove`, `lockorder [--dot PATH]`, or `lint`)"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
     if failures == 0 {
         println!("av-analyze: all passes clean");
         ExitCode::SUCCESS

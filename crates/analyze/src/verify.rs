@@ -24,16 +24,24 @@ pub fn verify_rewrite(
     let orig = verify_plan(catalog, original)?;
     let new = verify_plan(catalog, rewritten)?;
     if orig.len() != new.len() {
+        // Name the first position where the schemas diverge so a failure
+        // in a 226-query workload points at the offending column, not just
+        // the counts.
+        let first_diff = orig
+            .iter()
+            .zip(&new)
+            .position(|((on, ot), (nn, nt))| on != nn || ot != nt)
+            .unwrap_or_else(|| orig.len().min(new.len()));
         return Err(PlanError::ArityMismatch {
-            context: "rewrite output schema".into(),
+            context: format!("rewrite output schema (first divergence at column {first_diff})"),
             expected: orig.len(),
             actual: new.len(),
         });
     }
-    for ((on, ot), (nn, nt)) in orig.iter().zip(&new) {
+    for (i, ((on, ot), (nn, nt))) in orig.iter().zip(&new).enumerate() {
         if on != nn || ot != nt {
             return Err(PlanError::TypeMismatch {
-                context: format!("rewrite output column {on}"),
+                context: format!("rewrite output column {i} ({on})"),
                 left: format!("{on}: {}", ot.keyword()),
                 right: format!("{nn}: {}", nt.keyword()),
             });
@@ -219,6 +227,27 @@ mod tests {
         let (rewritten, n) = av_engine::rewrite_with_view(&query, view);
         assert_eq!(n, 1);
         verify_rewrite(&cat, &query, &rewritten).expect("rewrite verifies");
+    }
+
+    #[test]
+    fn mismatch_errors_name_the_column_position() {
+        let cat = catalog();
+        let orig = PlanBuilder::scan("users", "u")
+            .project(&[("u.id", "u.id"), ("u.name", "u.name")])
+            .build();
+        let renamed = PlanBuilder::scan("users", "u")
+            .project(&[("u.id", "u.id"), ("u.name", "nm")])
+            .build();
+        let err = verify_rewrite(&cat, &orig, &renamed).expect_err("rejects");
+        assert_eq!(err.code(), "type-mismatch");
+        assert!(err.to_string().contains("column 1"), "{err}");
+
+        let narrow = PlanBuilder::scan("users", "u")
+            .project(&[("u.id", "u.id")])
+            .build();
+        let err = verify_rewrite(&cat, &orig, &narrow).expect_err("rejects");
+        assert_eq!(err.code(), "arity-mismatch");
+        assert!(err.to_string().contains("column 1"), "{err}");
     }
 
     #[test]

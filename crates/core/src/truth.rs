@@ -139,11 +139,33 @@ pub fn rewrite_pair(
     if n == 0 {
         return None;
     }
-    // Debug builds verify every rewrite: the substituted view's schema must
-    // cover exactly what the original plan's consumers require.
+    // Debug builds gate every rewrite: the semantic prover first (a
+    // `Refuted` rewrite is a hard bug — the view does not contain the
+    // query), falling back to the schema check only on `Unknown`.
     #[cfg(debug_assertions)]
-    if let Err(e) = av_analyze::verify_rewrite(catalog, query_plan, &rewritten) {
-        panic!("rewrite of query {query} with candidate {candidate} fails verification: {e}");
+    {
+        let resolve = |t: &str| {
+            pre.views
+                .views()
+                .iter()
+                .find(|v| v.table_name == t)
+                .map(|v| v.plan.clone())
+        };
+        match av_analyze::prove_rewrite(catalog, query_plan, &rewritten, &resolve) {
+            av_analyze::Verdict::Proved => {}
+            av_analyze::Verdict::Refuted { witness } => {
+                panic!(
+                    "rewrite of query {query} with candidate {candidate} refuted: {witness}"
+                );
+            }
+            av_analyze::Verdict::Unknown { .. } => {
+                if let Err(e) = av_analyze::verify_rewrite(catalog, query_plan, &rewritten) {
+                    panic!(
+                        "rewrite of query {query} with candidate {candidate} fails verification: {e}"
+                    );
+                }
+            }
+        }
     }
     Some(rewritten)
 }

@@ -18,9 +18,18 @@ use std::collections::HashMap;
 /// Number of randomized assignments per comparison.
 const PROBES: usize = 128;
 
+/// Cap on the size of the exhaustive boundary-product enumeration. JOB-style
+/// conjunctions touch 1–4 columns with a handful of boundary values each, so
+/// the product is typically well under a thousand assignments.
+const MAX_PRODUCT: usize = 20_000;
+
 /// Decide whether two predicates are semantically equivalent over their
-/// referenced columns (see module docs). Deterministic: the probe RNG is
-/// seeded from the predicates themselves.
+/// referenced columns (see module docs). Deterministic: an exhaustive sweep
+/// over the cartesian product of each column's boundary values runs first
+/// (complete for the conjunctive equality/range fragment — every region a
+/// conjunction of per-column intervals can carve out has a corner on a
+/// literal boundary), then the seeded randomized probes cover whatever the
+/// product pass could not enumerate.
 pub fn predicates_equivalent(a: &Expr, b: &Expr) -> bool {
     let mut cols = a.referenced_columns();
     for c in b.referenced_columns() {
@@ -46,6 +55,10 @@ pub fn predicates_equivalent(a: &Expr, b: &Expr) -> bool {
     pool_str.sort();
     pool_str.dedup();
 
+    if !exhaustive_boundary_product(a, b, &cols, &pool_int, &pool_str) {
+        return false;
+    }
+
     let seed = seed_from(a, b);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
 
@@ -60,6 +73,186 @@ pub fn predicates_equivalent(a: &Expr, b: &Expr) -> bool {
         }
     }
     true
+}
+
+/// Exhaustively evaluate both predicates over the cartesian product of each
+/// column's *own* boundary values (the literals it is directly compared to,
+/// plus their integer neighbours; columns tied by column-column comparisons
+/// share their pools). Random probes assign columns independently, so the
+/// chance of jointly hitting every conjunct's branch point decays with
+/// conjunction width — a `kind=6 AND year>2014` vs `kind=2 AND year>1963`
+/// disagreement needs `kind` *and* `year` on the right values in the same
+/// probe, which 128 independent draws miss ~15% of the time. The product
+/// enumeration hits every corner deterministically. Returns `true` when the
+/// predicates agree on every enumerated assignment (or when the product
+/// exceeds `MAX_PRODUCT` and the caller must rely on randomized probes).
+fn exhaustive_boundary_product(
+    a: &Expr,
+    b: &Expr,
+    cols: &[String],
+    global_int: &[i64],
+    global_str: &[String],
+) -> bool {
+    if cols.is_empty() {
+        let resolve = |_: &str| Value::Null;
+        return a.eval_bool(&resolve) == b.eval_bool(&resolve);
+    }
+
+    // Union-find over columns tied by column-column comparisons, so `x = y`
+    // pools the boundary values of both sides.
+    let idx: HashMap<&str, usize> = cols.iter().enumerate().map(|(i, c)| (c.as_str(), i)).collect();
+    let mut parent: Vec<usize> = (0..cols.len()).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    let mut pools_int: Vec<Vec<i64>> = vec![Vec::new(); cols.len()];
+    let mut pools_str: Vec<Vec<String>> = vec![Vec::new(); cols.len()];
+    for e in [a, b] {
+        collect_per_column(e, &idx, &mut pools_int, &mut pools_str, &mut parent);
+    }
+    // Merge each group's pools into its root.
+    for i in 0..cols.len() {
+        let r = find(&mut parent, i);
+        if r != i {
+            let ints = std::mem::take(&mut pools_int[i]);
+            pools_int[r].extend(ints);
+            let strs = std::mem::take(&mut pools_str[i]);
+            pools_str[r].extend(strs);
+        }
+    }
+
+    // Candidate values per column: its group's boundary values with integer
+    // neighbours, and — when the column has no boundary of its own — the
+    // global pools as a fallback.
+    let mut candidates: Vec<Vec<Value>> = Vec::with_capacity(cols.len());
+    for i in 0..cols.len() {
+        let r = find(&mut parent, i);
+        let mut ints: Vec<i64> = pools_int[r]
+            .iter()
+            .flat_map(|&v| [v - 1, v, v + 1])
+            .collect();
+        let mut strs: Vec<String> = pools_str[r].clone();
+        if ints.is_empty() && strs.is_empty() {
+            ints.extend_from_slice(global_int);
+            strs.extend_from_slice(global_str);
+            if ints.is_empty() && strs.is_empty() {
+                ints.extend_from_slice(&[0, 1]);
+            }
+        }
+        ints.sort_unstable();
+        ints.dedup();
+        strs.sort();
+        strs.dedup();
+        // No Null probes: the engine's predicate evaluation is two-valued
+        // (`Not(Null-cmp)` flips to true) and workload columns are non-null,
+        // so probing Null would refute equivalences the engine honours —
+        // matching the randomized path, which draws from the same domain.
+        let mut vals: Vec<Value> = ints.into_iter().map(Value::Int).collect();
+        vals.extend(strs.into_iter().map(Value::Str));
+        candidates.push(vals);
+    }
+
+    let total: usize = candidates
+        .iter()
+        .try_fold(1usize, |acc, c| {
+            acc.checked_mul(c.len()).filter(|&t| t <= MAX_PRODUCT)
+        })
+        .unwrap_or(0);
+    if total == 0 {
+        return true; // product too large — randomized probes take over
+    }
+
+    // Mixed-radix sweep over the product.
+    let mut digits = vec![0usize; cols.len()];
+    loop {
+        let assignment: HashMap<&str, &Value> = cols
+            .iter()
+            .zip(&digits)
+            .map(|(c, &d)| (c.as_str(), &candidates[idx[c.as_str()]][d]))
+            .collect();
+        let resolve = |name: &str| assignment.get(name).copied().cloned().unwrap_or(Value::Null);
+        if a.eval_bool(&resolve) != b.eval_bool(&resolve) {
+            return false;
+        }
+        let mut k = 0;
+        loop {
+            if k == digits.len() {
+                return true;
+            }
+            digits[k] += 1;
+            if digits[k] < candidates[k].len() {
+                break;
+            }
+            digits[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+/// Record, per column, the literals it is directly compared against, and tie
+/// columns compared to each other in the union-find. Literals inside
+/// arithmetic or otherwise complex comparisons are credited to every column
+/// referenced by that comparison.
+fn collect_per_column(
+    e: &Expr,
+    idx: &HashMap<&str, usize>,
+    pools_int: &mut [Vec<i64>],
+    pools_str: &mut [Vec<String>],
+    parent: &mut Vec<usize>,
+) {
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    match e {
+        Expr::Cmp { left, right, .. } => match (left.as_ref(), right.as_ref()) {
+            (Expr::Column(c), Expr::Literal(v)) | (Expr::Literal(v), Expr::Column(c)) => {
+                if let Some(&i) = idx.get(c.as_str()) {
+                    match v {
+                        Value::Int(n) => pools_int[i].push(*n),
+                        Value::Float(f) => pools_int[i].push(*f as i64),
+                        Value::Str(s) => pools_str[i].push(s.clone()),
+                        Value::Null => {}
+                    }
+                }
+            }
+            (Expr::Column(c1), Expr::Column(c2)) => {
+                if let (Some(&i), Some(&j)) = (idx.get(c1.as_str()), idx.get(c2.as_str())) {
+                    let (a, b) = (find(parent, i), find(parent, j));
+                    if a != b {
+                        parent[a] = b;
+                    }
+                }
+            }
+            _ => {
+                // Complex comparison: credit its literals to every column it
+                // references so the product still sweeps their boundaries.
+                let mut ints = Vec::new();
+                let mut strs = Vec::new();
+                collect_literals(e, &mut ints, &mut strs);
+                for c in e.referenced_columns() {
+                    if let Some(&i) = idx.get(c.as_str()) {
+                        pools_int[i].extend_from_slice(&ints);
+                        pools_str[i].extend_from_slice(&strs);
+                    }
+                }
+            }
+        },
+        Expr::And(v) | Expr::Or(v) => {
+            for p in v {
+                collect_per_column(p, idx, pools_int, pools_str, parent);
+            }
+        }
+        Expr::Not(inner) => collect_per_column(inner, idx, pools_int, pools_str, parent),
+        Expr::Column(_) | Expr::Literal(_) | Expr::Arith { .. } => {}
+    }
 }
 
 fn random_value(rng: &mut ChaCha8Rng, ints: &[i64], strs: &[String]) -> Value {

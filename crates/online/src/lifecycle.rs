@@ -122,12 +122,28 @@ pub fn route_through_views(
             }
         }
     }
-    // Debug builds verify the routed plan against the original: the
-    // substituted views must reproduce the exact output schema.
+    // Debug builds gate every routed plan: the semantic prover first —
+    // `Proved` needs nothing more, `Refuted` means routing substituted a
+    // view that does not contain the query (hard bug, panic with the
+    // witness), and only `Unknown` drops to the schema-level check.
     #[cfg(debug_assertions)]
     if hits > 0 {
-        if let Err(e) = av_analyze::verify_rewrite(catalog, plan, &current) {
-            panic!("view routing produced an invalid rewrite: {e}");
+        let resolve = |t: &str| {
+            views
+                .iter()
+                .find(|(_, v)| v.table_name == t)
+                .map(|(_, v)| v.plan.clone())
+        };
+        match av_analyze::prove_rewrite(catalog, plan, &current, &resolve) {
+            av_analyze::Verdict::Proved => {}
+            av_analyze::Verdict::Refuted { witness } => {
+                panic!("view routing produced a refuted rewrite: {witness}");
+            }
+            av_analyze::Verdict::Unknown { .. } => {
+                if let Err(e) = av_analyze::verify_rewrite(catalog, plan, &current) {
+                    panic!("view routing produced an invalid rewrite: {e}");
+                }
+            }
         }
     }
     (current, hits)

@@ -9,10 +9,28 @@
 //! swap only replaces the pointer — every in-flight request keeps the epoch
 //! it started on until it finishes.
 
+use av_analyze::Verdict;
 use av_engine::{Catalog, MaterializedView};
 use av_online::route_through_views;
 use av_plan::{Fingerprint, PlanRef};
 use std::sync::{Arc, RwLock};
+
+/// What the preflight gate actually did, per verdict: how many sample
+/// queries routed through a view, how many rewrites the static prover
+/// discharged outright, and how many fell back to the sampled
+/// `verify_rewrite` execution check. Surfaced as `serve.preflight.*`
+/// metrics by the server's swap path.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PreflightStats {
+    /// Sample queries inspected.
+    pub sampled: usize,
+    /// Sample queries where at least one view fired.
+    pub routed: usize,
+    /// Rewrites statically proved contained — no execution needed.
+    pub proved: usize,
+    /// Rewrites the prover could not decide; checked by `verify_rewrite`.
+    pub unknown: usize,
+}
 
 /// A frozen, immutable serving snapshot: catalog + live views at one epoch.
 #[derive(Debug)]
@@ -96,20 +114,47 @@ impl Deployment {
     }
 
     /// [`Deployment::validate`], plus an end-to-end routing check over a
-    /// sample of queries: each sample is routed through this snapshot and,
-    /// when any view fired, the rewrite is verified to preserve the exact
-    /// output schema. This is the full preflight gate a re-optimizer runs
-    /// before swapping the snapshot in.
-    pub fn validate_with(&self, sample: &[PlanRef]) -> Result<(), String> {
+    /// sample of queries. Each sample is routed through this snapshot and,
+    /// when any view fired, the rewrite goes through the semantic prover
+    /// first: `Proved` needs no further checking, `Refuted` fails the whole
+    /// preflight (the witness row names the divergence — a refuted rewrite
+    /// must never reach the swap), and only `Unknown` falls back to the
+    /// schema-level `verify_rewrite` check. This is the full preflight gate
+    /// a re-optimizer runs before swapping the snapshot in.
+    pub fn validate_with(&self, sample: &[PlanRef]) -> Result<PreflightStats, String> {
         self.validate()?;
+        let resolve = |t: &str| {
+            self.views
+                .iter()
+                .find(|(_, v)| v.table_name == t)
+                .map(|(_, v)| v.plan.clone())
+        };
+        let mut stats = PreflightStats {
+            sampled: sample.len(),
+            ..PreflightStats::default()
+        };
         for (i, plan) in sample.iter().enumerate() {
             let (routed, hits) = self.route(plan);
-            if hits > 0 {
-                av_analyze::verify_rewrite(&self.catalog, plan, &routed)
-                    .map_err(|e| format!("sample query {i}: routed plan fails verification: {e}"))?;
+            if hits == 0 {
+                continue;
+            }
+            stats.routed += 1;
+            match av_analyze::prove_rewrite(&self.catalog, plan, &routed, &resolve) {
+                Verdict::Proved => stats.proved += 1,
+                Verdict::Refuted { witness } => {
+                    return Err(format!(
+                        "sample query {i}: routed plan refuted by the semantic prover: {witness}"
+                    ));
+                }
+                Verdict::Unknown { .. } => {
+                    stats.unknown += 1;
+                    av_analyze::verify_rewrite(&self.catalog, plan, &routed).map_err(|e| {
+                        format!("sample query {i}: routed plan fails verification: {e}")
+                    })?;
+                }
             }
         }
-        Ok(())
+        Ok(stats)
     }
 }
 

@@ -46,7 +46,7 @@ pub mod loadgen;
 pub mod server;
 
 pub use admission::{AdmissionConfig, AdmissionController, Permit, Rejection, TenantLoad};
-pub use deployment::{Deployment, DeploymentCell};
+pub use deployment::{Deployment, DeploymentCell, PreflightStats};
 pub use loadgen::{
     run_closed_loop, run_open_loop, ClosedLoopConfig, LoadReport, OpenLoopConfig,
 };

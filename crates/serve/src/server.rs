@@ -359,9 +359,15 @@ impl ViewServer {
 
         // Preflight gate: a snapshot that cannot prove itself never
         // reaches the swap.
-        if let Err(msg) = next.validate_with(sample) {
-            metrics.inc("serve.preflight_failures");
-            return Err(ServeError::InvalidDeployment(msg));
+        match next.validate_with(sample) {
+            Ok(stats) => {
+                metrics.add("serve.preflight.proved", stats.proved as u64);
+                metrics.add("serve.preflight.unknown", stats.unknown as u64);
+            }
+            Err(msg) => {
+                metrics.inc("serve.preflight_failures");
+                return Err(ServeError::InvalidDeployment(msg));
+            }
         }
 
         summary.epoch = next.epoch();
