@@ -20,8 +20,8 @@
 use av_cost::OptimizerEstimator;
 use av_online::LifecycleConfig;
 use av_serve::{
-    run_closed_loop, run_open_loop, AdmissionConfig, ClosedLoopConfig, LoadReport,
-    OpenLoopConfig, ServeConfig, ViewServer,
+    run_closed_loop, run_open_loop, AdmissionConfig, ClosedLoopConfig, FlightDump, LoadReport,
+    ObsConfig, OpenLoopConfig, ServeConfig, ViewServer,
 };
 use av_workload::cloud::mini;
 use serde::Serialize;
@@ -66,8 +66,52 @@ struct CacheRecord {
     hits: u64,
     misses: u64,
     evictions: u64,
+    /// Result bytes shed by capacity evictions (memory-pressure signal).
+    evicted_bytes: u64,
     hit_rate: f64,
     shards: usize,
+}
+
+/// Telemetry-overhead measurement: the warm top-concurrency ladder run at
+/// zero think time with the flight recorder / SLO monitor / residual
+/// stream on vs off, interleaved, best-of-`reps` throughput per mode.
+///
+/// The *measurement* is the saturated service-time delta, not closed-loop
+/// latency: with more clients than cores, mean latency at saturation is
+/// roughly `clients x service - think`, so a sub-microsecond service-time
+/// cost shows up amplified `clients`-fold in the mean. Saturated qps is
+/// `1 / service`, making `1/qps_on - 1/qps_off` the exact per-query cost
+/// in nanoseconds. The *gate* compares that cost against 2% of the warm
+/// ladder's mean request latency at its configured think time.
+#[derive(Debug, Clone, Serialize)]
+struct ObsRecord {
+    reps: usize,
+    qps_off: f64,
+    qps_on: f64,
+    /// Informational: best warm mean latency per mode at saturation.
+    mean_us_off: f64,
+    mean_us_on: f64,
+    /// Per-query telemetry cost in nanoseconds: the median over reps of
+    /// the paired per-rep `1/qps_on - 1/qps_off` at saturation, where
+    /// throughput is the reciprocal of service time. May be negative
+    /// within noise.
+    overhead_ns: f64,
+    /// `(qps_off / qps_on - 1)` in percent of the saturated warm-hit
+    /// service time — the most adversarial denominator the bench has.
+    overhead_pct: f64,
+    /// Counters from the telemetry-on server after its measured run.
+    recorded: u64,
+    residuals_recorded: u64,
+    alerts: u64,
+    dumps: u64,
+}
+
+/// The flight-recorder artifact (`FLIGHT_serve.json`): the stored
+/// anomaly/alert-triggered dumps plus one on-demand capture at the end.
+#[derive(Debug, Clone, Serialize)]
+struct FlightArtifact {
+    stored: Vec<FlightDump>,
+    on_demand: FlightDump,
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -85,6 +129,8 @@ struct ServeBenchReport {
     open_loop: LoadReport,
     /// Sharded result-cache counters of the 64-client server.
     cache: CacheRecord,
+    /// Telemetry on-vs-off overhead on the warm top-concurrency ladder.
+    obs: ObsRecord,
 }
 
 fn envu(key: &str, default: u64) -> u64 {
@@ -94,7 +140,7 @@ fn envu(key: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
-fn server_for(w: &av_workload::Workload) -> ViewServer {
+fn server_with_obs(w: &av_workload::Workload, obs: ObsConfig) -> ViewServer {
     ViewServer::new(
         w.catalog.clone(),
         Box::new(OptimizerEstimator::default()),
@@ -110,9 +156,105 @@ fn server_for(w: &av_workload::Workload) -> ViewServer {
                 max_inflight_per_tenant: 32,
                 max_queued_per_tenant: 256,
             },
+            obs,
             ..ServeConfig::default()
         },
     )
+}
+
+fn server_for(w: &av_workload::Workload) -> ViewServer {
+    server_with_obs(w, ObsConfig::default())
+}
+
+/// Interleave telemetry-off and telemetry-on warm runs at the top
+/// concurrency with zero think time and keep each mode's best (maximum)
+/// saturated throughput: the ceiling is what the service path actually
+/// sustains, the rest is scheduler noise shared by both modes. Returns
+/// the record plus the last telemetry-on server, whose counters and
+/// ring feed the artifacts.
+fn measure_obs_overhead(
+    w: &av_workload::Workload,
+    plans: &[av_plan::PlanRef],
+    cfg: &ClosedLoopConfig,
+    reps: usize,
+) -> (ObsRecord, ViewServer) {
+    let warmup_cfg = ClosedLoopConfig {
+        think: Duration::ZERO,
+        requests_per_client: (cfg.requests_per_client * 4).max(256),
+        ..cfg.clone()
+    };
+    // Much longer measured runs than the ladder's: scheduler disturbances
+    // (background kernel work, preemption storms) cost a roughly fixed
+    // number of milliseconds regardless of run length, so their per-query
+    // contribution shrinks linearly with requests. At ~40ms a single
+    // disturbance reads as ±500ns/query; at ~160ms it is down in the
+    // double digits. The floors keep the measurement honest when
+    // `AV_SERVE_REQUESTS` is dialed down for a smoke run.
+    let cfg = ClosedLoopConfig {
+        requests_per_client: (cfg.requests_per_client * 16).max(1024),
+        ..warmup_cfg.clone()
+    };
+    let mut best_qps = [0.0f64; 2];
+    let mut best_mean = [f64::INFINITY; 2];
+    let mut deltas_ns = Vec::new();
+    let mut last_on = None;
+    for rep in 0..reps {
+        // Alternate which mode goes first so slow drift in the host's
+        // background load cancels out of the comparison.
+        let order = if rep % 2 == 0 {
+            [false, true]
+        } else {
+            [true, false]
+        };
+        let mut rep_qps = [0.0f64; 2];
+        for on in order {
+            let obs = if on {
+                ObsConfig::default()
+            } else {
+                ObsConfig::disabled()
+            };
+            let server = server_with_obs(w, obs);
+            let warmup = run_closed_loop(&server, plans, &warmup_cfg);
+            expect_clean(&warmup, "obs ladder warmup");
+            let warm = run_closed_loop(&server, plans, &cfg);
+            expect_clean(&warm, "obs ladder warm");
+            let i = on as usize;
+            rep_qps[i] = warm.qps;
+            best_qps[i] = best_qps[i].max(warm.qps);
+            best_mean[i] = best_mean[i].min(warm.mean_us);
+            if on {
+                last_on = Some(server);
+            }
+        }
+        // Pair the two adjacent runs of this rep: they share the host's
+        // state of the moment, so their difference isolates the telemetry
+        // cost far better than any cross-rep comparison.
+        deltas_ns.push((1.0 / rep_qps[1] - 1.0 / rep_qps[0]) * 1e9);
+    }
+    // Median of the paired deltas: robust to a rep that caught a noisy
+    // neighbour or an unlucky preemption in either mode.
+    deltas_ns.sort_by(f64::total_cmp);
+    let overhead_ns = deltas_ns[deltas_ns.len() / 2];
+    println!(
+        "telemetry per-rep paired deltas (ns/query, sorted): {:?}",
+        deltas_ns.iter().map(|d| d.round()).collect::<Vec<_>>()
+    );
+    let server = last_on.expect("telemetry-on rep ran");
+    let stats = server.stats_snapshot();
+    let record = ObsRecord {
+        reps,
+        qps_off: best_qps[0],
+        qps_on: best_qps[1],
+        mean_us_off: best_mean[0],
+        mean_us_on: best_mean[1],
+        overhead_ns,
+        overhead_pct: overhead_ns / (1e9 / best_qps[0]) * 100.0,
+        recorded: stats.recorded,
+        residuals_recorded: stats.residuals.recorded,
+        alerts: stats.alerts.len() as u64,
+        dumps: stats.dumps.len() as u64,
+    };
+    (record, server)
 }
 
 fn expect_clean(report: &LoadReport, label: &str) {
@@ -225,6 +367,7 @@ fn main() {
                 hits: stats.hits,
                 misses: stats.misses,
                 evictions: stats.evictions,
+                evicted_bytes: stats.evicted_bytes,
                 hit_rate: stats.hit_rate(),
                 shards: server.shard_stats().len(),
             });
@@ -267,12 +410,66 @@ fn main() {
     assert_eq!(open_loop.failed, 0, "open loop: failed queries");
     rows.push(row(&format!("open  @{open_qps:.0}qps"), &open_loop));
 
+    // Telemetry overhead at the top concurrency, then export the
+    // telemetry-on server's scrape body and flight-recorder artifacts.
+    let obs_reps = envu("AV_SERVE_OBS_REPS", 5) as usize;
+    let top_cfg = ClosedLoopConfig {
+        clients: top,
+        requests_per_client,
+        think: Duration::from_micros(think_us),
+        tenants,
+    };
+    let (mut obs, obs_server) = measure_obs_overhead(&w, &plans, &top_cfg, obs_reps);
+    // Populate the residual stream before exporting: routed queries only
+    // carry estimates once views are published, so swap a deployment in
+    // and take one short pass over the plans.
+    obs_server
+        .reoptimize(&plans, Some("tenant0"))
+        .expect("obs server reoptimizes");
+    let residual_pass = run_closed_loop(&obs_server, &plans, &top_cfg);
+    expect_clean(&residual_pass, "obs residual pass");
+    let final_stats = obs_server.stats_snapshot();
+    obs.recorded = final_stats.recorded;
+    obs.residuals_recorded = final_stats.residuals.recorded;
+    obs.alerts = final_stats.alerts.len() as u64;
+    obs.dumps = final_stats.dumps.len() as u64;
+    std::fs::write("METRICS_serve.prom", obs_server.prometheus_text())
+        .expect("METRICS_serve.prom written");
+    let flight = FlightArtifact {
+        stored: obs_server.obs().dumps(),
+        on_demand: obs_server.obs().dump_now("bench-on-demand"),
+    };
+    std::fs::write(
+        "FLIGHT_serve.json",
+        serde_json::to_string_pretty(&flight).expect("flight serializes"),
+    )
+    .expect("FLIGHT_serve.json written");
+
+    // Two-sided gate. The acceptance criterion is that telemetry adds
+    // under 2% to what a 64-client warm-ladder request experiences (its
+    // mean latency at the configured think, reopt race included). That
+    // budget is latency-scale, so a second, absolute backstop at 300ns
+    // — ~3x the measured per-query cost — catches regressions the 2%
+    // criterion is too coarse to see (a dump captured on the serving
+    // path costs ~1ms; the old per-fire capture bug measured +30µs per
+    // query). The *measurement* behind both is the saturated
+    // service-time delta: at think 0, qps is the reciprocal of service
+    // time, so `1/qps_on - 1/qps_off` is exact nanoseconds per query.
+    let warm_top_mean_us = levels
+        .iter()
+        .find(|l| l.clients == top)
+        .map(|l| l.warm.mean_us)
+        .expect("top level ran");
+    let ladder_budget_ns = 0.02 * warm_top_mean_us * 1_000.0;
+    let backstop_ns = 300.0;
+
     let report = ServeBenchReport {
         config: config.clone(),
         levels,
         scaling: scaling.clone(),
         open_loop,
         cache: cache.expect("top level ran"),
+        obs: obs.clone(),
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_serve.json", &json).expect("BENCH_serve.json written");
@@ -288,11 +485,44 @@ fn main() {
         "\nscaling (warm, think {think_us}µs, {cores} core(s)): 1 client {:.0} qps -> {top} clients {:.0} qps ({:.1}x)",
         scaling.qps_warm_1, scaling.qps_warm_max, scaling.ratio
     );
-    println!("wrote BENCH_serve.json");
+    println!(
+        "\ntelemetry overhead (saturated x{top}, think 0, best of {obs_reps}): \
+         off {:.0} qps -> on {:.0} qps = {:+.0}ns/query ({:+.2}% of the {:.1}µs warm hit); \
+         budgets: {:.0}ns (2% of the {:.1}µs warm-ladder mean), {backstop_ns:.0}ns backstop; \
+         {} records, {} residuals, {} alerts, {} dumps",
+        obs.qps_off, obs.qps_on, obs.overhead_ns, obs.overhead_pct,
+        1e6 / obs.qps_off, ladder_budget_ns, warm_top_mean_us,
+        obs.recorded, obs.residuals_recorded, obs.alerts, obs.dumps
+    );
+    println!("wrote BENCH_serve.json, METRICS_serve.prom, FLIGHT_serve.json");
 
     assert!(
         scaling.ratio >= 4.0,
         "64-client warm throughput must be >= 4x the 1-client figure, got {:.2}x",
         scaling.ratio
+    );
+    assert!(
+        obs.recorded > 0,
+        "the telemetry-on ladder must flow through the flight recorder"
+    );
+    assert!(
+        obs.residuals_recorded > 0,
+        "the post-swap pass must feed the estimator-residual stream"
+    );
+    assert!(
+        obs.overhead_ns < ladder_budget_ns,
+        "telemetry must add under 2% to a warm-ladder request (budget {ladder_budget_ns:.0}ns), \
+         got {:+.0}ns/query (off {:.0} qps, on {:.0} qps)",
+        obs.overhead_ns,
+        obs.qps_off,
+        obs.qps_on
+    );
+    assert!(
+        obs.overhead_ns < backstop_ns,
+        "telemetry regression backstop: per-query cost must stay under {backstop_ns:.0}ns, \
+         got {:+.0}ns/query (off {:.0} qps, on {:.0} qps)",
+        obs.overhead_ns,
+        obs.qps_off,
+        obs.qps_on
     );
 }

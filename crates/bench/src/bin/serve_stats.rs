@@ -1,0 +1,222 @@
+//! `serve stats` — stand up the demo serving stack, drive closed-loop
+//! traffic through a re-optimization swap, and print the telemetry layer's
+//! snapshot as a dashboard: per-tenant SLO windows and burn rates, the
+//! estimator-residual summary, stored flight-recorder dumps, and the
+//! result-cache counters.
+//!
+//! Modes (mutually exclusive, dashboard is the default):
+//!   --json   print the full `ObsStats` snapshot as JSON
+//!   --prom   print the Prometheus text exposition
+//!   --dump   capture an on-demand flight-recorder dump and print it as JSON
+//!
+//! Knobs: `AV_SERVE_SEED` (default 70), `AV_SERVE_TENANTS` (default 4),
+//! `AV_SERVE_STATS_CLIENTS` (default 8), `AV_SERVE_STATS_REQUESTS`
+//! (default 64 per client).
+
+use av_cost::OptimizerEstimator;
+use av_online::LifecycleConfig;
+use av_serve::{
+    run_closed_loop, AdmissionConfig, ClosedLoopConfig, ObsConfig, ServeConfig, ViewServer,
+};
+use av_workload::cloud::mini;
+use std::time::Duration;
+
+fn envu(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let joined: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let seed = envu("AV_SERVE_SEED", 70);
+    let tenants = envu("AV_SERVE_TENANTS", 4) as usize;
+    let clients = envu("AV_SERVE_STATS_CLIENTS", 8) as usize;
+    let requests = envu("AV_SERVE_STATS_REQUESTS", 64) as usize;
+
+    let w = mini(seed);
+    let plans = w.plans();
+    let server = ViewServer::new(
+        w.catalog.clone(),
+        Box::new(OptimizerEstimator::default()),
+        ServeConfig {
+            lifecycle: LifecycleConfig {
+                byte_budget: usize::MAX,
+                min_benefit_per_byte: 0.0,
+                tenant_byte_budget: usize::MAX,
+            },
+            admission: AdmissionConfig {
+                max_inflight_per_tenant: 32,
+                max_queued_per_tenant: 256,
+            },
+            obs: ObsConfig::default(),
+            ..ServeConfig::default()
+        },
+    );
+
+    // Cold pass, a re-optimization swap, then a warm pass on the new
+    // epoch: after this the SLO windows, residual store (post-swap
+    // queries carry estimates) and flight ring all have real traffic.
+    let cfg = ClosedLoopConfig {
+        clients,
+        requests_per_client: requests,
+        think: Duration::from_micros(500),
+        tenants,
+    };
+    let cold = run_closed_loop(&server, &plans, &cfg);
+    let reopt = server.reoptimize(&plans, Some("tenant0")).expect("reoptimize");
+    let warm = run_closed_loop(&server, &plans, &cfg);
+    let stats = server.stats_snapshot();
+
+    match mode.as_str() {
+        "--json" => {
+            println!("{}", serde_json::to_string_pretty(&stats).expect("stats to json"));
+            return;
+        }
+        "--prom" => {
+            print!("{}", server.prometheus_text());
+            return;
+        }
+        "--dump" => {
+            let dump = server.obs().dump_now("serve-stats");
+            println!("{}", serde_json::to_string_pretty(&dump).expect("dump to json"));
+            return;
+        }
+        "" => {}
+        other => {
+            eprintln!("unknown flag {other}; expected --json, --prom or --dump");
+            std::process::exit(2);
+        }
+    }
+
+    println!("== serve stats (seed {seed}, {clients} clients x {requests} requests, {tenants} tenants) ==");
+    println!(
+        "epoch {}  live views {}  cold {:.0} qps / warm {:.0} qps  recorded {}",
+        reopt.epoch, reopt.live_views, cold.qps, warm.qps, stats.recorded
+    );
+
+    println!("\n-- per-tenant SLO --");
+    let rows: Vec<Vec<String>> = stats
+        .slo
+        .iter()
+        .map(|t| {
+            vec![
+                t.tenant.clone(),
+                format!("{}", t.requests),
+                format!("{}", t.shed_or_failed),
+                format!("{}", t.p50_us),
+                format!("{}", t.p95_us),
+                format!("{}", t.p99_us),
+                format!("{:.2}", t.latency_fast_burn),
+                format!("{:.2}", t.latency_slow_burn),
+                format!("{:.2}", t.availability_fast_burn),
+                format!("{:.2}", t.availability_slow_burn),
+                format!("{}", t.alerts_fired),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "tenant", "reqs", "shed", "p50us", "p95us", "p99us", "lat-fast", "lat-slow",
+            "avail-fast", "avail-slow", "alerts",
+        ],
+        &rows,
+    );
+
+    println!(
+        "\n-- estimator residuals ({} recorded, {} retained) --",
+        stats.residuals.recorded, stats.residuals.retained
+    );
+    let agg_row = |label: String, a: &av_serve::ErrorAggregate| {
+        let mean_q = if a.samples > 0 {
+            a.q_sum / a.samples as f64
+        } else {
+            0.0
+        };
+        let over_pct = if a.samples > 0 {
+            a.overestimates as f64 / a.samples as f64 * 100.0
+        } else {
+            0.0
+        };
+        vec![
+            label,
+            format!("{}", a.samples),
+            format!("{mean_q:.2}"),
+            format!("{:.2}", a.q_max),
+            format!("{over_pct:.0}%"),
+            format!("{}", a.degenerate),
+        ]
+    };
+    let mut rows: Vec<Vec<String>> = stats
+        .residuals
+        .per_op
+        .iter()
+        .map(|(op, a)| agg_row(format!("op:{op}"), a))
+        .collect();
+    rows.extend(
+        stats
+            .residuals
+            .per_view
+            .iter()
+            .map(|(view, a)| agg_row(format!("view:{view:08x}"), a)),
+    );
+    table(&["series", "samples", "mean-q", "max-q", "over", "degen"], &rows);
+
+    if !stats.alerts.is_empty() {
+        println!("\n-- SLO alerts --");
+        for a in &stats.alerts {
+            println!(
+                "  {} {:?}: fast {:.1}x slow {:.1}x at {}ns",
+                a.tenant, a.objective, a.fast_burn, a.slow_burn, a.at_nanos
+            );
+        }
+    }
+
+    println!("\n-- flight recorder --");
+    if stats.dumps.is_empty() {
+        println!("  no triggered dumps ({} suppressed)", stats.dumps_suppressed);
+    } else {
+        for d in &stats.dumps {
+            println!("  {} at seq {} ({} records)", d.reason, d.seq_at, d.records);
+        }
+        println!("  {} further triggers suppressed", stats.dumps_suppressed);
+    }
+
+    let cache = server.cache_stats();
+    let total = cache.hits + cache.misses;
+    println!(
+        "\n-- result cache --\n  {} hits / {} misses ({:.0}% hit rate), {} evictions ({} bytes shed)",
+        cache.hits,
+        cache.misses,
+        if total > 0 {
+            cache.hits as f64 / total as f64 * 100.0
+        } else {
+            0.0
+        },
+        cache.evictions,
+        cache.evicted_bytes
+    );
+    println!("\nre-run with --json, --prom or --dump for machine-readable output");
+}

@@ -28,6 +28,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries shed by the capacity policy (stale-epoch retain or clear).
     pub evictions: u64,
+    /// Result payload bytes those shed entries were holding — the memory
+    /// actually reclaimed, which `evictions` alone can't show when entry
+    /// sizes are skewed.
+    pub evicted_bytes: u64,
 }
 
 impl CacheStats {
@@ -47,6 +51,7 @@ impl CacheStats {
             hits: self.hits + other.hits,
             misses: self.misses + other.misses,
             evictions: self.evictions + other.evictions,
+            evicted_bytes: self.evicted_bytes + other.evicted_bytes,
         }
     }
 }
@@ -60,6 +65,7 @@ struct MetricNames {
     hit: String,
     miss: String,
     evict: String,
+    evict_bytes: String,
 }
 
 impl Default for MetricNames {
@@ -68,6 +74,7 @@ impl Default for MetricNames {
             hit: "engine.cache_hit".to_string(),
             miss: "engine.cache_miss".to_string(),
             evict: "engine.cache_evict".to_string(),
+            evict_bytes: "engine.cache_evict_bytes".to_string(),
         }
     }
 }
@@ -141,6 +148,7 @@ impl ExecCache {
             hit: format!("{prefix}.hit"),
             miss: format!("{prefix}.miss"),
             evict: format!("{prefix}.evict"),
+            evict_bytes: format!("{prefix}.evict_bytes"),
         };
         self
     }
@@ -165,6 +173,18 @@ impl ExecCache {
         catalog: &Catalog,
         plan: &PlanNode,
     ) -> Result<ExecResult, EngineError> {
+        self.run_keyed_hit(fingerprint, catalog, plan).map(|(r, _)| r)
+    }
+
+    /// [`ExecCache::run_keyed`] that also reports whether the result came
+    /// from the cache, so serving-layer telemetry can attribute hit/miss
+    /// per request without diffing counter snapshots.
+    pub fn run_keyed_hit(
+        &self,
+        fingerprint: Fingerprint,
+        catalog: &Catalog,
+        plan: &PlanNode,
+    ) -> Result<(ExecResult, bool), EngineError> {
         let key = (fingerprint, catalog.epoch());
         {
             let mut state = self.state.lock().expect("cache lock");
@@ -173,7 +193,7 @@ impl ExecCache {
                 state.stats.hits += 1;
                 drop(state);
                 self.tracer.metrics().inc(&self.metric_names.hit);
-                return Ok(hit);
+                return Ok((hit, true));
             }
             state.stats.misses += 1;
         }
@@ -196,20 +216,36 @@ impl ExecCache {
             // if the current epoch alone fills the cap, start over.
             let before = state.map.len();
             let epoch = catalog.epoch();
-            state.map.retain(|(_, e), _| *e == epoch);
+            let mut shed_bytes = 0u64;
+            state.map.retain(|(_, e), v| {
+                let keep = *e == epoch;
+                if !keep {
+                    shed_bytes += v.report.output_bytes as u64;
+                }
+                keep
+            });
             if state.map.len() >= self.max_entries {
+                shed_bytes += state
+                    .map
+                    .values()
+                    .map(|v| v.report.output_bytes as u64)
+                    .sum::<u64>();
                 state.map.clear();
             }
             let shed = (before - state.map.len()) as u64;
             if shed > 0 {
                 state.stats.evictions += shed;
+                state.stats.evicted_bytes += shed_bytes;
                 drop(state);
                 self.tracer.metrics().add(&self.metric_names.evict, shed);
+                self.tracer
+                    .metrics()
+                    .add(&self.metric_names.evict_bytes, shed_bytes);
                 state = self.state.lock().expect("cache lock");
             }
         }
         state.map.insert(key, result.clone());
-        Ok(result)
+        Ok((result, false))
     }
 
     /// Execute and return only the cost in dollars (`A_{β,γ}`), cached.
@@ -336,6 +372,17 @@ impl ShardedExecCache {
         self.shards[self.shard_of(fingerprint)].run_keyed(fingerprint, catalog, plan)
     }
 
+    /// [`ShardedExecCache::run_keyed`] that also reports whether the owning
+    /// shard served the result from cache.
+    pub fn run_keyed_hit(
+        &self,
+        fingerprint: Fingerprint,
+        catalog: &Catalog,
+        plan: &PlanNode,
+    ) -> Result<(ExecResult, bool), EngineError> {
+        self.shards[self.shard_of(fingerprint)].run_keyed_hit(fingerprint, catalog, plan)
+    }
+
     /// Execute and return only the cost in dollars, cached.
     pub fn cost(&self, catalog: &Catalog, plan: &PlanNode) -> Result<f64, EngineError> {
         Ok(self.run(catalog, plan)?.report.cost_dollars)
@@ -415,9 +462,28 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
-                evictions: 0
+                evictions: 0,
+                evicted_bytes: 0
             }
         );
+    }
+
+    #[test]
+    fn run_keyed_hit_reports_cache_attribution() {
+        let c = catalog();
+        let cache = ExecCache::new(Pricing::paper_defaults());
+        let p = plan();
+        let fp = Fingerprint::of(&p);
+        let (_, hit) = cache.run_keyed_hit(fp, &c, &p).expect("cold");
+        assert!(!hit, "first run is a miss");
+        let (_, hit) = cache.run_keyed_hit(fp, &c, &p).expect("warm");
+        assert!(hit, "second run is a hit");
+
+        let sharded = ShardedExecCache::new(Pricing::paper_defaults(), 4);
+        let (_, hit) = sharded.run_keyed_hit(fp, &c, &p).expect("cold");
+        assert!(!hit);
+        let (_, hit) = sharded.run_keyed_hit(fp, &c, &p).expect("warm");
+        assert!(hit);
     }
 
     #[test]
@@ -433,7 +499,8 @@ mod tests {
             CacheStats {
                 hits: 0,
                 misses: 2,
-                evictions: 0
+                evictions: 0,
+                evicted_bytes: 0
             },
             "catalog mutation must force a re-run"
         );
@@ -495,8 +562,13 @@ mod tests {
         c.add_table(Table::new("u", vec![("x", Column::Int(vec![1]))]).expect("ok"))
             .expect("ok");
         cache.run(&c, &distinct_plans(1)[0]).expect("sheds stale");
-        assert_eq!(cache.stats().evictions, 2);
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 2);
         assert_eq!(tracer.metrics().counter("engine.cache_evict"), 2);
+        // Each shed count-star result holds one 8-byte value, so the byte
+        // counter reconciles exactly with the eviction count.
+        assert_eq!(stats.evicted_bytes, 16);
+        assert_eq!(tracer.metrics().counter("engine.cache_evict_bytes"), 16);
     }
 
     #[test]

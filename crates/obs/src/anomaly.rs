@@ -1,0 +1,349 @@
+//! Deterministic anomaly detectors over rolling baselines.
+//!
+//! Three production failure signatures, each compared against a rolling
+//! baseline built from the queries *before* the recent window — so the
+//! detectors adapt to gradual workload drift but still catch step changes:
+//!
+//! - **Latency regression**: mean exec time of the recent window exceeds
+//!   `latency_factor ×` the baseline mean.
+//! - **Cache-hit collapse**: recent hit rate falls below
+//!   `hit_rate_drop ×` the baseline hit rate (only when the baseline was
+//!   actually warm).
+//! - **Admission saturation**: recent mean admission wait exceeds both an
+//!   absolute floor and `admission_wait_factor ×` the baseline wait.
+//!
+//! Detection is pure arithmetic over two bounded deques with running sums
+//! — no clocks, no randomness — so a replayed query stream produces the
+//! same triggers at the same sequence numbers. Each detector has a
+//! per-kind cooldown (in observations) so one sustained incident produces
+//! one flight-recorder dump, not thousands.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Which detector fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnomalyKind {
+    LatencyRegression,
+    CacheHitCollapse,
+    AdmissionSaturation,
+}
+
+impl AnomalyKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AnomalyKind::LatencyRegression => "latency_regression",
+            AnomalyKind::CacheHitCollapse => "cache_hit_collapse",
+            AnomalyKind::AdmissionSaturation => "admission_saturation",
+        }
+    }
+}
+
+/// Detector thresholds. Defaults are deliberately loose: anomaly dumps
+/// should mark incidents, not routine jitter.
+#[derive(Debug, Clone)]
+pub struct AnomalyConfig {
+    /// Queries in the recent (foreground) window.
+    pub recent: usize,
+    /// Queries in the rolling baseline window.
+    pub window: usize,
+    /// Minimum observations in both windows before any detector arms.
+    pub min_samples: usize,
+    /// Recent mean exec must exceed `latency_factor × baseline mean`.
+    pub latency_factor: f64,
+    /// Recent hit rate below `hit_rate_drop × baseline hit rate` triggers;
+    /// the baseline must itself be ≥ 0.1 to count as warm.
+    pub hit_rate_drop: f64,
+    /// Recent mean admission wait must exceed this many nanoseconds…
+    pub admission_wait_floor_nanos: f64,
+    /// …and `admission_wait_factor × baseline mean wait`.
+    pub admission_wait_factor: f64,
+    /// Observations a detector stays quiet after firing.
+    pub cooldown: u64,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        AnomalyConfig {
+            recent: 32,
+            window: 256,
+            min_samples: 16,
+            latency_factor: 3.0,
+            hit_rate_drop: 0.5,
+            admission_wait_floor_nanos: 1_000_000.0,
+            admission_wait_factor: 4.0,
+            cooldown: 256,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Sample {
+    exec_nanos: u64,
+    admit_wait_nanos: u64,
+    cache_hit: bool,
+}
+
+/// Bounded deque with running sums, so window means are O(1).
+#[derive(Debug)]
+struct Window {
+    cap: usize,
+    items: VecDeque<Sample>,
+    exec_sum: u64,
+    wait_sum: u64,
+    hits: u64,
+}
+
+impl Window {
+    fn new(cap: usize) -> Window {
+        Window {
+            cap: cap.max(1),
+            items: VecDeque::with_capacity(cap.max(1)),
+            exec_sum: 0,
+            wait_sum: 0,
+            hits: 0,
+        }
+    }
+
+    /// Push a sample; returns the sample displaced when full.
+    fn push(&mut self, s: Sample) -> Option<Sample> {
+        let evicted = if self.items.len() == self.cap {
+            let old = self.items.pop_front().expect("non-empty at cap");
+            self.exec_sum -= old.exec_nanos;
+            self.wait_sum -= old.admit_wait_nanos;
+            self.hits -= old.cache_hit as u64;
+            Some(old)
+        } else {
+            None
+        };
+        self.exec_sum += s.exec_nanos;
+        self.wait_sum += s.admit_wait_nanos;
+        self.hits += s.cache_hit as u64;
+        self.items.push_back(s);
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+/// The detector. Not internally synchronized: callers (the [`crate::Obs`]
+/// façade) own the locking.
+#[derive(Debug)]
+pub struct AnomalyDetector {
+    config: AnomalyConfig,
+    recent: Window,
+    baseline: Window,
+    seen: u64,
+    /// `seen` count at which each detector may fire again, indexed by kind.
+    armed_at: [u64; 3],
+}
+
+impl AnomalyDetector {
+    pub fn new(config: AnomalyConfig) -> AnomalyDetector {
+        let recent = Window::new(config.recent);
+        let baseline = Window::new(config.window);
+        AnomalyDetector {
+            config,
+            recent,
+            baseline,
+            seen: 0,
+            armed_at: [0; 3],
+        }
+    }
+
+    /// Feed one served query; returns every detector that fired on it.
+    /// The common case returns an empty `Vec`, which does not allocate.
+    pub fn observe(
+        &mut self,
+        exec_nanos: u64,
+        admit_wait_nanos: u64,
+        cache_hit: bool,
+    ) -> Vec<AnomalyKind> {
+        self.seen += 1;
+        if let Some(old) = self.recent.push(Sample {
+            exec_nanos,
+            admit_wait_nanos,
+            cache_hit,
+        }) {
+            self.baseline.push(old);
+        }
+
+        // Copy the scalar thresholds out so `try_fire` can borrow `self`
+        // mutably below — no per-call config clone.
+        let min_samples = self.config.min_samples;
+        let latency_factor = self.config.latency_factor;
+        let hit_rate_drop = self.config.hit_rate_drop;
+        let wait_floor = self.config.admission_wait_floor_nanos;
+        let wait_factor = self.config.admission_wait_factor;
+        if self.recent.len() < min_samples || self.baseline.len() < min_samples {
+            return Vec::new();
+        }
+
+        // Every comparison below is the cross-multiplied form of a
+        // mean/rate inequality (`a/n > f·b/m` ⟺ `a·m > f·b·n`): the window
+        // means are never materialized, so the healthy path runs on
+        // multiplies alone — no f64 divisions.
+        let rn = self.recent.len() as f64;
+        let bn = self.baseline.len() as f64;
+        let mut fired = Vec::new();
+        let base_exec = self.baseline.exec_sum as f64;
+        if base_exec > 0.0 && self.recent.exec_sum as f64 * bn > latency_factor * base_exec * rn {
+            self.try_fire(AnomalyKind::LatencyRegression, &mut fired);
+        }
+        // Baseline warm ⟺ hit rate ≥ 0.1 ⟺ 10·hits ≥ len.
+        let base_hits = self.baseline.hits as f64;
+        if self.baseline.hits * 10 >= self.baseline.len() as u64
+            && (self.recent.hits as f64) * bn < hit_rate_drop * base_hits * rn
+        {
+            self.try_fire(AnomalyKind::CacheHitCollapse, &mut fired);
+        }
+        // `mean.max(1.0) · len` is `max(sum, len)`, keeping the baseline
+        // floor intact without dividing.
+        let wait = self.recent.wait_sum as f64;
+        if wait > wait_floor * rn
+            && wait * bn > wait_factor * (self.baseline.wait_sum.max(self.baseline.len() as u64) as f64) * rn
+        {
+            self.try_fire(AnomalyKind::AdmissionSaturation, &mut fired);
+        }
+        fired
+    }
+
+    fn try_fire(&mut self, kind: AnomalyKind, out: &mut Vec<AnomalyKind>) {
+        let slot = kind as usize;
+        if self.seen >= self.armed_at[slot] {
+            self.armed_at[slot] = self.seen + self.config.cooldown;
+            out.push(kind);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AnomalyConfig {
+        AnomalyConfig {
+            recent: 8,
+            window: 32,
+            min_samples: 8,
+            cooldown: 64,
+            ..AnomalyConfig::default()
+        }
+    }
+
+    fn warm(det: &mut AnomalyDetector, n: usize) {
+        for _ in 0..n {
+            let fired = det.observe(1_000, 0, true);
+            assert!(fired.is_empty(), "steady traffic fired {fired:?}");
+        }
+    }
+
+    #[test]
+    fn steady_traffic_is_quiet() {
+        let mut det = AnomalyDetector::new(cfg());
+        warm(&mut det, 500);
+    }
+
+    #[test]
+    fn latency_step_fires_once_per_cooldown() {
+        let mut det = AnomalyDetector::new(cfg());
+        warm(&mut det, 100);
+        let mut fired = Vec::new();
+        for _ in 0..40 {
+            fired.extend(det.observe(50_000, 0, true));
+        }
+        let hits = fired
+            .iter()
+            .filter(|k| **k == AnomalyKind::LatencyRegression)
+            .count();
+        assert_eq!(hits, 1, "cooldown collapses a sustained step to one dump");
+        // Return to normal long enough for the rolling baseline to adapt
+        // back down and the cooldown to lapse; a second step re-fires.
+        for _ in 0..150 {
+            det.observe(1_000, 0, true);
+        }
+        for _ in 0..40 {
+            fired.extend(det.observe(50_000, 0, true));
+        }
+        let hits = fired
+            .iter()
+            .filter(|k| **k == AnomalyKind::LatencyRegression)
+            .count();
+        assert_eq!(hits, 2, "a fresh step after recovery re-fires: {fired:?}");
+    }
+
+    #[test]
+    fn cache_collapse_requires_a_warm_baseline() {
+        // All-miss from the start: baseline hit rate 0 → never fires.
+        let mut det = AnomalyDetector::new(cfg());
+        for _ in 0..200 {
+            let fired = det.observe(1_000, 0, false);
+            assert!(
+                !fired.contains(&AnomalyKind::CacheHitCollapse),
+                "cold baseline must not page"
+            );
+        }
+        // Warm baseline, then hits vanish.
+        let mut det = AnomalyDetector::new(cfg());
+        warm(&mut det, 100);
+        let mut fired = Vec::new();
+        for _ in 0..40 {
+            fired.extend(det.observe(1_000, 0, false));
+        }
+        assert!(
+            fired.contains(&AnomalyKind::CacheHitCollapse),
+            "hit collapse after warm baseline: {fired:?}"
+        );
+    }
+
+    #[test]
+    fn admission_saturation_needs_the_absolute_floor() {
+        let mut det = AnomalyDetector::new(cfg());
+        warm(&mut det, 100);
+        // 100× relative growth but under the 1ms floor: noise, not paging.
+        let mut fired = Vec::new();
+        for _ in 0..40 {
+            fired.extend(det.observe(1_000, 500_000, true));
+        }
+        assert!(
+            !fired.contains(&AnomalyKind::AdmissionSaturation),
+            "sub-floor wait fired: {fired:?}"
+        );
+        for _ in 0..40 {
+            fired.extend(det.observe(1_000, 20_000_000, true));
+        }
+        assert!(
+            fired.contains(&AnomalyKind::AdmissionSaturation),
+            "sustained 20ms waits must page: {fired:?}"
+        );
+    }
+
+    #[test]
+    fn detection_is_deterministic_across_replays() {
+        let stream: Vec<(u64, u64, bool)> = (0..300)
+            .map(|i| {
+                if i > 200 {
+                    (40_000, 5_000_000, false)
+                } else {
+                    (1_000 + (i % 7) * 100, 0, i % 3 != 0)
+                }
+            })
+            .collect();
+        let run = |s: &[(u64, u64, bool)]| {
+            let mut det = AnomalyDetector::new(cfg());
+            let mut log = Vec::new();
+            for (i, (e, w, h)) in s.iter().enumerate() {
+                for k in det.observe(*e, *w, *h) {
+                    log.push((i, k));
+                }
+            }
+            log
+        };
+        let a = run(&stream);
+        let b = run(&stream);
+        assert_eq!(a, b, "same stream, same triggers");
+        assert!(!a.is_empty(), "the phase shift must trigger something");
+    }
+}

@@ -1,0 +1,494 @@
+//! # av-obs — production telemetry for the serving layer
+//!
+//! Always-on observability wired through `av-serve`, `av-online` and
+//! `av-engine`, built from four pieces (DESIGN.md §Observability):
+//!
+//! - [`FlightRecorder`]: a bounded, lock-free ring of per-query structured
+//!   event records (tenant, plan fingerprint, deployment epoch, route
+//!   decision, cache shard and hit/miss, admission wait, exec time,
+//!   rows/bytes, cost estimate vs. measurement). Dump-on-demand and
+//!   dump-on-anomaly.
+//! - [`SloMonitor`]: per-tenant mergeable quantile sketches over sliding
+//!   windows plus multi-window error-budget burn-rate alerting.
+//! - [`ResidualStore`]: the estimator-residual stream — every routed query
+//!   appends (estimated, measured, plan fingerprint, view id), with
+//!   per-view and per-operator q-error aggregates.
+//! - [`export`]: Prometheus text exposition for all of the above plus the
+//!   shared `av_trace::Metrics` registry.
+//!
+//! The [`Obs`] façade ties them together: `av-serve` calls
+//! [`Obs::observe_query`] once per request, and deterministic anomaly
+//! detectors ([`AnomalyDetector`]) turn latency regressions, cache-hit
+//! collapses and admission saturation into stored flight-recorder dumps.
+//!
+//! Everything here is fed time exclusively through values the caller read
+//! from its injected [`av_trace::Clock`] — this crate never touches the
+//! wall clock, so replayed workloads reproduce alerts and dumps exactly.
+
+#![forbid(unsafe_code)]
+
+pub mod anomaly;
+pub mod export;
+pub mod recorder;
+pub mod residual;
+pub mod slo;
+
+pub use anomaly::{AnomalyConfig, AnomalyDetector, AnomalyKind};
+pub use recorder::{
+    FlightDump, FlightRecord, FlightRecorder, QueryRecord, RecordStatus, TenantTag,
+};
+pub use residual::{ErrorAggregate, Residual, ResidualStore, ResidualSummary};
+pub use slo::{
+    Objective, QuantileSketch, RequestOutcome, SloAlert, SloConfig, SloMonitor, SloState,
+    TenantSloStats,
+};
+
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Configuration for the whole telemetry layer.
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Master switch. When off, [`Obs::observe_query`] is a no-op — the
+    /// baseline the recorder-overhead benchmark compares against.
+    pub enabled: bool,
+    /// Flight-recorder ring capacity (records).
+    pub recorder_capacity: usize,
+    pub slo: SloConfig,
+    /// Raw residual ring capacity (aggregates are unaffected).
+    pub residual_capacity: usize,
+    pub anomaly: AnomalyConfig,
+    /// Stored triggered dumps. First-capture semantics: the store keeps at
+    /// most one dump per distinct trigger reason and at most `max_dumps`
+    /// overall; further triggers are *suppressed* (counted, but the
+    /// expensive ring capture is skipped entirely) until an operator
+    /// drains the store with [`Obs::take_dumps`]. The first capture of an
+    /// incident is the forensically interesting one, and a detector that
+    /// keeps re-firing through a sustained incident must not be allowed
+    /// to tax every serving thread with ring copies.
+    pub max_dumps: usize,
+    /// SLO alert history bound.
+    pub max_alerts: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: true,
+            recorder_capacity: 4096,
+            slo: SloConfig::default(),
+            residual_capacity: 4096,
+            anomaly: AnomalyConfig::default(),
+            max_dumps: 8,
+            max_alerts: 256,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// A configuration with telemetry fully off (benchmark baseline).
+    pub fn disabled() -> ObsConfig {
+        ObsConfig {
+            enabled: false,
+            ..ObsConfig::default()
+        }
+    }
+}
+
+/// What one [`Obs::observe_query`] call produced.
+#[derive(Debug, Clone, Default)]
+pub struct ObsOutcome {
+    /// Flight-recorder sequence number assigned to this query.
+    pub seq: u64,
+    /// Burn-rate alerts that fired on this observation.
+    pub alerts: Vec<SloAlert>,
+    /// Anomaly detectors that fired on this observation (each also stored
+    /// a flight-recorder dump).
+    pub anomalies: Vec<AnomalyKind>,
+}
+
+/// Point-in-time snapshot of the entire telemetry layer, for the
+/// `serve stats` command and JSON artifacts.
+#[derive(Debug, Clone, Serialize)]
+pub struct ObsStats {
+    pub enabled: bool,
+    /// Total queries recorded since startup.
+    pub recorded: u64,
+    pub slo: Vec<TenantSloStats>,
+    pub residuals: ResidualSummary,
+    pub alerts: Vec<SloAlert>,
+    /// Reasons and sizes of stored triggered dumps (newest last).
+    pub dumps: Vec<DumpInfo>,
+    /// Triggers whose capture was skipped — the store was full, or it
+    /// already held a dump for the same reason (drain with `take_dumps`
+    /// to re-arm).
+    pub dumps_suppressed: u64,
+}
+
+/// Summary line for one stored dump.
+#[derive(Debug, Clone, Serialize)]
+pub struct DumpInfo {
+    pub reason: String,
+    pub seq_at: u64,
+    pub records: usize,
+}
+
+/// SLO windows and anomaly detector behind one shared lock: the request
+/// path pays a single mutex acquisition for both.
+#[derive(Debug)]
+struct HotState {
+    slo: SloState,
+    anomaly: AnomalyDetector,
+}
+
+/// The telemetry façade owned by a server.
+#[derive(Debug)]
+pub struct Obs {
+    config: ObsConfig,
+    recorder: FlightRecorder,
+    hot: Mutex<HotState>,
+    residuals: ResidualStore,
+    dumps: Mutex<VecDeque<FlightDump>>,
+    dumps_suppressed: std::sync::atomic::AtomicU64,
+    alerts: Mutex<VecDeque<SloAlert>>,
+}
+
+impl Obs {
+    pub fn new(config: ObsConfig) -> Obs {
+        Obs {
+            recorder: FlightRecorder::new(config.recorder_capacity),
+            hot: Mutex::new(HotState {
+                slo: SloState::new(config.slo.clone()),
+                anomaly: AnomalyDetector::new(config.anomaly.clone()),
+            }),
+            residuals: ResidualStore::new(config.residual_capacity),
+            dumps: Mutex::new(VecDeque::new()),
+            dumps_suppressed: std::sync::atomic::AtomicU64::new(0),
+            alerts: Mutex::new(VecDeque::new()),
+            config,
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    pub fn config(&self) -> &ObsConfig {
+        &self.config
+    }
+
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Snapshot of every tenant's SLO window.
+    pub fn slo_stats(&self) -> Vec<TenantSloStats> {
+        self.hot.lock().expect("obs hot state poisoned").slo.stats()
+    }
+
+    pub fn residuals(&self) -> &ResidualStore {
+        &self.residuals
+    }
+
+    /// Feed one finished (or shed/failed) request through every component:
+    /// flight recorder, SLO windows, residual stream, anomaly detectors.
+    /// `now_nanos` is the caller's injected-clock reading at completion;
+    /// `root_op` is the plan's root operator name for residual aggregation.
+    pub fn observe_query(&self, now_nanos: u64, rec: &QueryRecord, root_op: &'static str) -> ObsOutcome {
+        if !self.config.enabled {
+            return ObsOutcome::default();
+        }
+        let seq = self.recorder.record(rec);
+
+        let outcome = match rec.status {
+            RecordStatus::Ok => RequestOutcome::Served,
+            RecordStatus::Shed => RequestOutcome::Shed,
+            RecordStatus::Error => RequestOutcome::Failed,
+        };
+        let latency_us = (rec.admit_wait_nanos + rec.exec_nanos) / 1_000;
+        let (alerts, anomalies) = {
+            let mut hot = self.hot.lock().expect("obs hot state poisoned");
+            let alerts = hot.slo.observe(rec.tenant, now_nanos, latency_us, outcome);
+            let anomalies = if outcome == RequestOutcome::Served {
+                hot.anomaly
+                    .observe(rec.exec_nanos, rec.admit_wait_nanos, rec.cache_hit)
+            } else {
+                Vec::new()
+            };
+            (alerts, anomalies)
+        };
+        if !alerts.is_empty() {
+            let mut history = self.alerts.lock().expect("obs alerts poisoned");
+            for a in &alerts {
+                if history.len() == self.config.max_alerts {
+                    history.pop_front();
+                }
+                history.push_back(a.clone());
+            }
+        }
+
+        if rec.status == RecordStatus::Ok && rec.has_estimate() {
+            self.residuals.record(Residual {
+                plan_fp: rec.plan_fp,
+                view_fp: rec.view_fp,
+                root_op,
+                estimated: rec.est_cost,
+                measured: rec.meas_cost,
+            });
+        }
+
+        // Every trigger — burn-rate alert or anomaly — freezes the ring as
+        // a stored dump so the offending queries are preserved even after
+        // the ring wraps.
+        for a in &alerts {
+            let reason = match a.objective {
+                Objective::LatencyP99 => "slo_latency_burn",
+                Objective::Availability => "slo_availability_burn",
+            };
+            self.store_dump(reason);
+        }
+        for k in &anomalies {
+            self.store_dump(k.as_str());
+        }
+
+        ObsOutcome {
+            seq,
+            alerts,
+            anomalies,
+        }
+    }
+
+    /// Dump-on-demand: snapshot the ring without storing the dump.
+    pub fn dump_now(&self, reason: &str) -> FlightDump {
+        self.recorder.dump(reason)
+    }
+
+    /// First capture per distinct reason, first-K overall: the checks run
+    /// *before* the ring copy, so a detector that keeps re-firing through
+    /// one sustained incident costs one atomic increment per suppressed
+    /// fire instead of a full ring capture on the serving thread. Eight
+    /// near-identical snapshots of the same incident are forensically
+    /// redundant; the first one is the interesting one.
+    fn store_dump(&self, reason: &str) {
+        let full = |dumps: &VecDeque<FlightDump>| {
+            dumps.len() >= self.config.max_dumps || dumps.iter().any(|d| d.reason == reason)
+        };
+        {
+            let dumps = self.dumps.lock().expect("obs dumps poisoned");
+            if full(&dumps) {
+                drop(dumps);
+                self.dumps_suppressed
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return;
+            }
+        }
+        let dump = self.recorder.dump(reason);
+        let mut dumps = self.dumps.lock().expect("obs dumps poisoned");
+        if !full(&dumps) {
+            dumps.push_back(dump);
+        } else {
+            self.dumps_suppressed
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Stored (triggered) dumps, oldest first.
+    pub fn dumps(&self) -> Vec<FlightDump> {
+        self.dumps
+            .lock()
+            .expect("obs dumps poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Drain the stored dumps (oldest first), re-arming dump-on-anomaly:
+    /// after a drain the next `max_dumps` triggers capture again.
+    pub fn take_dumps(&self) -> Vec<FlightDump> {
+        self.dumps
+            .lock()
+            .expect("obs dumps poisoned")
+            .drain(..)
+            .collect()
+    }
+
+    /// Triggers suppressed because the dump store was full.
+    pub fn dumps_suppressed(&self) -> u64 {
+        self.dumps_suppressed
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Alert history, oldest first.
+    pub fn alerts(&self) -> Vec<SloAlert> {
+        self.alerts
+            .lock()
+            .expect("obs alerts poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    pub fn stats(&self) -> ObsStats {
+        let dumps = self.dumps.lock().expect("obs dumps poisoned");
+        ObsStats {
+            enabled: self.config.enabled,
+            recorded: self.recorder.sequence(),
+            slo: self.slo_stats(),
+            residuals: self.residuals.summary(),
+            alerts: self.alerts(),
+            dumps: dumps
+                .iter()
+                .map(|d| DumpInfo {
+                    reason: d.reason.clone(),
+                    seq_at: d.seq_at,
+                    records: d.records.len(),
+                })
+                .collect(),
+            dumps_suppressed: self.dumps_suppressed(),
+        }
+    }
+
+    /// Full Prometheus exposition: the shared metrics registry plus SLO
+    /// and residual series.
+    pub fn prometheus(&self, snapshot: &av_trace::MetricsSnapshot) -> String {
+        let mut out = export::prometheus_text(snapshot);
+        out.push_str(&export::slo_text(&self.slo_stats()));
+        out.push_str(&export::residual_text(&self.residuals.summary()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(tenant: &str, exec_nanos: u64, status: RecordStatus) -> QueryRecord {
+        QueryRecord {
+            tenant: TenantTag::new(tenant),
+            plan_fp: 0xfeed,
+            view_fp: 0xbeef,
+            epoch: 1,
+            status,
+            route_hits: 1,
+            cache_shard: 0,
+            cache_hit: true,
+            admit_wait_nanos: 0,
+            exec_nanos,
+            rows: 10,
+            bytes: 100,
+            est_cost: 2.0,
+            meas_cost: 1.0,
+        }
+    }
+
+    #[test]
+    fn disabled_obs_is_a_no_op() {
+        let obs = Obs::new(ObsConfig::disabled());
+        let out = obs.observe_query(0, &record("t", 1_000, RecordStatus::Ok), "Join");
+        assert_eq!(out.seq, 0);
+        assert!(out.alerts.is_empty() && out.anomalies.is_empty());
+        let stats = obs.stats();
+        assert!(!stats.enabled);
+        assert_eq!(stats.recorded, 0);
+        assert_eq!(stats.residuals.recorded, 0);
+        assert!(stats.slo.is_empty());
+    }
+
+    #[test]
+    fn observe_query_feeds_every_component() {
+        let obs = Obs::new(ObsConfig::default());
+        for i in 0..10u64 {
+            obs.observe_query(i * 1_000, &record("acme", 5_000, RecordStatus::Ok), "Join");
+        }
+        let stats = obs.stats();
+        assert_eq!(stats.recorded, 10);
+        assert_eq!(stats.residuals.recorded, 10);
+        assert_eq!(stats.slo.len(), 1);
+        assert_eq!(stats.slo[0].tenant, "acme");
+        assert_eq!(stats.slo[0].requests, 10);
+        let dump = obs.dump_now("manual");
+        assert_eq!(dump.records.len(), 10);
+        assert!(obs.dumps().is_empty(), "on-demand dumps are not stored");
+    }
+
+    #[test]
+    fn latency_regression_stores_a_dump() {
+        let mut config = ObsConfig::default();
+        config.anomaly.recent = 8;
+        config.anomaly.window = 32;
+        config.anomaly.min_samples = 8;
+        let obs = Obs::new(config);
+        for i in 0..100u64 {
+            obs.observe_query(i, &record("t", 1_000, RecordStatus::Ok), "Scan");
+        }
+        let mut fired = Vec::new();
+        for i in 0..40u64 {
+            let out = obs.observe_query(100 + i, &record("t", 60_000, RecordStatus::Ok), "Scan");
+            fired.extend(out.anomalies);
+        }
+        assert!(fired.contains(&AnomalyKind::LatencyRegression), "{fired:?}");
+        let dumps = obs.dumps();
+        assert!(!dumps.is_empty());
+        assert_eq!(dumps[0].reason, "latency_regression");
+        assert!(dumps[0].records.iter().any(|r| r.exec_nanos == 60_000));
+        let stats = obs.stats();
+        assert_eq!(stats.dumps.len(), dumps.len());
+    }
+
+    #[test]
+    fn stored_dumps_keep_the_first_k_and_drain_to_rearm() {
+        let config = ObsConfig {
+            max_dumps: 2,
+            ..ObsConfig::default()
+        };
+        let obs = Obs::new(config);
+        obs.observe_query(0, &record("t", 1, RecordStatus::Ok), "Scan");
+        for reason in ["a", "b", "c"] {
+            obs.store_dump(reason);
+        }
+        // First-K: the earliest captures of an incident survive; the
+        // overflow trigger is counted, not captured.
+        let dumps = obs.dumps();
+        assert_eq!(dumps.len(), 2);
+        assert_eq!(dumps[0].reason, "a");
+        assert_eq!(dumps[1].reason, "b");
+        assert_eq!(obs.dumps_suppressed(), 1);
+        assert_eq!(obs.stats().dumps_suppressed, 1);
+        // Draining re-arms capture.
+        let taken = obs.take_dumps();
+        assert_eq!(taken.len(), 2);
+        assert!(obs.dumps().is_empty());
+        obs.store_dump("d");
+        let dumps = obs.dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].reason, "d");
+        // A re-fire of an already-captured reason is suppressed even with
+        // capacity to spare: one incident, one snapshot.
+        obs.store_dump("d");
+        assert_eq!(obs.dumps().len(), 1);
+        assert_eq!(obs.dumps_suppressed(), 2);
+    }
+
+    #[test]
+    fn shed_queries_skip_residuals_and_anomalies_but_hit_slo() {
+        let obs = Obs::new(ObsConfig::default());
+        for i in 0..20u64 {
+            let out = obs.observe_query(i, &record("t", 0, RecordStatus::Shed), "Join");
+            assert!(out.anomalies.is_empty());
+        }
+        let stats = obs.stats();
+        assert_eq!(stats.residuals.recorded, 0, "shed queries have no residual");
+        assert_eq!(stats.slo[0].shed_or_failed, 20);
+        assert_eq!(stats.recorded, 20, "but they are flight-recorded");
+    }
+
+    #[test]
+    fn stats_serialize_to_json() {
+        let obs = Obs::new(ObsConfig::default());
+        obs.observe_query(0, &record("t", 1_000, RecordStatus::Ok), "Join");
+        let text = serde_json::to_string(&obs.stats()).expect("serialize");
+        assert!(text.contains("\"recorded\""));
+        assert!(text.contains("\"tenant\""));
+    }
+}

@@ -1,0 +1,256 @@
+//! Estimator-residual telemetry: every routed query appends
+//! `(estimated cost, measured cost, plan fingerprint, view id)` to a
+//! bounded store, and per-view / per-operator error histograms accumulate
+//! the estimator's **q-error** — `max(est/meas, meas/est)`, the standard
+//! multiplicative accuracy measure for cost and cardinality models
+//! (q = 1 is a perfect estimate; q = 2 means off by 2× in either
+//! direction).
+//!
+//! The raw ring keeps the newest `capacity` residuals for offline
+//! retraining dumps; the aggregates are unbounded in time but bounded in
+//! cardinality (one entry per view / per root operator) and survive ring
+//! eviction, so long-run drift is visible even when the raw samples have
+//! rotated out.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
+/// One (estimate, measurement) pair from a routed query.
+///
+/// Serialize-only: `root_op` is a `&'static str` borrowed from the plan
+/// node's operator table, which keeps recording allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Residual {
+    /// Fingerprint of the *original* (pre-rewrite) plan.
+    pub plan_fp: u64,
+    /// Fingerprint of the materialized view the query was routed through.
+    pub view_fp: u64,
+    /// Root operator of the plan, e.g. `"Aggregate"` or `"Join"`.
+    pub root_op: &'static str,
+    /// Model-estimated execution cost.
+    pub estimated: f64,
+    /// Measured execution cost (same unit as the estimate).
+    pub measured: f64,
+}
+
+impl Residual {
+    /// q-error of this pair; `None` when either side is non-positive or
+    /// non-finite (the ratio is meaningless there — tracked separately as
+    /// `degenerate` in the aggregates).
+    pub fn q_error(&self) -> Option<f64> {
+        if !(self.estimated.is_finite() && self.measured.is_finite()) {
+            return None;
+        }
+        if self.estimated <= 0.0 || self.measured <= 0.0 {
+            return None;
+        }
+        Some((self.estimated / self.measured).max(self.measured / self.estimated))
+    }
+}
+
+/// Streaming q-error aggregate for one key (a view or an operator).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorAggregate {
+    pub samples: u64,
+    /// Pairs whose q-error was undefined (zero/negative/non-finite cost).
+    pub degenerate: u64,
+    pub q_sum: f64,
+    pub q_max: f64,
+    /// Estimates that exceeded the measurement (the rest undershot).
+    pub overestimates: u64,
+    /// Log2 histogram of q-error: bucket `i` counts `q ∈ [2^i, 2^(i+1))`,
+    /// the last bucket is open-ended. Bucket 0 is `[1, 2)` — near-perfect.
+    pub q_log2: Vec<u64>,
+}
+
+/// Number of log2 q-error buckets: `[1,2) [2,4) ... [2^7, ∞)`.
+pub const Q_LOG2_BUCKETS: usize = 8;
+
+impl Default for ErrorAggregate {
+    fn default() -> Self {
+        ErrorAggregate {
+            samples: 0,
+            degenerate: 0,
+            q_sum: 0.0,
+            q_max: 0.0,
+            overestimates: 0,
+            q_log2: vec![0; Q_LOG2_BUCKETS],
+        }
+    }
+}
+
+impl ErrorAggregate {
+    fn fold(&mut self, r: &Residual) {
+        match r.q_error() {
+            Some(q) => {
+                self.samples += 1;
+                self.q_sum += q;
+                self.q_max = self.q_max.max(q);
+                if r.estimated > r.measured {
+                    self.overestimates += 1;
+                }
+                let bucket = (q.log2().floor() as usize).min(Q_LOG2_BUCKETS - 1);
+                self.q_log2[bucket] += 1;
+            }
+            None => self.degenerate += 1,
+        }
+    }
+
+    pub fn q_mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.q_sum / self.samples as f64
+        }
+    }
+}
+
+/// Serializable snapshot of the whole store.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResidualSummary {
+    /// Total residuals ever recorded (including ones rotated out).
+    pub recorded: u64,
+    /// Residuals currently held in the raw ring.
+    pub retained: usize,
+    pub per_view: Vec<(u64, ErrorAggregate)>,
+    pub per_op: Vec<(String, ErrorAggregate)>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    ring: VecDeque<Residual>,
+    recorded: u64,
+    per_view: BTreeMap<u64, ErrorAggregate>,
+    per_op: BTreeMap<&'static str, ErrorAggregate>,
+}
+
+/// Bounded residual store. One mutex; record is O(1) amortized.
+#[derive(Debug)]
+pub struct ResidualStore {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ResidualStore {
+    pub fn new(capacity: usize) -> ResidualStore {
+        ResidualStore {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn record(&self, r: Residual) {
+        let mut inner = self.inner.lock().expect("residual store poisoned");
+        inner.recorded += 1;
+        inner.per_view.entry(r.view_fp).or_default().fold(&r);
+        inner.per_op.entry(r.root_op).or_default().fold(&r);
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(r);
+    }
+
+    /// Newest-first copy of the raw ring (for retraining dumps).
+    pub fn recent(&self, n: usize) -> Vec<Residual> {
+        let inner = self.inner.lock().expect("residual store poisoned");
+        inner.ring.iter().rev().take(n).copied().collect()
+    }
+
+    pub fn summary(&self) -> ResidualSummary {
+        let inner = self.inner.lock().expect("residual store poisoned");
+        ResidualSummary {
+            recorded: inner.recorded,
+            retained: inner.ring.len(),
+            per_view: inner
+                .per_view
+                .iter()
+                .map(|(k, v)| (*k, v.clone()))
+                .collect(),
+            per_op: inner
+                .per_op
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(plan: u64, view: u64, op: &'static str, est: f64, meas: f64) -> Residual {
+        Residual {
+            plan_fp: plan,
+            view_fp: view,
+            root_op: op,
+            estimated: est,
+            measured: meas,
+        }
+    }
+
+    #[test]
+    fn q_error_is_symmetric_and_guards_degenerates() {
+        assert_eq!(res(1, 1, "Join", 10.0, 5.0).q_error(), Some(2.0));
+        assert_eq!(res(1, 1, "Join", 5.0, 10.0).q_error(), Some(2.0));
+        assert_eq!(res(1, 1, "Join", 7.0, 7.0).q_error(), Some(1.0));
+        assert_eq!(res(1, 1, "Join", 0.0, 7.0).q_error(), None);
+        assert_eq!(res(1, 1, "Join", f64::NAN, 7.0).q_error(), None);
+        assert_eq!(res(1, 1, "Join", 7.0, -1.0).q_error(), None);
+    }
+
+    #[test]
+    fn ring_is_bounded_but_aggregates_survive_eviction() {
+        let store = ResidualStore::new(4);
+        for i in 0..10u64 {
+            store.record(res(i, 42, "Aggregate", 2.0, 1.0));
+        }
+        let s = store.summary();
+        assert_eq!(s.recorded, 10);
+        assert_eq!(s.retained, 4);
+        let recent = store.recent(100);
+        assert_eq!(recent.len(), 4);
+        assert_eq!(recent[0].plan_fp, 9, "newest first");
+        let (_, agg) = &s.per_view[0];
+        assert_eq!(agg.samples, 10, "aggregate counts evicted samples too");
+        assert_eq!(agg.q_mean(), 2.0);
+        assert_eq!(agg.overestimates, 10);
+        assert_eq!(agg.q_log2[1], 10, "q=2 lands in the [2,4) bucket");
+    }
+
+    #[test]
+    fn per_view_and_per_op_keys_partition_the_stream() {
+        let store = ResidualStore::new(16);
+        store.record(res(1, 100, "Join", 3.0, 1.0));
+        store.record(res(2, 100, "Aggregate", 1.0, 1.0));
+        store.record(res(3, 200, "Join", 1.0, 8.0));
+        let s = store.summary();
+        assert_eq!(s.per_view.len(), 2);
+        assert_eq!(s.per_op.len(), 2);
+        let v100 = &s.per_view.iter().find(|(k, _)| *k == 100).expect("v100").1;
+        assert_eq!(v100.samples, 2);
+        let join = &s.per_op.iter().find(|(k, _)| k == "Join").expect("join").1;
+        assert_eq!(join.samples, 2);
+        assert_eq!(join.q_max, 8.0);
+        assert_eq!(join.overestimates, 1);
+        assert_eq!(join.q_log2[1], 1);
+        assert_eq!(join.q_log2[3], 1, "q=8 lands in [8,16)");
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let store = ResidualStore::new(8);
+        store.record(res(7, 9, "Scan", 1.5, 1.0));
+        let s = store.summary();
+        let text = serde_json::to_string(&s).expect("serialize");
+        let back: ResidualSummary = serde_json::from_str(&text).expect("deserialize");
+        assert_eq!(back.recorded, 1);
+        assert_eq!(back.per_op[0].0, "Scan");
+        assert_eq!(back.per_view[0].1, s.per_view[0].1);
+    }
+}

@@ -1,0 +1,669 @@
+//! Per-tenant SLO monitoring: mergeable deterministic quantile sketches
+//! over sliding windows, and multi-window error-budget burn-rate alerting.
+//!
+//! Two objectives per tenant, in the classic SRE formulation:
+//!
+//! - **Latency**: a request is *bad* when its latency exceeds
+//!   [`SloConfig::latency_threshold_us`]. The target
+//!   ([`SloConfig::latency_target`], e.g. 0.99 for "p99 under threshold")
+//!   leaves an error budget of `1 - target`.
+//! - **Availability**: a request is *bad* when it was shed by admission
+//!   control or failed ([`SloConfig::availability_target`]).
+//!
+//! The *burn rate* of a window is `bad_fraction / (1 - target)` — 1.0 means
+//! the error budget is being spent exactly as provisioned; `N` means `N`×
+//! too fast. An alert fires only when **both** a short window (reacting in
+//! seconds) and the long window (filtering blips) burn above their
+//! thresholds — the standard multi-window guard against both slow leaks
+//! and one-interval spikes.
+//!
+//! Latency distributions are kept as [`QuantileSketch`]es: log2 buckets
+//! with [`SUB_BUCKET_BITS`] linear sub-buckets each (HDR-histogram style),
+//! so any quantile is deterministic, mergeable by counter addition, and
+//! within ~3% relative error. Each window interval owns one sketch;
+//! whole-window quantiles merge the interval sketches.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::recorder::TenantTag;
+use std::sync::Mutex;
+
+/// Linear sub-buckets per log2 bucket: 2^5 = 32, bounding the relative
+/// error of any reported quantile by 1/32 ≈ 3.1%.
+pub const SUB_BUCKET_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BUCKET_BITS;
+/// Values clamp at 2^30 µs (~18 minutes) — far beyond any latency this
+/// system can produce, and it keeps the sketch at a fixed 832 counters.
+const MAX_VALUE: u64 = (1 << 30) - 1;
+const BUCKETS: usize = (30 - SUB_BUCKET_BITS as usize + 1) * SUB;
+
+fn index_of(value: u64) -> usize {
+    let v = value.min(MAX_VALUE);
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BUCKET_BITS;
+    let top = ((v >> shift) as usize) & (SUB - 1);
+    ((msb - SUB_BUCKET_BITS) as usize + 1) * SUB + top
+}
+
+/// Lower edge of bucket `index` — the deterministic representative value.
+fn value_of(index: usize) -> u64 {
+    let bucket = index / SUB;
+    let sub = (index % SUB) as u64;
+    if bucket == 0 {
+        sub
+    } else {
+        (sub + SUB as u64) << (bucket - 1)
+    }
+}
+
+/// A deterministic, mergeable quantile sketch over `u64` values
+/// (microseconds, by convention, but any unit works).
+#[derive(Debug, Clone)]
+pub struct QuantileSketch {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new()
+    }
+}
+
+impl QuantileSketch {
+    pub fn new() -> QuantileSketch {
+        QuantileSketch {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    pub fn observe(&mut self, value: u64) {
+        self.counts[index_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`): the bucket representative at rank
+    /// `ceil(q·count)`, clamped to the observed `[min, max]`. Deterministic
+    /// — the same counters always yield the same value — so merged sketches
+    /// agree with a sketch built from the concatenated stream. Returns
+    /// `None` on an empty sketch or out-of-range/NaN `q`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || q.is_nan() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            return Some(self.max);
+        }
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(value_of(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Fold `other` in: counter addition, so merge order is irrelevant and
+    /// the result equals a sketch of the concatenated observations.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    fn clear(&mut self) {
+        self.counts.fill(0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+/// SLO objectives and alerting thresholds.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// A request slower than this (total latency, µs) is a latency-budget
+    /// violation.
+    pub latency_threshold_us: u64,
+    /// Fraction of requests that must meet the latency threshold (0.99 =
+    /// "p99 under threshold").
+    pub latency_target: f64,
+    /// Fraction of requests that must not be shed or fail.
+    pub availability_target: f64,
+    /// Width of one window interval, in clock nanoseconds.
+    pub interval_nanos: u64,
+    /// Intervals in the (long) sliding window.
+    pub intervals: usize,
+    /// Intervals in the short window (must be ≤ `intervals`).
+    pub fast_intervals: usize,
+    /// Short-window burn rate that, together with `slow_burn`, fires an
+    /// alert. The defaults follow the SRE-workbook "page" tuning.
+    pub fast_burn: f64,
+    /// Long-window burn rate required to fire.
+    pub slow_burn: f64,
+    /// Minimum events in the long window before alerting (an empty window
+    /// never pages).
+    pub min_events: u64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            latency_threshold_us: 10_000,
+            latency_target: 0.99,
+            availability_target: 0.999,
+            interval_nanos: 1_000_000_000,
+            intervals: 12,
+            fast_intervals: 2,
+            fast_burn: 6.0,
+            slow_burn: 3.0,
+            min_events: 64,
+        }
+    }
+}
+
+/// Which objective an alert is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    LatencyP99,
+    Availability,
+}
+
+/// One burn-rate alert, fired on the transition into breach.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SloAlert {
+    pub tenant: String,
+    pub objective: Objective,
+    /// Short-window burn rate at fire time.
+    pub fast_burn: f64,
+    /// Long-window burn rate at fire time.
+    pub slow_burn: f64,
+    /// Clock timestamp of the observation that fired the alert.
+    pub at_nanos: u64,
+}
+
+/// How one request ended, from the SLO's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    Served,
+    Shed,
+    Failed,
+}
+
+#[derive(Debug, Clone)]
+struct Interval {
+    sketch: QuantileSketch,
+    total: u64,
+    lat_bad: u64,
+    avail_bad: u64,
+}
+
+impl Interval {
+    fn new() -> Interval {
+        Interval {
+            sketch: QuantileSketch::new(),
+            total: 0,
+            lat_bad: 0,
+            avail_bad: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.sketch.clear();
+        self.total = 0;
+        self.lat_bad = 0;
+        self.avail_bad = 0;
+    }
+}
+
+/// Sliding window of per-interval sketches/counters for one tenant.
+#[derive(Debug)]
+struct TenantWindow {
+    intervals: Vec<Interval>,
+    /// Absolute interval number currently being written.
+    head: u64,
+    /// Whether each objective is currently in the alerting state (dedup:
+    /// re-fire only after recovery below burn 1.0).
+    breached: [bool; 2],
+    alerts_fired: u64,
+}
+
+impl TenantWindow {
+    fn new(n: usize) -> TenantWindow {
+        TenantWindow {
+            intervals: (0..n.max(1)).map(|_| Interval::new()).collect(),
+            head: 0,
+            breached: [false; 2],
+            alerts_fired: 0,
+        }
+    }
+
+    fn rotate_to(&mut self, abs: u64) {
+        if abs <= self.head {
+            return; // same interval (clocks are monotone; never rotate back)
+        }
+        let n = self.intervals.len() as u64;
+        let steps = (abs - self.head).min(n);
+        for s in 1..=steps {
+            let idx = ((self.head + s) % n) as usize;
+            self.intervals[idx].clear();
+        }
+        self.head = abs;
+    }
+
+    /// Sum of (total, bad) over the newest `k` intervals.
+    fn window_counts(&self, k: usize, lat: bool) -> (u64, u64) {
+        let n = self.intervals.len() as u64;
+        let k = (k as u64).min(n);
+        let mut total = 0;
+        let mut bad = 0;
+        for back in 0..k {
+            if back > self.head {
+                break;
+            }
+            let iv = &self.intervals[((self.head - back) % n) as usize];
+            total += iv.total;
+            bad += if lat { iv.lat_bad } else { iv.avail_bad };
+        }
+        (total, bad)
+    }
+
+    fn merged_sketch(&self) -> QuantileSketch {
+        let mut out = QuantileSketch::new();
+        for iv in &self.intervals {
+            out.merge(&iv.sketch);
+        }
+        out
+    }
+}
+
+fn burn_rate(total: u64, bad: u64, target: f64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let budget = (1.0 - target).max(1e-9);
+    (bad as f64 / total as f64) / budget
+}
+
+/// Point-in-time SLO state of one tenant, for dashboards and exposition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantSloStats {
+    pub tenant: String,
+    pub requests: u64,
+    pub shed_or_failed: u64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub latency_fast_burn: f64,
+    pub latency_slow_burn: f64,
+    pub availability_fast_burn: f64,
+    pub availability_slow_burn: f64,
+    pub alerts_fired: u64,
+}
+
+/// Unsynchronized SLO state: per-tenant sliding windows plus the config.
+/// Observation is O(1) (a sketch increment plus counter bumps) and
+/// allocation-free — windows are keyed by the fixed-width [`TenantTag`],
+/// and burn rates are only evaluated when an observation can change the
+/// alert decision (a budget-burning event, or a window already in breach
+/// that may recover).
+///
+/// [`SloMonitor`] wraps this in its own mutex for standalone use; the
+/// [`crate::Obs`] façade instead embeds it in a single hot-path lock
+/// shared with the anomaly detector, so the request path pays one lock
+/// acquisition, not two.
+#[derive(Debug, Default)]
+pub struct SloState {
+    config: SloConfig,
+    tenants: BTreeMap<TenantTag, TenantWindow>,
+}
+
+impl SloState {
+    pub fn new(config: SloConfig) -> SloState {
+        SloState {
+            config,
+            tenants: BTreeMap::new(),
+        }
+    }
+
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// Feed one request. `now_nanos` comes from the caller's injected
+    /// clock; `latency_us` is the total latency charged to the tenant
+    /// (admission wait included). Returns the alerts that fired *at this
+    /// observation* (usually none — the vector is empty and unallocated).
+    pub fn observe(
+        &mut self,
+        tenant: TenantTag,
+        now_nanos: u64,
+        latency_us: u64,
+        outcome: RequestOutcome,
+    ) -> Vec<SloAlert> {
+        let cfg = &self.config;
+        let win = self
+            .tenants
+            .entry(tenant)
+            .or_insert_with(|| TenantWindow::new(cfg.intervals));
+        win.rotate_to(now_nanos / cfg.interval_nanos.max(1));
+
+        let n = win.intervals.len() as u64;
+        let head = (win.head % n) as usize;
+        let iv = &mut win.intervals[head];
+        iv.total += 1;
+        let mut bad = false;
+        match outcome {
+            RequestOutcome::Served => {
+                iv.sketch.observe(latency_us);
+                if latency_us > cfg.latency_threshold_us {
+                    iv.lat_bad += 1;
+                    bad = true;
+                }
+            }
+            RequestOutcome::Shed | RequestOutcome::Failed => {
+                // Shed/failed requests have no meaningful latency sample but
+                // do burn both budgets: the tenant saw no result.
+                iv.lat_bad += 1;
+                iv.avail_bad += 1;
+                bad = true;
+            }
+        }
+
+        // A good observation can only lower burn rates, so it cannot fire
+        // an alert — the full evaluation is needed only when budget was
+        // burned, or while a breach is latched and may need to recover.
+        // Healthy traffic pays one branch here, nothing more.
+        if !bad && !win.breached[0] && !win.breached[1] {
+            return Vec::new();
+        }
+
+        let mut alerts = Vec::new();
+        for (slot, (objective, lat)) in [(0, (Objective::LatencyP99, true)), (1, (Objective::Availability, false))]
+        {
+            let target = if lat {
+                cfg.latency_target
+            } else {
+                cfg.availability_target
+            };
+            let (slow_total, slow_bad) = win.window_counts(cfg.intervals, lat);
+            let (fast_total, fast_bad) = win.window_counts(cfg.fast_intervals, lat);
+            let slow = burn_rate(slow_total, slow_bad, target);
+            let fast = burn_rate(fast_total, fast_bad, target);
+            let firing =
+                slow_total >= cfg.min_events && fast >= cfg.fast_burn && slow >= cfg.slow_burn;
+            if firing && !win.breached[slot] {
+                win.breached[slot] = true;
+                win.alerts_fired += 1;
+                alerts.push(SloAlert {
+                    tenant: tenant.decode(),
+                    objective,
+                    fast_burn: fast,
+                    slow_burn: slow,
+                    at_nanos: now_nanos,
+                });
+            } else if !firing && fast < 1.0 && slow < 1.0 {
+                // Recovered: both windows back under budget-neutral burn.
+                win.breached[slot] = false;
+            }
+        }
+        alerts
+    }
+
+    /// Snapshot of every tenant's window.
+    pub fn stats(&self) -> Vec<TenantSloStats> {
+        let cfg = &self.config;
+        self.tenants
+            .iter()
+            .map(|(tag, win)| {
+                let merged = win.merged_sketch();
+                let (lt, lb) = win.window_counts(cfg.intervals, true);
+                let (ltf, lbf) = win.window_counts(cfg.fast_intervals, true);
+                let (at, ab) = win.window_counts(cfg.intervals, false);
+                let (atf, abf) = win.window_counts(cfg.fast_intervals, false);
+                TenantSloStats {
+                    tenant: tag.decode(),
+                    requests: lt,
+                    shed_or_failed: ab,
+                    p50_us: merged.quantile(0.50).unwrap_or(0),
+                    p95_us: merged.quantile(0.95).unwrap_or(0),
+                    p99_us: merged.quantile(0.99).unwrap_or(0),
+                    latency_fast_burn: burn_rate(ltf, lbf, cfg.latency_target),
+                    latency_slow_burn: burn_rate(lt, lb, cfg.latency_target),
+                    availability_fast_burn: burn_rate(atf, abf, cfg.availability_target),
+                    availability_slow_burn: burn_rate(at, ab, cfg.availability_target),
+                    alerts_fired: win.alerts_fired,
+                }
+            })
+            .collect()
+    }
+}
+
+/// The standalone monitor: [`SloState`] behind one mutex. Library users
+/// who want burn-rate alerting without the rest of the telemetry stack
+/// use this; `Obs` embeds the state in its own hot-path lock instead.
+#[derive(Debug, Default)]
+pub struct SloMonitor {
+    config: SloConfig,
+    inner: Mutex<SloState>,
+}
+
+impl SloMonitor {
+    pub fn new(config: SloConfig) -> SloMonitor {
+        SloMonitor {
+            config: config.clone(),
+            inner: Mutex::new(SloState::new(config)),
+        }
+    }
+
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// See [`SloState::observe`].
+    pub fn observe(
+        &self,
+        tenant: TenantTag,
+        now_nanos: u64,
+        latency_us: u64,
+        outcome: RequestOutcome,
+    ) -> Vec<SloAlert> {
+        self.inner
+            .lock()
+            .expect("slo monitor poisoned")
+            .observe(tenant, now_nanos, latency_us, outcome)
+    }
+
+    /// Snapshot of every tenant's window.
+    pub fn stats(&self) -> Vec<TenantSloStats> {
+        self.inner.lock().expect("slo monitor poisoned").stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sketch_quantiles_are_tight_and_deterministic() {
+        let mut s = QuantileSketch::new();
+        for v in 1..=1000u64 {
+            s.observe(v);
+        }
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.quantile(0.0), Some(1), "q=0 clamps to min");
+        assert_eq!(s.quantile(1.0), Some(s.max), "q=1 clamps to max");
+        for (q, exact) in [(0.5, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let got = s.quantile(q).expect("some") as f64;
+            let rel = (got - exact).abs() / exact;
+            assert!(rel <= 1.0 / SUB as f64 + 1e-9, "q={q}: {got} vs {exact}");
+        }
+        assert_eq!(s.quantile(0.5), s.quantile(0.5), "deterministic");
+        assert_eq!(s.quantile(f64::NAN), None);
+        assert_eq!(s.quantile(1.5), None);
+        assert_eq!(QuantileSketch::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn sketch_merge_equals_concatenated_stream() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let mut both = QuantileSketch::new();
+        for v in 0..500u64 {
+            a.observe(v * 3 + 1);
+            both.observe(v * 3 + 1);
+        }
+        for v in 0..500u64 {
+            b.observe(v * 7 + 2);
+            both.observe(v * 7 + 2);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), both.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn sketch_clamps_outliers_at_the_top_bucket() {
+        let mut s = QuantileSketch::new();
+        s.observe(u64::MAX);
+        s.observe(5);
+        assert_eq!(s.count(), 2);
+        let p99 = s.quantile(0.99).expect("some");
+        assert!(p99 >= MAX_VALUE.next_power_of_two() / 2, "outlier lands at the top: {p99}");
+    }
+
+    fn cfg() -> SloConfig {
+        SloConfig {
+            latency_threshold_us: 100,
+            latency_target: 0.99,
+            availability_target: 0.99,
+            interval_nanos: 1_000,
+            intervals: 4,
+            fast_intervals: 1,
+            fast_burn: 6.0,
+            slow_burn: 3.0,
+            min_events: 10,
+        }
+    }
+
+    #[test]
+    fn healthy_traffic_never_alerts() {
+        let m = SloMonitor::new(cfg());
+        for i in 0..1000u64 {
+            let alerts = m.observe(TenantTag::new("t0"), i * 10, 50, RequestOutcome::Served);
+            assert!(alerts.is_empty(), "healthy request {i} alerted");
+        }
+        let stats = m.stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].alerts_fired, 0);
+        assert!(stats[0].latency_slow_burn < 1e-12);
+        assert!(stats[0].p99_us <= 50);
+    }
+
+    #[test]
+    fn sustained_breach_fires_once_until_recovery() {
+        let m = SloMonitor::new(cfg());
+        // Healthy base load in interval 0.
+        for i in 0..50u64 {
+            m.observe(TenantTag::new("t0"), i, 10, RequestOutcome::Served);
+        }
+        // Regression: every request blows the threshold.
+        let mut fired = 0;
+        for i in 0..200u64 {
+            fired += m.observe(TenantTag::new("t0"), 500 + i, 5_000, RequestOutcome::Served).len();
+        }
+        assert_eq!(fired, 1, "breach fires exactly once while it persists");
+        let stats = m.stats();
+        assert_eq!(stats[0].alerts_fired, 1);
+        assert!(stats[0].latency_fast_burn >= 6.0);
+
+        // Recovery: healthy traffic long enough to clear every window (the
+        // rotation clears old intervals), then a second breach re-fires.
+        for i in 0..400u64 {
+            m.observe(TenantTag::new("t0"), 10_000 + i * 20, 10, RequestOutcome::Served);
+        }
+        let mut refired = 0;
+        for i in 0..200u64 {
+            refired += m.observe(TenantTag::new("t0"), 30_000 + i, 5_000, RequestOutcome::Served).len();
+        }
+        assert_eq!(refired, 1, "a fresh breach after recovery re-fires");
+    }
+
+    #[test]
+    fn shed_requests_burn_the_availability_budget() {
+        let m = SloMonitor::new(cfg());
+        let mut objectives = Vec::new();
+        for i in 0..100u64 {
+            for a in m.observe(TenantTag::new("t0"), i, 10, RequestOutcome::Shed) {
+                objectives.push(a.objective);
+            }
+        }
+        assert!(
+            objectives.contains(&Objective::Availability),
+            "shedding must page availability: {objectives:?}"
+        );
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let m = SloMonitor::new(cfg());
+        for i in 0..200u64 {
+            m.observe(TenantTag::new("bad"), i, 5_000, RequestOutcome::Served);
+            let alerts = m.observe(TenantTag::new("good"), i, 10, RequestOutcome::Served);
+            assert!(alerts.is_empty(), "healthy tenant paged by a noisy one");
+        }
+        let stats = m.stats();
+        let bad = stats.iter().find(|s| s.tenant == "bad").expect("bad");
+        let good = stats.iter().find(|s| s.tenant == "good").expect("good");
+        assert!(bad.alerts_fired >= 1);
+        assert_eq!(good.alerts_fired, 0);
+    }
+
+    #[test]
+    fn window_rotation_forgets_old_intervals() {
+        let m = SloMonitor::new(cfg());
+        for i in 0..100u64 {
+            m.observe(TenantTag::new("t0"), i, 5_000, RequestOutcome::Served);
+        }
+        // Jump far ahead: all four intervals rotate out.
+        m.observe(TenantTag::new("t0"), 1_000_000, 10, RequestOutcome::Served);
+        let stats = m.stats();
+        assert_eq!(stats[0].requests, 1, "old intervals cleared");
+        assert!(stats[0].latency_slow_burn < 1e-12);
+    }
+}

@@ -1,0 +1,203 @@
+//! Manual perf probe: `cargo test -p av-obs --release --test perf_probe -- --ignored --nocapture`
+
+use av_obs::{FlightRecorder, Obs, ObsConfig, QueryRecord, RecordStatus, SloConfig, SloMonitor, TenantTag};
+
+fn probe_rec(tid: usize) -> QueryRecord {
+    QueryRecord {
+        tenant: TenantTag::new(&format!("tenant{}", tid % 4)),
+        plan_fp: 42,
+        view_fp: 7,
+        epoch: 1,
+        status: RecordStatus::Ok,
+        route_hits: 1,
+        cache_shard: 3,
+        cache_hit: true,
+        admit_wait_nanos: 1_000,
+        exec_nanos: 9_000,
+        rows: 10,
+        bytes: 100,
+        est_cost: 1.5,
+        meas_cost: 1.4,
+    }
+}
+
+#[test]
+#[ignore]
+fn observe_query_with_think_concurrent() {
+    let obs = std::sync::Arc::new(Obs::new(ObsConfig::default()));
+    let threads = 64;
+    let n = 1_000u64;
+    let t = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let obs = obs.clone();
+            s.spawn(move || {
+                let rec = probe_rec(tid);
+                for i in 0..n {
+                    std::thread::sleep(std::time::Duration::from_micros(500));
+                    obs.observe_query(i * 10_000, &rec, "Scan");
+                }
+            });
+        }
+    });
+    let wall = t.elapsed().as_nanos() as u64 / (n * threads as u64);
+    println!("observe_query+think x{threads}: {wall} ns/op wall incl think (think=500000ns/op baseline)");
+}
+
+#[test]
+#[ignore]
+fn recorder_only_concurrent() {
+    let ring = std::sync::Arc::new(FlightRecorder::new(4096));
+    let threads = 64;
+    let n = 20_000u64;
+    let t = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let ring = ring.clone();
+            s.spawn(move || {
+                let rec = probe_rec(tid);
+                for _ in 0..n {
+                    ring.record(&rec);
+                }
+            });
+        }
+    });
+    let per = t.elapsed().as_nanos() as u64 / (n * threads as u64);
+    println!("recorder x{threads}: {per} ns/op");
+}
+
+#[test]
+#[ignore]
+fn slo_only_concurrent() {
+    let slo = std::sync::Arc::new(SloMonitor::new(SloConfig::default()));
+    let threads = 64;
+    let n = 20_000u64;
+    let t = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let slo = slo.clone();
+            s.spawn(move || {
+                let tenant = TenantTag::new(&format!("tenant{}", tid % 4));
+                for i in 0..n {
+                    slo.observe(tenant, i * 10_000, 10, av_obs::RequestOutcome::Served);
+                }
+            });
+        }
+    });
+    let per = t.elapsed().as_nanos() as u64 / (n * threads as u64);
+    println!("slo x{threads}: {per} ns/op");
+}
+
+#[test]
+#[ignore]
+fn component_costs_single_thread() {
+    let n = 200_000u64;
+    let rec = probe_rec(0);
+
+    let ring = FlightRecorder::new(4096);
+    let t = std::time::Instant::now();
+    for _ in 0..n {
+        ring.record(&rec);
+    }
+    println!("recorder 1T: {} ns/op", t.elapsed().as_nanos() as u64 / n);
+
+    let slo = SloMonitor::new(SloConfig::default());
+    let tenant = TenantTag::new("tenant0");
+    let t = std::time::Instant::now();
+    for i in 0..n {
+        slo.observe(tenant, i * 10_000, 10, av_obs::RequestOutcome::Served);
+    }
+    println!("slo 1T: {} ns/op", t.elapsed().as_nanos() as u64 / n);
+
+    let mut det = av_obs::AnomalyDetector::new(av_obs::AnomalyConfig::default());
+    let t = std::time::Instant::now();
+    for _ in 0..n {
+        det.observe(9_000, 1_000, true);
+    }
+    println!("anomaly 1T (unlocked): {} ns/op", t.elapsed().as_nanos() as u64 / n);
+
+    let det = std::sync::Mutex::new(av_obs::AnomalyDetector::new(av_obs::AnomalyConfig::default()));
+    let t = std::time::Instant::now();
+    for _ in 0..n {
+        det.lock().unwrap().observe(9_000, 1_000, true);
+    }
+    println!("anomaly 1T (mutexed): {} ns/op", t.elapsed().as_nanos() as u64 / n);
+}
+
+#[test]
+#[ignore]
+fn observe_query_cost() {
+    let obs = Obs::new(ObsConfig::default());
+    let rec = QueryRecord {
+        tenant: TenantTag::new("tenant0"),
+        plan_fp: 42,
+        view_fp: 7,
+        epoch: 1,
+        status: RecordStatus::Ok,
+        route_hits: 1,
+        cache_shard: 3,
+        cache_hit: true,
+        admit_wait_nanos: 1_000,
+        exec_nanos: 9_000,
+        rows: 10,
+        bytes: 100,
+        est_cost: 1.5,
+        meas_cost: 1.4,
+    };
+    let n = 200_000u64;
+    let t = std::time::Instant::now();
+    for i in 0..n {
+        obs.observe_query(i * 10_000, &rec, "Scan");
+    }
+    let per = t.elapsed().as_nanos() as u64 / n;
+    println!("observe_query: {per} ns/op");
+
+    // The serve-bench warm ladder carries no cost estimate pre-swap, so
+    // its measured path skips the residual store entirely.
+    let mut rec = rec;
+    rec.est_cost = f64::NAN;
+    let obs = Obs::new(ObsConfig::default());
+    let t = std::time::Instant::now();
+    for i in 0..n {
+        obs.observe_query(i * 10_000, &rec, "Scan");
+    }
+    let per = t.elapsed().as_nanos() as u64 / n;
+    println!("observe_query (no estimate): {per} ns/op");
+}
+
+#[test]
+#[ignore]
+fn observe_query_cost_concurrent() {
+    let obs = std::sync::Arc::new(Obs::new(ObsConfig::default()));
+    let threads = 64;
+    let n = 20_000u64;
+    let t = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let obs = obs.clone();
+            s.spawn(move || {
+                let rec = QueryRecord {
+                    tenant: TenantTag::new(&format!("tenant{}", tid % 4)),
+                    plan_fp: 42,
+                    view_fp: 7,
+                    epoch: 1,
+                    status: RecordStatus::Ok,
+                    route_hits: 1,
+                    cache_shard: 3,
+                    cache_hit: true,
+                    admit_wait_nanos: 1_000,
+                    exec_nanos: 9_000,
+                    rows: 10,
+                    bytes: 100,
+                    est_cost: 1.5,
+                    meas_cost: 1.4,
+                };
+                for i in 0..n {
+                    obs.observe_query(i * 10_000, &rec, "Scan");
+                }
+            });
+        }
+    });
+    let per = t.elapsed().as_nanos() as u64 / (n * threads as u64);
+    println!("observe_query x{threads}: {per} ns/op (wall-amortized)");
+}

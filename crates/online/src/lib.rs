@@ -33,10 +33,12 @@ pub use av_trace::Tracer as OnlineTracer;
 pub use reopt::{reoptimize, CandidateView, OnlineSelector, ReoptPlan, WindowSnapshot};
 pub use stream::{ArrivedQuery, WorkloadStream};
 
-use av_cost::CostEstimator;
+use av_cost::{tables_meta, CostEstimator, FeatureInput};
 use av_engine::{Catalog, EngineError, ExecCache, Pricing};
-use av_plan::PlanRef;
+use av_obs::{Residual, ResidualStore, ResidualSummary};
+use av_plan::{Fingerprint, PlanRef};
 use av_trace::Tracer;
+use std::collections::BTreeMap;
 
 /// Everything the online engine can be tuned with.
 #[derive(Debug, Clone)]
@@ -121,6 +123,12 @@ pub struct OnlineEngine {
     /// Whether the initial (bootstrap) selection has run.
     bootstrapped: bool,
     report: OnlineReport,
+    /// Estimated cost per window-query fingerprint, rebuilt after every
+    /// re-optimization: `plan fp → (estimate, view canonical fp)`.
+    estimates: BTreeMap<u64, (f64, Fingerprint)>,
+    /// Estimator-residual stream: (estimate, measurement) for every routed
+    /// arrival whose estimate is known.
+    residuals: ResidualStore,
 }
 
 impl OnlineEngine {
@@ -141,6 +149,8 @@ impl OnlineEngine {
             bootstrapped: false,
             config,
             report: OnlineReport::default(),
+            estimates: BTreeMap::new(),
+            residuals: ResidualStore::new(4096),
         }
     }
 
@@ -169,6 +179,22 @@ impl OnlineEngine {
         } else {
             baseline_cost
         };
+
+        // Estimator-residual telemetry: a routed arrival whose estimate was
+        // frozen at the last re-optimization contributes an
+        // (estimated, measured) pair to the residual stream.
+        if hits > 0 {
+            if let Some((est, view_fp)) = self.estimates.get(&Fingerprint::of(plan).0).copied() {
+                self.residuals.record(Residual {
+                    plan_fp: Fingerprint::of(plan).0,
+                    view_fp: view_fp.0,
+                    root_op: plan.op_keyword(),
+                    estimated: est,
+                    measured: actual_cost,
+                });
+                self.tracer.metrics().inc("online.residuals_recorded");
+            }
+        }
 
         // 2. Window bookkeeping. The window stores the *baseline* cost:
         //    candidate benefits must be judged against unrewritten queries.
@@ -276,6 +302,34 @@ impl OnlineEngine {
                     }
                 }
             }
+
+            // Rebuild the frozen estimate table against the new live set:
+            // price every window query that routes through a view, keyed by
+            // the query's submitted fingerprint.
+            self.estimates.clear();
+            for plan in &self.stream.plans() {
+                let (routed, hits) = self.lifecycle.route(&self.catalog, plan);
+                if hits == 0 {
+                    continue;
+                }
+                let routed_tables = routed.base_tables();
+                let fired = self.lifecycle.live().iter().find_map(|l| {
+                    self.lifecycle
+                        .view(l.id)
+                        .filter(|v| routed_tables.contains(&v.table_name))
+                        .map(|v| (l.canonical_fp, v.plan.clone()))
+                });
+                if let Some((view_fp, view_plan)) = fired {
+                    let input = FeatureInput {
+                        query: plan.clone(),
+                        view: view_plan.clone(),
+                        tables: tables_meta(&self.catalog, plan, &view_plan),
+                    };
+                    let est = self.estimator.estimate(&input);
+                    self.estimates.insert(Fingerprint::of(plan).0, (est, view_fp));
+                }
+            }
+            metrics.set_gauge("online.frozen_estimates", self.estimates.len() as f64);
             Ok(())
         })
     }
@@ -309,6 +363,16 @@ impl OnlineEngine {
     /// Hit/miss counters of the shared execution cache.
     pub fn cache_stats(&self) -> av_engine::CacheStats {
         self.cache.stats()
+    }
+
+    /// The estimator-residual stream (raw ring + q-error aggregates).
+    pub fn residuals(&self) -> &ResidualStore {
+        &self.residuals
+    }
+
+    /// Per-view / per-operator q-error summary of the residual stream.
+    pub fn residual_summary(&self) -> ResidualSummary {
+        self.residuals.summary()
     }
 
     /// JSON snapshot of the metrics registry.
@@ -440,6 +504,36 @@ mod tests {
         assert_eq!(get("online.queries_ingested"), (plans.len() * 2) as f64);
         assert!(get("online.views_admitted") >= 1.0);
         assert!(get("online.rewrite_hits") >= 1.0);
+    }
+
+    #[test]
+    fn routed_arrivals_feed_the_residual_stream() {
+        let w = mini(55);
+        let plans = w.plans();
+        let mut eng = engine_for(&w, plans.len(), 4);
+        // Pass 1 fills the window and bootstraps (freezing estimates);
+        // pass 2 routes repeats through the admitted views.
+        for _ in 0..2 {
+            for p in &plans {
+                eng.ingest(p).expect("ingests");
+            }
+        }
+        let summary = eng.residual_summary();
+        assert!(summary.recorded > 0, "routed repeats must record residuals");
+        assert!(!summary.per_view.is_empty(), "per-view aggregates populate");
+        assert!(!summary.per_op.is_empty(), "per-op aggregates populate");
+        let (total_q, total_degen) = summary
+            .per_op
+            .iter()
+            .fold((0, 0), |(s, d), (_, a)| (s + a.samples, d + a.degenerate));
+        assert_eq!(total_q + total_degen, summary.recorded);
+        assert_eq!(
+            eng.metrics().counter("online.residuals_recorded"),
+            summary.recorded
+        );
+        let recent = eng.residuals().recent(8);
+        assert!(!recent.is_empty());
+        assert!(recent.iter().all(|r| r.measured > 0.0));
     }
 
     #[test]

@@ -42,6 +42,11 @@ pub struct Deployment {
     /// publication. Routing matches against these, never a shared mutable
     /// lifecycle manager.
     views: Vec<(Fingerprint, MaterializedView)>,
+    /// Cost estimates for known routed queries, frozen at publication:
+    /// `(original-plan fingerprint, estimated cost, view fingerprint)`,
+    /// sorted by the first element for lock-free binary-search lookup on
+    /// the read path. Feeds the estimator-residual telemetry stream.
+    estimates: Vec<(Fingerprint, f64, Fingerprint)>,
 }
 
 impl Deployment {
@@ -57,7 +62,40 @@ impl Deployment {
             epoch,
             catalog,
             views,
+            estimates: Vec::new(),
         }
+    }
+
+    /// Attach per-query cost estimates (built by the planner at publication
+    /// time from the reopt window). Keys are fingerprints of *original*
+    /// plans as clients submit them, so [`Deployment::estimate_of`] lookups
+    /// need no routing.
+    pub fn with_estimates(
+        mut self,
+        mut estimates: Vec<(Fingerprint, f64, Fingerprint)>,
+    ) -> Deployment {
+        estimates.sort_by_key(|(fp, _, _)| fp.0);
+        estimates.dedup_by_key(|(fp, _, _)| fp.0);
+        self.estimates = estimates;
+        self
+    }
+
+    /// The estimated cost and routing view recorded for a submitted plan's
+    /// fingerprint, if the planner saw this query in its window. O(log n),
+    /// no locks — safe on the hot read path.
+    pub fn estimate_of(&self, plan_fp: Fingerprint) -> Option<(f64, Fingerprint)> {
+        self.estimates
+            .binary_search_by_key(&plan_fp.0, |(fp, _, _)| fp.0)
+            .ok()
+            .map(|i| {
+                let (_, est, view_fp) = self.estimates[i];
+                (est, view_fp)
+            })
+    }
+
+    /// Number of frozen estimates (diagnostics).
+    pub fn estimate_count(&self) -> usize {
+        self.estimates.len()
     }
 
     pub fn epoch(&self) -> u64 {
@@ -250,6 +288,25 @@ mod tests {
         let broken = Deployment::new(2, bare, dep.views().to_vec());
         let err = broken.validate().expect_err("must reject");
         assert!(err.contains("missing from catalog"), "{err}");
+    }
+
+    #[test]
+    fn estimate_lookup_is_sorted_deduped_and_exact() {
+        let (dep, _) = deployment_with_view();
+        let view_fp = dep.views()[0].0;
+        let dep = Deployment::new(3, dep.catalog_arc(), dep.views().to_vec()).with_estimates(vec![
+            (Fingerprint(30), 3.0, view_fp),
+            (Fingerprint(10), 1.0, view_fp),
+            (Fingerprint(20), 2.0, view_fp),
+            (Fingerprint(10), 99.0, view_fp), // duplicate key: first after sort wins
+        ]);
+        assert_eq!(dep.estimate_count(), 3);
+        assert_eq!(dep.estimate_of(Fingerprint(10)), Some((1.0, view_fp)));
+        assert_eq!(dep.estimate_of(Fingerprint(20)), Some((2.0, view_fp)));
+        assert_eq!(dep.estimate_of(Fingerprint(30)), Some((3.0, view_fp)));
+        assert_eq!(dep.estimate_of(Fingerprint(15)), None);
+        let bare = Deployment::new(0, dep.catalog_arc(), Vec::new());
+        assert_eq!(bare.estimate_of(Fingerprint(10)), None);
     }
 
     #[test]

@@ -51,3 +51,7 @@ pub use loadgen::{
     run_closed_loop, run_open_loop, ClosedLoopConfig, LoadReport, OpenLoopConfig,
 };
 pub use server::{ReoptSummary, ServeConfig, ServeError, ServeResponse, ViewServer};
+
+// Telemetry types consumers need to configure the server or consume its
+// snapshots without depending on `av-obs` directly.
+pub use av_obs::{ErrorAggregate, FlightDump, ObsConfig, ObsStats, SloAlert, TenantSloStats};

@@ -16,10 +16,11 @@
 
 use crate::admission::{AdmissionConfig, AdmissionController, Rejection};
 use crate::deployment::{Deployment, DeploymentCell};
-use av_cost::CostEstimator;
+use av_cost::{tables_meta, CostEstimator, FeatureInput};
 use av_engine::{
     Catalog, EngineError, ExecCache, MaterializedView, Pricing, RecordBatch, ShardedExecCache,
 };
+use av_obs::{Obs, ObsConfig, ObsOutcome, QueryRecord, RecordStatus, TenantTag};
 use av_online::{
     reoptimize, AdmitOutcome, CandidateView, LifecycleConfig, OnlineSelector,
     ViewLifecycleManager, WindowSnapshot,
@@ -48,6 +49,10 @@ pub struct ServeConfig {
     /// Minimum times a subquery must repeat in the reopt window before it
     /// becomes a view candidate.
     pub min_query_frequency: usize,
+    /// Telemetry layer configuration (flight recorder, SLO monitoring,
+    /// estimator residuals). `ObsConfig::disabled()` is the zero-overhead
+    /// baseline `serve_bench` compares against.
+    pub obs: ObsConfig,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +67,7 @@ impl Default for ServeConfig {
             lifecycle: LifecycleConfig::default(),
             selector: OnlineSelector::default(),
             min_query_frequency: 2,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -142,6 +148,7 @@ pub struct ViewServer {
     cache: ShardedExecCache,
     admission: AdmissionController,
     tracer: Tracer,
+    obs: Obs,
     planner: Mutex<Planner>,
 }
 
@@ -177,6 +184,13 @@ impl ViewServer {
         if let Some(m) = config.par_min_rows {
             cache = cache.with_par_min_rows(m);
         }
+        // Request latencies are microseconds; the default 2^-20..2^30 bounds
+        // waste half their buckets below 1, so pin a µs-suited log2 range
+        // (1µs .. ~67s) for the serving latency series.
+        tracer.metrics().register_histogram(
+            "serve.latency_us",
+            av_trace::Histogram::with_bounds(av_trace::log2_bounds(0, 26)),
+        );
         let initial = Deployment::new(0, Arc::new(catalog.clone()), Vec::new());
         ViewServer {
             cell: DeploymentCell::new(initial),
@@ -188,6 +202,7 @@ impl ViewServer {
                 estimator,
                 dryrun: ExecCache::new(config.pricing).with_metric_prefix("serve.dryrun"),
             }),
+            obs: Obs::new(config.obs.clone()),
             tracer,
             config,
         }
@@ -195,34 +210,129 @@ impl ViewServer {
 
     /// Execute one query for `tenant`: admission → snapshot load → view
     /// routing → (cached) execution. Never blocks on the re-optimizer.
+    /// Every outcome — served, shed, failed — flows through the telemetry
+    /// layer ([`Obs::observe_query`]): flight recorder, per-tenant SLO
+    /// windows, estimator residuals and anomaly detectors.
     pub fn execute(&self, tenant: &str, plan: &PlanRef) -> Result<ServeResponse, ServeError> {
         let metrics = self.tracer.metrics();
-        let _permit = self.admission.acquire(tenant).map_err(|r| {
-            metrics.inc("serve.rejected");
-            ServeError::Rejected(r)
-        })?;
+        let t0 = self.tracer.now_nanos();
+        let plan_fp = Fingerprint::of(plan);
+        let _permit = match self.admission.acquire(tenant) {
+            Ok(p) => p,
+            Err(r) => {
+                metrics.inc("serve.rejected");
+                let now = self.tracer.now_nanos();
+                self.observe(
+                    now,
+                    plan,
+                    QueryRecord {
+                        tenant: TenantTag::new(tenant),
+                        plan_fp: plan_fp.0,
+                        view_fp: 0,
+                        epoch: self.cell.epoch(),
+                        status: RecordStatus::Shed,
+                        route_hits: 0,
+                        cache_shard: 0,
+                        cache_hit: false,
+                        admit_wait_nanos: now.saturating_sub(t0),
+                        exec_nanos: 0,
+                        rows: 0,
+                        bytes: 0,
+                        est_cost: f64::NAN,
+                        meas_cost: 0.0,
+                    },
+                );
+                return Err(ServeError::Rejected(r));
+            }
+        };
+        let t_adm = self.tracer.now_nanos();
         let deployment = self.cell.load();
         let tracer = self.tracer.clone();
-        let response = tracer.time("serve.request", || -> Result<ServeResponse, ServeError> {
+        let outcome = tracer.time("serve.request", || {
             let (routed, hits) = deployment.route(plan);
-            let fingerprint = Fingerprint::of(&routed);
-            let result = self
-                .cache
-                .run_keyed(fingerprint, deployment.catalog(), &routed)?;
-            Ok(ServeResponse {
-                batch: result.batch,
-                cost_dollars: result.report.cost_dollars,
-                rewrite_hits: hits,
-                epoch: deployment.epoch(),
-            })
-        })?;
+            let routed_fp = Fingerprint::of(&routed);
+            self.cache
+                .run_keyed_hit(routed_fp, deployment.catalog(), &routed)
+                .map(|(result, cache_hit)| (result, cache_hit, hits, routed_fp))
+        });
+        let t1 = self.tracer.now_nanos();
+        let admit_wait_nanos = t_adm.saturating_sub(t0);
+        let exec_nanos = t1.saturating_sub(t_adm);
+
+        let mut record = QueryRecord {
+            tenant: TenantTag::new(tenant),
+            plan_fp: plan_fp.0,
+            view_fp: 0,
+            epoch: deployment.epoch(),
+            status: RecordStatus::Error,
+            route_hits: 0,
+            cache_shard: 0,
+            cache_hit: false,
+            admit_wait_nanos,
+            exec_nanos,
+            rows: 0,
+            bytes: 0,
+            est_cost: f64::NAN,
+            meas_cost: 0.0,
+        };
+        let (result, cache_hit, hits, routed_fp) = match outcome {
+            Ok(parts) => parts,
+            Err(e) => {
+                metrics.inc("serve.errors");
+                self.observe(t1, plan, record);
+                return Err(ServeError::Engine(e));
+            }
+        };
+        record.status = RecordStatus::Ok;
+        record.route_hits = hits as u32;
+        record.cache_shard = self.cache.shard_of(routed_fp) as u32;
+        record.cache_hit = cache_hit;
+        record.rows = result.report.output_rows as u64;
+        record.bytes = result.report.output_bytes as u64;
+        record.meas_cost = result.report.cost_dollars;
+        if hits > 0 {
+            if let Some((est, view_fp)) = deployment.estimate_of(plan_fp) {
+                record.est_cost = est;
+                record.view_fp = view_fp.0;
+            }
+        }
+        self.observe(t1, plan, record);
+
+        let response = ServeResponse {
+            batch: result.batch,
+            cost_dollars: result.report.cost_dollars,
+            rewrite_hits: hits,
+            epoch: deployment.epoch(),
+        };
         metrics.inc("serve.requests");
         if response.rewrite_hits > 0 {
             metrics.inc("serve.requests_rewritten");
             metrics.add("serve.rewrite_hits", response.rewrite_hits as u64);
         }
         metrics.observe("serve.query_cost", response.cost_dollars);
+        metrics.observe(
+            "serve.latency_us",
+            ((admit_wait_nanos + exec_nanos) / 1_000) as f64,
+        );
         Ok(response)
+    }
+
+    /// Route one finished request through the telemetry layer and bump the
+    /// trigger counters for anything it fired.
+    fn observe(&self, now_nanos: u64, plan: &PlanRef, record: QueryRecord) {
+        let ObsOutcome {
+            alerts, anomalies, ..
+        } = self.obs.observe_query(now_nanos, &record, plan.op_keyword());
+        if !alerts.is_empty() {
+            self.tracer
+                .metrics()
+                .add("serve.slo_alerts", alerts.len() as u64);
+        }
+        if !anomalies.is_empty() {
+            self.tracer
+                .metrics()
+                .add("serve.anomaly_dumps", anomalies.len() as u64);
+        }
     }
 
     /// Re-optimize against a workload window and publish the next epoch.
@@ -357,6 +467,36 @@ impl ViewServer {
             views,
         );
 
+        // Freeze per-query cost estimates for the residual-telemetry
+        // stream: route each window query through the candidate snapshot
+        // and, where a view fires, price the pair with the planner's cost
+        // model. The table is immutable once published, so the read path
+        // looks estimates up without touching the estimator (which lives
+        // behind this planner lock).
+        let mut estimates: Vec<(Fingerprint, f64, Fingerprint)> = Vec::new();
+        for plan in sample {
+            let (routed, hits) = next.route(plan);
+            if hits == 0 {
+                continue;
+            }
+            let routed_tables = routed.base_tables();
+            let fired = next
+                .views()
+                .iter()
+                .find(|(_, v)| routed_tables.contains(&v.table_name));
+            if let Some((view_fp, view)) = fired {
+                let input = FeatureInput {
+                    query: plan.clone(),
+                    view: view.plan.clone(),
+                    tables: tables_meta(&planner.catalog, plan, &view.plan),
+                };
+                let est = planner.estimator.estimate(&input);
+                estimates.push((Fingerprint::of(plan), est, *view_fp));
+            }
+        }
+        metrics.set_gauge("serve.frozen_estimates", estimates.len() as f64);
+        let next = next.with_estimates(estimates);
+
         // Preflight gate: a snapshot that cannot prove itself never
         // reaches the swap.
         match next.validate_with(sample) {
@@ -414,6 +554,21 @@ impl ViewServer {
     /// Admission counters for one tenant.
     pub fn tenant_load(&self, tenant: &str) -> crate::admission::TenantLoad {
         self.admission.load_of(tenant)
+    }
+
+    /// The telemetry layer: flight recorder, SLO monitor, residual store.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Snapshot of the whole telemetry layer (the `serve stats` payload).
+    pub fn stats_snapshot(&self) -> av_obs::ObsStats {
+        self.obs.stats()
+    }
+
+    /// Prometheus text exposition: metrics registry + SLO + residual series.
+    pub fn prometheus_text(&self) -> String {
+        self.obs.prometheus(&self.tracer.metrics().snapshot())
     }
 }
 

@@ -1,0 +1,211 @@
+//! End-to-end telemetry scenario: a phase-shifted workload whose second
+//! phase regresses latency, driven through a deterministic stepping clock.
+//!
+//! Phase A serves the mini workload with a tiny per-read clock step
+//! (healthy, tens of microseconds per request). Phase B replays the same
+//! queries with a huge step, so every request's measured latency blows
+//! through the SLO threshold. The test asserts the full alerting path:
+//! the multi-window burn-rate monitor fires, the anomaly detectors
+//! trigger a flight-recorder dump, and the dump contains the offending
+//! phase-B records.
+
+use av_cost::OptimizerEstimator;
+use av_obs::{Objective, RecordStatus};
+use av_online::LifecycleConfig;
+use av_plan::Fingerprint;
+use av_serve::{ServeConfig, ViewServer};
+use av_trace::{Clock, Tracer};
+use av_workload::cloud::mini;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A clock that self-advances by a configurable step on every read, so
+/// each timed region in the serving path accrues deterministic latency
+/// without any sleeping.
+#[derive(Clone)]
+struct SteppingClock {
+    nanos: Arc<AtomicU64>,
+    step: Arc<AtomicU64>,
+}
+
+impl SteppingClock {
+    fn new(step: u64) -> SteppingClock {
+        SteppingClock {
+            nanos: Arc::new(AtomicU64::new(0)),
+            step: Arc::new(AtomicU64::new(step)),
+        }
+    }
+
+    fn set_step(&self, step: u64) {
+        self.step.store(step, Ordering::SeqCst);
+    }
+}
+
+impl Clock for SteppingClock {
+    fn now_nanos(&self) -> u64 {
+        let step = self.step.load(Ordering::SeqCst);
+        self.nanos.fetch_add(step, Ordering::SeqCst) + step
+    }
+}
+
+fn server_on(clock: &SteppingClock, w: &av_workload::Workload) -> ViewServer {
+    let tracer = Tracer::with_clock(Box::new(clock.clone()));
+    ViewServer::with_tracer(
+        w.catalog.clone(),
+        Box::new(OptimizerEstimator::default()),
+        ServeConfig {
+            lifecycle: LifecycleConfig {
+                byte_budget: usize::MAX,
+                min_benefit_per_byte: 0.0,
+                tenant_byte_budget: usize::MAX,
+            },
+            ..ServeConfig::default()
+        },
+        tracer,
+    )
+}
+
+#[test]
+fn phase_shift_fires_burn_alert_and_dumps_offending_queries() {
+    // Phase A: ~2µs per clock read — far under the 10ms SLO threshold.
+    let clock = SteppingClock::new(2_000);
+    let w = mini(91);
+    let plans = w.plans();
+    let server = server_on(&clock, &w);
+
+    // Warm up: admit views so routed queries carry frozen cost estimates.
+    server.reoptimize(&plans, None).expect("reoptimizes");
+
+    for _ in 0..8 {
+        for p in &plans {
+            server.execute("acme", p).expect("healthy phase serves");
+        }
+    }
+    assert!(
+        server.obs().alerts().is_empty(),
+        "healthy phase must not breach the SLO"
+    );
+    let healthy_dumps = server.obs().dumps().len();
+
+    // Phase B: 5ms per clock read — every request now measures well over
+    // the 10ms latency threshold (at least three reads span a request).
+    clock.set_step(5_000_000);
+    let phase_b_fps: Vec<u64> = plans.iter().map(|p| Fingerprint::of(p).0).collect();
+    for _ in 0..12 {
+        for p in &plans {
+            server.execute("acme", p).expect("slow phase still serves");
+        }
+    }
+
+    // The burn-rate monitor fired for the latency objective.
+    let alerts = server.obs().alerts();
+    assert!(
+        alerts
+            .iter()
+            .any(|a| a.tenant == "acme" && a.objective == Objective::LatencyP99),
+        "phase shift must fire a latency burn-rate alert, got {alerts:?}"
+    );
+    let fired = alerts
+        .iter()
+        .find(|a| a.objective == Objective::LatencyP99)
+        .expect("latency alert");
+    assert!(fired.fast_burn >= 6.0, "fast window saturates its burn");
+    assert!(fired.slow_burn >= 3.0, "slow window saturates its burn");
+
+    // Alerts and anomalies both captured flight dumps.
+    let dumps = server.obs().dumps();
+    assert!(dumps.len() > healthy_dumps, "breach must store dumps");
+    let reasons: Vec<&str> = dumps.iter().map(|d| d.reason.as_str()).collect();
+    assert!(
+        reasons.contains(&"slo_latency_burn"),
+        "burn alert dumps the ring, got {reasons:?}"
+    );
+    assert!(
+        reasons.contains(&"latency_regression"),
+        "anomaly detector dumps the ring, got {reasons:?}"
+    );
+
+    // The dump holds the offending queries: phase-B fingerprints whose
+    // measured latency breached the threshold.
+    let dump = dumps
+        .iter()
+        .find(|d| d.reason == "slo_latency_burn")
+        .expect("slo dump");
+    let threshold_nanos = 10_000u64 * 1_000;
+    let offending = dump
+        .records
+        .iter()
+        .filter(|r| {
+            r.tenant == "acme"
+                && r.status == RecordStatus::Ok
+                && phase_b_fps.contains(&r.plan_fp)
+                && r.admit_wait_nanos + r.exec_nanos > threshold_nanos
+        })
+        .count();
+    assert!(
+        offending > 0,
+        "dump must contain the slow phase-B records themselves"
+    );
+
+    // The snapshot agrees with the alert history and serializes.
+    let stats = server.stats_snapshot();
+    assert!(stats.enabled);
+    assert!(!stats.alerts.is_empty());
+    assert!(!stats.dumps.is_empty());
+    let t = stats
+        .slo
+        .iter()
+        .find(|t| t.tenant == "acme")
+        .expect("tenant slo stats");
+    assert!(t.alerts_fired > 0);
+    assert!(t.p99_us >= 10_000, "p99 reflects the regression");
+    let json = serde_json::to_string(&stats).expect("stats serialize");
+    assert!(json.contains("slo_latency_burn"));
+}
+
+#[test]
+fn routed_queries_record_residuals_and_export_exposition() {
+    let clock = SteppingClock::new(1_000);
+    let w = mini(92);
+    let plans = w.plans();
+    let server = server_on(&clock, &w);
+
+    // No estimates before the first swap: nothing to compare against.
+    server.execute("t0", &plans[0]).expect("serves");
+    assert_eq!(server.stats_snapshot().residuals.recorded, 0);
+
+    // After reoptimize the deployment carries frozen per-query estimates;
+    // routed repeats feed the residual stream.
+    server.reoptimize(&plans, None).expect("reoptimizes");
+    assert!(
+        server.current().estimate_count() > 0,
+        "swap freezes estimates for routed window queries"
+    );
+    for _ in 0..2 {
+        for p in &plans {
+            server.execute("t0", p).expect("serves");
+        }
+    }
+    let stats = server.stats_snapshot();
+    assert!(
+        stats.residuals.recorded > 0,
+        "routed repeats must record residuals"
+    );
+    assert!(!stats.residuals.per_view.is_empty());
+    assert!(!stats.residuals.per_op.is_empty());
+
+    // The exposition stitches registry metrics, SLO series and residual
+    // aggregates into one scrape body.
+    let text = server.prometheus_text();
+    assert!(text.contains("serve_latency_us_bucket"));
+    assert!(text.contains("le=\"+Inf\""));
+    assert!(text.contains("slo_requests_total{tenant=\"t0\"}"));
+    assert!(text.contains("residuals_recorded_total"));
+    assert!(text.contains("residual_q_error_mean{view="));
+
+    // On-demand dump sees the most recent traffic without storing itself.
+    let dump = server.obs().dump_now("on-demand");
+    assert!(!dump.records.is_empty());
+    assert!(server.obs().dumps().is_empty());
+    assert!(dump.records.iter().all(|r| r.status == RecordStatus::Ok));
+}

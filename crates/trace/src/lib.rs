@@ -28,7 +28,7 @@ pub mod span;
 pub use clock::{Clock, MonotonicClock, TestClock};
 pub use export::{chrome_trace, profile_tree};
 pub use metrics::{
-    BucketSnapshot, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, Timing,
-    TimingSnapshot, BUCKET_BOUNDS, NAN_REJECTED,
+    default_bucket_bounds, log2_bounds, BucketSnapshot, Histogram, HistogramSnapshot, Metrics,
+    MetricsSnapshot, Timing, TimingSnapshot, NAN_REJECTED,
 };
 pub use span::{BufGuard, SpanBuffer, SpanGuard, SpanRecord, TraceSnapshot, Tracer};

@@ -12,23 +12,44 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// Histogram bucket upper bounds: powers of ten spanning the dollar costs
-/// and byte sizes this system observes. Values above the last bound land in
-/// a `+Inf` overflow bucket.
-pub const BUCKET_BOUNDS: [f64; 13] = [
-    1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3,
-];
+/// Inclusive bucket upper bounds `2^k` for `k` in `lo..=hi`, ascending.
+/// log2 spacing bounds the relative error of any bucket-interpolated
+/// statistic by 2×, uniformly across the whole range — unlike the old
+/// power-of-ten bounds, whose per-bucket error was 10×.
+pub fn log2_bounds(lo: i32, hi: i32) -> Vec<f64> {
+    assert!(lo <= hi, "log2_bounds: lo ({lo}) must be <= hi ({hi})");
+    (lo..=hi).map(|k| (k as f64).exp2()).collect()
+}
+
+/// The default bounds: `2^-20 ..= 2^30`. One shared set spans everything
+/// the system observes — dollar costs (µ$ and up), byte sizes, and µs
+/// latencies up to ~18 minutes when observed in µs. Values above the last
+/// bound land in a `+Inf` overflow bucket.
+pub fn default_bucket_bounds() -> &'static [f64] {
+    default_bounds_arc().as_ref()
+}
+
+fn default_bounds_arc() -> &'static Arc<[f64]> {
+    static BOUNDS: OnceLock<Arc<[f64]>> = OnceLock::new();
+    BOUNDS.get_or_init(|| log2_bounds(-20, 30).into())
+}
 
 /// Counter bumped whenever a NaN observation is rejected, so silent data
 /// problems still leave a visible trail in the snapshot.
 pub const NAN_REJECTED: &str = "trace.nan_rejected";
 
 /// A fixed-bucket histogram with count/sum/min/max summary statistics.
+/// Bounds are log2-spaced by default ([`default_bucket_bounds`]) and
+/// configurable per histogram ([`Histogram::with_bounds`]); registries
+/// take pre-configured instances via [`Metrics::register_histogram`].
 #[derive(Debug, Clone)]
 pub struct Histogram {
-    counts: [u64; BUCKET_BOUNDS.len() + 1],
+    /// Ascending inclusive upper bounds; shared, never mutated.
+    bounds: Arc<[f64]>,
+    /// One slot per bound plus the overflow bucket.
+    counts: Vec<u64>,
     count: u64,
     sum: f64,
     min: f64,
@@ -37,27 +58,48 @@ pub struct Histogram {
 
 impl Default for Histogram {
     fn default() -> Self {
+        Histogram::with_bounds_arc(default_bounds_arc().clone())
+    }
+}
+
+impl Histogram {
+    /// A histogram over custom inclusive upper bounds (must be non-empty,
+    /// finite, and strictly ascending). [`log2_bounds`] builds log2-spaced
+    /// sets for other ranges or finer resolution.
+    pub fn with_bounds(bounds: Vec<f64>) -> Histogram {
+        Histogram::with_bounds_arc(bounds.into())
+    }
+
+    fn with_bounds_arc(bounds: Arc<[f64]>) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly ascending"
+        );
+        let counts = vec![0; bounds.len() + 1];
         Histogram {
-            counts: [0; BUCKET_BOUNDS.len() + 1],
+            bounds,
+            counts,
             count: 0,
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
     }
-}
 
-impl Histogram {
+    /// The bucket bounds this histogram was configured with.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
     /// Record one observation. NaN is rejected (returns `false`) instead of
     /// being counted into the overflow bucket and corrupting `sum`.
     pub fn observe(&mut self, value: f64) -> bool {
         if value.is_nan() {
             return false;
         }
-        let bucket = BUCKET_BOUNDS
-            .iter()
-            .position(|&b| value <= b)
-            .unwrap_or(BUCKET_BOUNDS.len());
+        // First bound >= value; everything above the last bound overflows.
+        let bucket = self.bounds.partition_point(|&b| b < value);
         self.counts[bucket] += 1;
         self.count += 1;
         self.sum += value;
@@ -106,8 +148,8 @@ impl Histogram {
             }
             let next = cum + c;
             if next as f64 >= rank {
-                let lower = if i == 0 { 0.0 } else { BUCKET_BOUNDS[i - 1] };
-                let upper = BUCKET_BOUNDS.get(i).copied().unwrap_or(self.max);
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = self.bounds.get(i).copied().unwrap_or(self.max);
                 let frac = ((rank - cum as f64) / c as f64).clamp(0.0, 1.0);
                 let est = lower + frac * (upper - lower);
                 return Some(est.clamp(self.min, self.max));
@@ -118,13 +160,13 @@ impl Histogram {
     }
 
     /// Count recorded in the bucket whose inclusive upper bound is `upper`
-    /// (must be one of [`BUCKET_BOUNDS`]); `f64::INFINITY` addresses the
-    /// overflow bucket.
+    /// (must be one of this histogram's [`Histogram::bounds`]);
+    /// `f64::INFINITY` addresses the overflow bucket.
     pub fn bucket_count(&self, upper: f64) -> u64 {
         if upper.is_infinite() {
-            return self.counts[BUCKET_BOUNDS.len()];
+            return self.counts[self.bounds.len()];
         }
-        BUCKET_BOUNDS
+        self.bounds
             .iter()
             .position(|&b| b == upper)
             .map(|i| self.counts[i])
@@ -147,7 +189,7 @@ impl Histogram {
                 .enumerate()
                 .filter(|(_, &c)| c > 0)
                 .map(|(i, &c)| BucketSnapshot {
-                    upper: BUCKET_BOUNDS.get(i).copied().unwrap_or(f64::MAX),
+                    upper: self.bounds.get(i).copied().unwrap_or(f64::MAX),
                     count: c,
                 })
                 .collect(),
@@ -236,6 +278,17 @@ impl Metrics {
         if !ok {
             self.add(NAN_REJECTED, 1);
         }
+    }
+
+    /// Pre-register a histogram (typically one built with
+    /// [`Histogram::with_bounds`]) so later [`Metrics::observe`] calls on
+    /// `name` record into its configured buckets. A histogram already
+    /// registered under `name` is kept — bounds never change under a live
+    /// series.
+    pub fn register_histogram(&self, name: &str, hist: Histogram) {
+        self.with(|s| {
+            s.histograms.entry(name.to_string()).or_insert(hist);
+        });
     }
 
     /// Clone of a histogram (None if nothing was observed under that name).
@@ -386,19 +439,69 @@ mod tests {
         // A value exactly equal to a bound lands in THAT bucket (bounds are
         // inclusive upper limits), not the next one up.
         let m = Metrics::new();
-        for &b in &BUCKET_BOUNDS {
+        let bounds = default_bucket_bounds();
+        for &b in bounds {
             m.observe("edges", b);
         }
         let h = m.histogram("edges").expect("exists");
-        assert_eq!(h.count(), BUCKET_BOUNDS.len() as u64);
-        for &b in &BUCKET_BOUNDS {
+        assert_eq!(h.count(), bounds.len() as u64);
+        for &b in bounds {
             assert_eq!(h.bucket_count(b), 1, "value {b} must land in its own bucket");
         }
         assert_eq!(h.bucket_count(f64::INFINITY), 0);
         // Just above the last bound overflows.
-        m.observe("edges", BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1] * 1.0001);
+        m.observe("edges", bounds[bounds.len() - 1] * 1.0001);
         let h = m.histogram("edges").expect("exists");
         assert_eq!(h.bucket_count(f64::INFINITY), 1);
+    }
+
+    #[test]
+    fn default_bounds_are_log2_and_pin_edge_values() {
+        let bounds = default_bucket_bounds();
+        assert_eq!(bounds.first().copied(), Some((-20f64).exp2()));
+        assert_eq!(bounds.last().copied(), Some(30f64.exp2()));
+        for w in bounds.windows(2) {
+            assert_eq!(w[1] / w[0], 2.0, "adjacent bounds differ by exactly 2x");
+        }
+        // Exact powers of two land in their own bucket; one ulp above a
+        // bound rolls over into the next bucket.
+        let mut h = Histogram::default();
+        h.observe(1024.0);
+        assert_eq!(h.bucket_count(1024.0), 1);
+        assert_eq!(h.bucket_count(2048.0), 0);
+        h.observe(1024.0 + 1e-9);
+        assert_eq!(h.bucket_count(2048.0), 1);
+        // µs latencies: sub-µs values land in the fractional buckets, not a
+        // catch-all first bucket.
+        let mut lat = Histogram::default();
+        lat.observe(0.25);
+        assert_eq!(lat.bucket_count(0.25), 1);
+        assert_eq!(lat.bucket_count(bounds[0]), 0);
+    }
+
+    #[test]
+    fn custom_log2_bounds_are_configurable_per_histogram() {
+        // A µs-latency histogram with 1µs..~16s bounds registered up front:
+        // later observes on the same name use the configured buckets.
+        let m = Metrics::new();
+        m.register_histogram("lat_us", Histogram::with_bounds(log2_bounds(0, 24)));
+        m.observe("lat_us", 3.0);
+        m.observe("lat_us", 700.0);
+        let h = m.histogram("lat_us").expect("exists");
+        assert_eq!(h.bounds().len(), 25);
+        assert_eq!(h.bucket_count(4.0), 1, "3µs lands in (2, 4]");
+        assert_eq!(h.bucket_count(1024.0), 1, "700µs lands in (512, 1024]");
+        // Registering again must not reset the live series or its bounds.
+        m.register_histogram("lat_us", Histogram::with_bounds(log2_bounds(0, 4)));
+        let h = m.histogram("lat_us").expect("exists");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bounds().len(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_are_rejected() {
+        let _ = Histogram::with_bounds(vec![4.0, 2.0]);
     }
 
     #[test]
@@ -461,17 +564,17 @@ mod tests {
         // estimator substitutes the observed max and must stay finite and
         // within [min, max].
         let m = Metrics::new();
-        for v in [5e3, 6e3, 7e3] {
+        for v in [5e9, 6e9, 7e9] {
             m.observe("lat", v);
         }
         let h = m.histogram("lat").expect("exists");
         assert_eq!(h.bucket_count(f64::INFINITY), 3);
-        assert_eq!(h.quantile(0.0), Some(5e3));
-        assert_eq!(h.quantile(1.0), Some(7e3));
+        assert_eq!(h.quantile(0.0), Some(5e9));
+        assert_eq!(h.quantile(1.0), Some(7e9));
         for q in [0.5, 0.99] {
             let est = h.quantile(q).expect("some");
             assert!(est.is_finite());
-            assert!((5e3..=7e3).contains(&est), "q={q} escaped: {est}");
+            assert!((5e9..=7e9).contains(&est), "q={q} escaped: {est}");
         }
     }
 

@@ -247,6 +247,13 @@ impl Tracer {
         self.inner.clock.now_nanos() as f64 / 1e9
     }
 
+    /// Nanoseconds since the tracer's clock origin — the raw form of
+    /// [`Tracer::now_seconds`], used by telemetry that stores integer
+    /// timestamps (flight-recorder records, SLO window rotation).
+    pub fn now_nanos(&self) -> u64 {
+        self.inner.clock.now_nanos()
+    }
+
     /// Open a span named `name`, parented under the innermost open span.
     /// Dropping the guard closes it.
     ///
