@@ -23,8 +23,9 @@
 //!    (`crates/analyze/unwrap-baseline.txt`).
 //! 4. **unsafe-scope** — the `unsafe` keyword (and `allow(unsafe_code)`
 //!    opt-ins) anywhere except the audited allowlist
-//!    (`UNSAFE_ALLOWED_FILES`), currently only `av-nn`'s SIMD kernel
-//!    module. `forbid`/`deny(unsafe_code)` attributes are of course fine —
+//!    (`UNSAFE_ALLOWED_FILES`): `av-nn`'s SIMD kernels, `av-sched`'s
+//!    task pointer, and `av-trace`'s TSC clock fast path.
+//!    `forbid`/`deny(unsafe_code)` attributes are of course fine —
 //!    the rule exists precisely so those stay the default everywhere else.
 //! 5. **hot-path-alloc** — files on the `HOT_PATH_FILES` list (currently
 //!    `av-obs`'s flight-recorder module) bracket their per-query record
@@ -36,6 +37,14 @@
 //!    its wait-freedom claim is only as good as this invariant. A listed
 //!    file with no region at all is itself a finding — the markers are
 //!    the contract, not decoration.
+//! 6. **raw-spawn** — `thread::spawn`, `thread::scope`, or
+//!    `thread::Builder` in library code. Query-time parallelism goes
+//!    through `av-sched`'s shared morsel pool; ad-hoc OS threads bypass its
+//!    admission-coupled elastic DOP and its telemetry, and re-introduce the
+//!    per-query spawn overhead the pool exists to amortize. Binaries and
+//!    test code are exempt (same carve-outs as `wall-clock`), plus a short
+//!    allowlist (`RAW_SPAWN_ALLOWED_FILES`): the scheduler's own worker
+//!    threads and the load generator's closed-loop clients.
 //!
 //! Test code is skipped: everything below a `#[cfg(test)]` attribute, and
 //! any path containing a `tests` or `benches` directory.
@@ -110,6 +119,42 @@ fn is_wall_clock_allowed_file(file: &str) -> bool {
         .any(|allowed| file == *allowed || file.ends_with(&format!("/{allowed}")))
 }
 
+/// Raw OS-thread entry points, assembled from pieces like the patterns
+/// above so the scanner does not trip on its own source. `thread::Builder`
+/// is included: it is the same capability with a name attached, and the
+/// pool's workers (the one sanctioned user) live on the allowlist anyway.
+fn raw_spawn_patterns() -> &'static [String; 3] {
+    static PATTERNS: std::sync::OnceLock<[String; 3]> = std::sync::OnceLock::new();
+    PATTERNS.get_or_init(|| {
+        [
+            format!("thread{}", "::spawn"),
+            format!("thread{}", "::scope"),
+            format!("thread{}", "::Builder"),
+        ]
+    })
+}
+
+/// Library files allowed to start OS threads directly. The whole scope of
+/// the exemption — everywhere else, parallel work goes through the shared
+/// `av-sched` pool, so adding a file here is a reviewed decision.
+///
+/// `crates/sched/src/pool.rs`: the pool itself — its persistent workers
+/// are the threads everything else borrows, and `run_scoped` keeps the
+/// legacy scoped-spawn baseline alive for paired benchmarks.
+///
+/// `crates/serve/src/loadgen.rs`: closed-loop load-generator clients model
+/// independent *sessions*, not query-internal parallelism; running them on
+/// the pool would have the system under test share threads with the load
+/// that is measuring it.
+const RAW_SPAWN_ALLOWED_FILES: [&str; 2] =
+    ["crates/sched/src/pool.rs", "crates/serve/src/loadgen.rs"];
+
+fn is_raw_spawn_allowed_file(file: &str) -> bool {
+    RAW_SPAWN_ALLOWED_FILES
+        .iter()
+        .any(|allowed| file == *allowed || file.ends_with(&format!("/{allowed}")))
+}
+
 fn unwrap_pattern() -> &'static str {
     static PAT: std::sync::OnceLock<String> = std::sync::OnceLock::new();
     PAT.get_or_init(|| format!(".unw{}(", "rap"))
@@ -143,7 +188,21 @@ fn unsafe_rule_name() -> &'static str {
 /// are inherently `unsafe fn`; the module confines them behind safe
 /// dispatchers whose slice-length `debug_assert`s state the contract, and
 /// the property suite pins them bitwise to safe scalar references.
-const UNSAFE_ALLOWED_FILES: [&str; 1] = ["crates/nn/src/simd.rs"];
+///
+/// `crates/sched/src/task.rs`: the pool's lifetime-erased task pointer
+/// (one transmute to `'static`, sound because `Pool::run` blocks on the
+/// completion latch before the borrow ends). The module doc states the
+/// invariant; everything else in `av-sched` stays `deny`-clean.
+///
+/// `crates/trace/src/clock.rs`: the invariant-TSC fast path
+/// (`_rdtsc`/`__cpuid` intrinsics — no memory effects, `unsafe` only
+/// because they are target-specific). Confined to the `tsc` submodule;
+/// the rest of `av-trace` stays `deny`-clean.
+const UNSAFE_ALLOWED_FILES: [&str; 3] = [
+    "crates/nn/src/simd.rs",
+    "crates/sched/src/task.rs",
+    "crates/trace/src/clock.rs",
+];
 
 fn is_unsafe_allowed_file(file: &str) -> bool {
     UNSAFE_ALLOWED_FILES
@@ -390,6 +449,8 @@ pub fn lint_source(file: &str, src: &str) -> Vec<LintFinding> {
         .collect();
     let wall_clock = wall_clock_patterns();
     let clock_exempt = is_binary_path(file) || is_wall_clock_allowed_file(file);
+    let raw_spawn = raw_spawn_patterns();
+    let spawn_exempt = is_binary_path(file) || is_raw_spawn_allowed_file(file);
     let unsafe_exempt = is_unsafe_allowed_file(file);
     let unsafe_optin = unsafe_optin_pattern();
     let hot_file = is_hot_path_file(file);
@@ -434,9 +495,9 @@ pub fn lint_source(file: &str, src: &str) -> Vec<LintFinding> {
                 line: i + 1,
                 rule: unsafe_rule_name(),
                 message: format!(
-                    "{} code outside the audited kernel allowlist; keep intrinsics \
-                     confined to crates/nn/src/simd.rs or extend UNSAFE_ALLOWED_FILES \
-                     in review",
+                    "{} code outside the audited allowlist; keep it confined to \
+                     the listed kernel/scheduler modules or extend \
+                     UNSAFE_ALLOWED_FILES in review",
                     unsafe_keyword()
                 ),
             });
@@ -450,6 +511,21 @@ pub fn lint_source(file: &str, src: &str) -> Vec<LintFinding> {
                     message: format!(
                         "{pat} in library code breaks replayability; route time through \
                          av-trace's Clock trait or move the read into a binary"
+                    ),
+                });
+            }
+        }
+        if !spawn_exempt && !line.contains(ALLOW_MARKER) {
+            if let Some(pat) = raw_spawn.iter().find(|p| line.contains(p.as_str())) {
+                findings.push(LintFinding {
+                    file: file.to_string(),
+                    line: i + 1,
+                    rule: "raw-spawn",
+                    message: format!(
+                        "{pat} in library code bypasses the shared av-sched pool \
+                         (elastic DOP, steal/queue telemetry, amortized spawn cost); \
+                         submit morsels via av_sched::global().run or extend \
+                         RAW_SPAWN_ALLOWED_FILES in review"
                     ),
                 });
             }
@@ -774,16 +850,24 @@ fn f(m: HashMap<String, u32>) -> HashMap<String, u32> {
     }
 
     #[test]
-    fn unsafe_scope_allowlist_is_exactly_the_simd_module() {
+    fn unsafe_scope_allowlist_is_exactly_the_audited_modules() {
         let kw = unsafe_keyword();
         let src = format!("{kw} fn kernel() {{}}\n");
-        assert!(lint_source("crates/nn/src/simd.rs", &src).is_empty());
-        assert!(lint_source("/abs/repo/crates/nn/src/simd.rs", &src).is_empty());
+        for allowed in [
+            "crates/nn/src/simd.rs",
+            "crates/sched/src/task.rs",
+            "crates/trace/src/clock.rs",
+        ] {
+            assert!(lint_source(allowed, &src).is_empty(), "{allowed}");
+            assert!(lint_source(&format!("/abs/repo/{allowed}"), &src).is_empty());
+        }
         // No leaking to sibling files, binaries, or similarly named paths.
         for file in [
             "crates/nn/src/tensor.rs",
             "crates/bench/src/bin/nn_bench.rs",
             "crates/engine/src/simd.rs",
+            "crates/sched/src/pool.rs",
+            "crates/trace/src/span.rs",
         ] {
             let f = lint_source(file, &src);
             assert_eq!(f.len(), 1, "{file} must still be flagged: {f:?}");
@@ -796,6 +880,58 @@ fn f(m: HashMap<String, u32>) -> HashMap<String, u32> {
         let kw = unsafe_keyword();
         let src = format!("#![forbid({kw}_code)]\n#![deny({kw}_code)]\nfn safe() {{}}\n");
         assert!(lint_source("crates/engine/src/lib.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn raw_spawn_is_flagged_in_library_code() {
+        for entry in ["::spawn", "::scope", "::Builder"] {
+            let src = format!("fn f() {{ std::thread{entry}(work); }}\n");
+            let f = lint_source("crates/engine/src/exec.rs", &src);
+            assert_eq!(f.len(), 1, "{entry} -> {f:?}");
+            assert_eq!(f[0].rule, "raw-spawn");
+            assert_eq!(f[0].line, 1);
+        }
+    }
+
+    #[test]
+    fn raw_spawn_allowlist_is_the_pool_and_the_load_generator() {
+        let src = format!("fn f() {{ std::thread{}(work); }}\n", "::spawn");
+        for allowed in ["crates/sched/src/pool.rs", "crates/serve/src/loadgen.rs"] {
+            assert!(lint_source(allowed, &src).is_empty(), "{allowed}");
+            assert!(lint_source(&format!("/abs/repo/{allowed}"), &src).is_empty());
+        }
+        // The exemption does not leak to sibling files or lookalike paths.
+        for file in [
+            "crates/sched/src/task.rs",
+            "crates/serve/src/server.rs",
+            "crates/engine/src/par.rs",
+            "crates/online/src/loadgen.rs",
+        ] {
+            let f = lint_source(file, &src);
+            assert_eq!(f.len(), 1, "{file} must still be flagged: {f:?}");
+            assert_eq!(f[0].rule, "raw-spawn");
+        }
+    }
+
+    #[test]
+    fn raw_spawn_in_binaries_and_tests_is_exempt() {
+        let src = format!("fn main() {{ std::thread{}(work); }}\n", "::scope");
+        assert!(lint_source("crates/bench/src/bin/serve_bench.rs", &src).is_empty());
+        assert!(lint_source("crates/x/src/main.rs", &src).is_empty());
+        let test_src = format!(
+            "fn f() {{}}\n#[cfg(test)]\nmod t {{ fn g() {{ std::thread{}(work); }} }}\n",
+            "::spawn"
+        );
+        assert!(lint_source("crates/engine/src/exec.rs", &test_src).is_empty());
+    }
+
+    #[test]
+    fn raw_spawn_allow_marker_exempts_a_line() {
+        let src = format!(
+            "fn f() {{ std::thread{}(work); // det-lint: allow — reviewed one-off\n}}\n",
+            "::spawn"
+        );
+        assert!(lint_source("crates/engine/src/exec.rs", &src).is_empty());
     }
 
     const HOT_FILE: &str = "crates/obs/src/recorder.rs";
@@ -934,6 +1070,7 @@ mod tests {
         assert!(std::ptr::eq(unsafe_optin_pattern(), unsafe_optin_pattern()));
         assert!(std::ptr::eq(wall_clock_patterns(), wall_clock_patterns()));
         assert!(std::ptr::eq(hot_path_clock_tokens(), hot_path_clock_tokens()));
+        assert!(std::ptr::eq(raw_spawn_patterns(), raw_spawn_patterns()));
     }
 
     #[test]

@@ -3,12 +3,23 @@
 //! default selection-vector + typed-kernel path, plus the plan-result
 //! cache's hit-rate and speedup on a full workload replay.
 //!
-//! The micro tables sit *below* the 32k-row parallel cutover on purpose:
+//! The micro tables sit *below* the 16k-row parallel cutover on purpose:
 //! that regime gets no help from threading, so whatever the typed kernels
 //! buy is exactly what a small-batch query feels. Each micro asserts the
 //! two paths produce bitwise-identical batches and execution reports, and
 //! the build fails if any optimized micro is slower than its reference —
 //! a <1.0x "optimization" can never ship silently.
+//!
+//! A spawn-overhead section sizes the parallel cutover: the same plan at
+//! 8k–64k rows through the serial path, the shared av-sched pool, and the
+//! legacy per-batch scoped-spawn backend (parallelism forced on via a zero
+//! `min_rows` so the sub-cutover sizes are measured too). On multi-core
+//! hosts the pooled path must be profitable (≥1.0x vs serial) from 16k rows
+//! up — that is the measurement that justifies lowering `PAR_MIN_ROWS` to
+//! 16_384 — and the whole bench fails if it regresses. Single-core hosts
+//! report the numbers but skip the gate (parallelism cannot win there).
+//! The tracing-overhead budget is also a gate: traced vs untraced over the
+//! benched workload must stay under 5%.
 //!
 //! Writes `BENCH_exec.json` (machine-readable, consumed by CI) next to the
 //! working directory and prints the same numbers as a table.
@@ -46,6 +57,23 @@ struct MicroResult {
 }
 
 #[derive(Debug, Clone, Serialize)]
+struct SpawnResult {
+    /// Fact-table rows driven through the plan.
+    rows: usize,
+    serial_rows_per_sec: f64,
+    /// Shared av-sched pool backend.
+    pooled_rows_per_sec: f64,
+    /// Legacy per-batch scoped-spawn backend.
+    scoped_rows_per_sec: f64,
+    /// serial time / pooled time (>1: parallelism profitable at this size).
+    pooled_speedup: f64,
+    /// serial time / scoped time.
+    scoped_speedup: f64,
+    /// scoped time / pooled time (>1: persistent workers beat fresh spawns).
+    pool_vs_scoped: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
 struct CacheResult {
     queries: usize,
     cold_seconds: f64,
@@ -58,7 +86,8 @@ struct CacheResult {
 struct TraceResult {
     /// Spans recorded by one traced pass over the benched workload.
     spans: usize,
-    /// Median wall time of one traced pass (micro plans + cold replay).
+    /// Best-of-reps wall time of one traced pass (micro plans + cold
+    /// replay).
     traced_seconds: f64,
     /// Traced vs. untraced over the full benched workload — the < 5%
     /// acceptance budget applies to this number.
@@ -75,10 +104,14 @@ struct ExecBenchReport {
     exec_scale: f64,
     reps: usize,
     threads: usize,
-    /// Serial-fallback cutover: batches under this many rows never spawn
-    /// workers (see `av_engine::par::PAR_MIN_ROWS`).
+    /// Serial-fallback cutover: batches under this many rows never go
+    /// parallel (see `av_engine::par::PAR_MIN_ROWS`).
     par_min_rows: usize,
+    /// Host cores (`available_parallelism`); the spawn gate only applies
+    /// when this is > 1.
+    cores: usize,
     micro: Vec<MicroResult>,
+    spawn: Vec<SpawnResult>,
     cache: CacheResult,
     trace: TraceResult,
 }
@@ -217,6 +250,50 @@ fn main() {
         });
     }
 
+    // Spawn-overhead ladder: one filter+aggregate plan at 8k..64k fact rows,
+    // serial vs pooled vs scoped-spawn, parallelism forced on (min_rows 0)
+    // so the sub-cutover sizes are measured rather than short-circuited.
+    // All three backends must agree bitwise before speed means anything —
+    // this is the determinism contract the pool is built around.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cast_base = 12_000.0; // job_workload's cast_info rows at scale 1.0
+    let mut spawn = Vec::new();
+    for target in [8_192usize, 16_384, 32_768, 65_536] {
+        let w = job_workload(target as f64 / cast_base, cfg.seed);
+        let rows = w.catalog.table("cast_info").expect("JOB schema").row_count();
+        let plan = PlanBuilder::scan("cast_info", "c")
+            .filter(Expr::col("c.production_year").cmp(CmpOp::Gt, Expr::int(1990)))
+            .aggregate(&["c.kind_id"], aggs())
+            .build();
+        let serial = Executor::new(&w.catalog, pricing).with_threads(1);
+        let pooled = Executor::new(&w.catalog, pricing)
+            .with_threads(threads)
+            .with_par_min_rows(0)
+            .with_par_backend(av_engine::par::ParBackend::Pool);
+        let scoped = Executor::new(&w.catalog, pricing)
+            .with_threads(threads)
+            .with_par_min_rows(0)
+            .with_par_backend(av_engine::par::ParBackend::ScopedSpawn);
+        let s = serial.run(&plan).expect("benchmark plan executes");
+        for (name, exec) in [("pooled", &pooled), ("scoped", &scoped)] {
+            let p = exec.run(&plan).expect("benchmark plan executes");
+            assert!(s.batch == p.batch, "{name}@{rows}: batch diverged from serial");
+            assert!(s.report == p.report, "{name}@{rows}: report diverged from serial");
+        }
+        let (serial_a, pooled_t) = time_pair(&serial, &pooled, &plan, reps);
+        let (serial_b, scoped_t) = time_pair(&serial, &scoped, &plan, reps);
+        let serial_t = serial_a.min(serial_b);
+        spawn.push(SpawnResult {
+            rows,
+            serial_rows_per_sec: rows as f64 / serial_t,
+            pooled_rows_per_sec: rows as f64 / pooled_t,
+            scoped_rows_per_sec: rows as f64 / scoped_t,
+            pooled_speedup: serial_t / pooled_t,
+            scoped_speedup: serial_t / scoped_t,
+            pool_vs_scoped: scoped_t / pooled_t,
+        });
+    }
+
     // Cache replay: the full JOB workload cold, then warm. Every plan is
     // distinct, so the warm pass's hit-rate is exactly 1/2 overall.
     let replay_w = job_workload(cfg.job_scale, cfg.seed);
@@ -241,20 +318,28 @@ fn main() {
         speedup: cold_seconds / warm_seconds.max(1e-12),
     };
 
-    // Tracing overhead: one pass over everything this bench measures —
-    // each micro plan through the serial and parallel executors, then a
-    // cold cache replay (fresh cache each pass so every query executes) —
-    // with span recording off vs. on, interleaved pass-by-pass so
-    // clock-frequency and allocator drift hits both sides equally, then
-    // compared median-to-median. The replay slice is also timed on its
-    // own: its queries are microseconds long, so it is the worst case for
-    // per-span cost and is reported separately.
+    // Tracing overhead: one pass over the default benched workload — each
+    // micro plan through the serial and parallel executors, then a cold
+    // cache replay (fresh cache each pass so every query executes) — with
+    // span recording off vs. on, interleaved pass-by-pass so
+    // clock-frequency and allocator drift hits both sides equally. The
+    // pass runs at *fixed* default scale, independent of the env knobs:
+    // the <5% budget is defined over that workload's span density, and a
+    // smoke run with shrunken tables would otherwise measure (and gate) a
+    // span-heavier mix the budget was never set against. The replay slice
+    // is also timed on its own: its queries are microseconds long, so it
+    // is the worst case for per-span cost and is reported separately.
+    const TRACE_JOB_SCALE: f64 = 0.05;
+    const TRACE_EXEC_SCALE: f64 = 20.0;
+    let trace_micro_w = job_workload(TRACE_JOB_SCALE * TRACE_EXEC_SCALE, cfg.seed);
+    let trace_replay_w = job_workload(TRACE_JOB_SCALE, cfg.seed);
+    let trace_plans = trace_replay_w.plans();
     let workload_pass = |tracer: &Tracer| -> (f64, f64) {
         let start = Instant::now();
-        let serial = Executor::new(&micro_w.catalog, pricing)
+        let serial = Executor::new(&trace_micro_w.catalog, pricing)
             .with_threads(1)
             .with_tracer(tracer.clone());
-        let parallel = Executor::new(&micro_w.catalog, pricing)
+        let parallel = Executor::new(&trace_micro_w.catalog, pricing)
             .with_threads(threads)
             .with_tracer(tracer.clone());
         for (_, _, plan) in &micros {
@@ -263,19 +348,31 @@ fn main() {
         }
         let cache = ExecCache::new(pricing).with_tracer(tracer.clone());
         let replay_start = Instant::now();
-        for p in &plans {
-            cache.run(&replay_w.catalog, p).expect("query executes");
+        for p in &trace_plans {
+            cache.run(&trace_replay_w.catalog, p).expect("query executes");
         }
         let replay = replay_start.elapsed().as_secs_f64();
         (start.elapsed().as_secs_f64(), replay)
     };
-    let median = |samples: &mut Vec<f64>| -> f64 {
-        samples.sort_by(|a, b| a.total_cmp(b));
-        samples[samples.len() / 2]
+    // Each side is summarized by the mean of its fastest half. Like
+    // `time_pair`'s best-of-reps, this rejects the scheduling-stall tail
+    // (stalls only ever make a pass slower); unlike a bare minimum it
+    // averages several clean passes, so the estimate doesn't ride on which
+    // side got the single luckiest draw. Interleaving gives drift (CPU
+    // frequency, thermal) equal weight on both sides.
+    let best = |samples: &[f64]| -> f64 {
+        let mut s = samples.to_vec();
+        s.sort_by(|a, b| a.total_cmp(b));
+        let keep = (s.len() / 2).max(1);
+        s[..keep].iter().sum::<f64>() / keep as f64
     };
     let off = Tracer::disabled();
     let on = Tracer::new();
-    let trace_reps = reps.max(5);
+    // Run-length floor: the overhead gate needs enough chances at a clean
+    // minimum even when a smoke run dials AV_EXEC_REPS down. 25 interleaved
+    // pairs ≈ half a second; on a noisy shared box the fastest-half
+    // estimator needs that many draws to shake off scheduler spikes.
+    let trace_reps = reps.max(25);
     let (mut off_total, mut on_total) = (Vec::new(), Vec::new());
     let (mut off_replay, mut on_replay) = (Vec::new(), Vec::new());
     for _ in 0..trace_reps {
@@ -286,15 +383,13 @@ fn main() {
         on_total.push(t);
         on_replay.push(r);
     }
-    let traced_seconds = median(&mut on_total);
-    let untraced_seconds = median(&mut off_total);
+    let traced_seconds = best(&on_total);
+    let untraced_seconds = best(&off_total);
     let trace_result = TraceResult {
         spans: on.span_count() / trace_reps,
         traced_seconds,
         overhead_pct: (traced_seconds / untraced_seconds.max(1e-12) - 1.0) * 100.0,
-        replay_overhead_pct: (median(&mut on_replay) / median(&mut off_replay).max(1e-12)
-            - 1.0)
-            * 100.0,
+        replay_overhead_pct: (best(&on_replay) / best(&off_replay).max(1e-12) - 1.0) * 100.0,
     };
     if let Some(path) = &trace_out {
         // Dump one clean pass (fresh tracer) rather than the accumulated
@@ -312,7 +407,9 @@ fn main() {
         reps,
         threads,
         par_min_rows: av_engine::par::par_min_rows_default(),
+        cores,
         micro: micro.clone(),
+        spawn: spawn.clone(),
         cache: cache_result.clone(),
         trace: trace_result.clone(),
     };
@@ -336,6 +433,36 @@ fn main() {
         render_table(
             &["op", "rows", "reference rows/s", "optimized rows/s", "speedup"],
             &rows,
+        )
+    );
+    let spawn_rows: Vec<Vec<String>> = spawn
+        .iter()
+        .map(|s| {
+            vec![
+                s.rows.to_string(),
+                format!("{:.0}", s.serial_rows_per_sec),
+                format!("{:.0}", s.pooled_rows_per_sec),
+                format!("{:.0}", s.scoped_rows_per_sec),
+                format!("{:.2}x", s.pooled_speedup),
+                format!("{:.2}x", s.scoped_speedup),
+                format!("{:.2}x", s.pool_vs_scoped),
+            ]
+        })
+        .collect();
+    println!(
+        "\nspawn overhead ({cores} core(s), {threads} threads, cutover {} rows):\n{}",
+        av_engine::par::par_min_rows_default(),
+        render_table(
+            &[
+                "rows",
+                "serial rows/s",
+                "pooled rows/s",
+                "scoped rows/s",
+                "pooled speedup",
+                "scoped speedup",
+                "pool vs scoped",
+            ],
+            &spawn_rows,
         )
     );
     println!(
@@ -372,5 +499,28 @@ fn main() {
     assert!(
         cache_result.speedup > 1.0,
         "cache hits must be cheaper than execution"
+    );
+    // Cutover gate: the shared pool must make parallelism profitable from
+    // the 16k-row cutover up — the measurement `PAR_MIN_ROWS = 16_384`
+    // rests on. Only meaningful with real cores to win on.
+    if cores > 1 {
+        for s in spawn.iter().filter(|s| s.rows >= 16_000) {
+            assert!(
+                s.pooled_speedup >= 1.0,
+                "pooled parallelism unprofitable at {} rows ({:.2}x vs serial); \
+                 the 16_384-row cutover is no longer justified",
+                s.rows,
+                s.pooled_speedup
+            );
+        }
+    } else {
+        println!("single core: spawn-overhead cutover gate skipped (report-only)");
+    }
+    // Tracing budget gate: the < 5% acceptance budget is asserted, not
+    // just reported.
+    assert!(
+        trace_result.overhead_pct < 5.0,
+        "tracing overhead {:.2}% breaches the 5% budget",
+        trace_result.overhead_pct
     );
 }

@@ -218,5 +218,36 @@ fn main() {
         cache.evictions,
         cache.evicted_bytes
     );
+
+    let pool = server.pool_stats();
+    let (memo_hits, memo_misses) = server.current().route_memo_stats();
+    let memo_total = memo_hits + memo_misses;
+    println!("\n-- scheduler pool --");
+    table(
+        &[
+            "workers", "active", "queue", "jobs", "tasks", "steals", "busy ms", "p50 us", "p95 us",
+        ],
+        &[vec![
+            pool.workers.to_string(),
+            pool.active_workers.to_string(),
+            pool.queue_depth.to_string(),
+            pool.jobs.to_string(),
+            pool.tasks.to_string(),
+            pool.steals.to_string(),
+            format!("{:.1}", pool.busy_nanos as f64 / 1e6),
+            format!("{:.0}", pool.drain_nanos_p50 as f64 / 1e3),
+            format!("{:.0}", pool.drain_nanos_p95 as f64 / 1e3),
+        ]],
+    );
+    println!(
+        "  route memo: {} hits / {} misses ({:.0}% hit rate)",
+        memo_hits,
+        memo_misses,
+        if memo_total > 0 {
+            memo_hits as f64 / memo_total as f64 * 100.0
+        } else {
+            0.0
+        }
+    );
     println!("\nre-run with --json, --prom or --dump for machine-readable output");
 }

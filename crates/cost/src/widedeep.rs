@@ -29,9 +29,10 @@
 //!   at every use;
 //! - each worker owns an **arena-reused [`Graph`]** (`reset` between
 //!   samples), so a steady-state epoch performs no heap allocation;
-//! - minibatches fan out across `threads` scoped workers, each writing
-//!   per-sample gradient blocks that are reduced **in ascending sample
-//!   order** — `threads = N` is bitwise-identical to serial;
+//! - minibatches fan out across `threads` workers on the shared
+//!   `av-sched` morsel pool, each writing per-sample gradient blocks that
+//!   are reduced **in ascending sample order** — `threads = N` is
+//!   bitwise-identical to serial;
 //! - inference goes through [`WideDeep::predict_batch`], which memoizes
 //!   `De(plan)` LSTM encodings by plan fingerprint and pushes all samples
 //!   through one batched head graph. The cache lives inside the model, so
@@ -382,26 +383,25 @@ impl WideDeep {
                     }
                     // Contiguous batch slices per worker; each sample's
                     // gradient lands in its own block, so the reduction
-                    // below never depends on the partition.
+                    // below never depends on the partition. The fan-out
+                    // rides the shared morsel pool: each work unit owns its
+                    // disjoint slices behind a Mutex (claimed exactly once,
+                    // so the lock is always uncontended).
                     let per = n.div_ceil(workers);
                     let model_ref = &model;
                     let prepared_ref = &prepared;
-                    std::thread::scope(|s| {
-                        for (((idxs, bl), ls), g) in chunk
-                            .chunks(per)
-                            .zip(blocks[..n].chunks_mut(per))
-                            .zip(losses[..n].chunks_mut(per))
-                            .zip(graphs.iter_mut())
-                        {
-                            s.spawn(move || {
-                                for (j, &i) in idxs.iter().enumerate() {
-                                    ls[j] = model_ref.train_sample(
-                                        g,
-                                        &prepared_ref[i],
-                                        &mut bl[j],
-                                    );
-                                }
-                            });
+                    let units: Vec<std::sync::Mutex<_>> = chunk
+                        .chunks(per)
+                        .zip(blocks[..n].chunks_mut(per))
+                        .zip(losses[..n].chunks_mut(per))
+                        .zip(graphs.iter_mut())
+                        .map(std::sync::Mutex::new)
+                        .collect();
+                    av_sched::global().run(units.len(), workers, |u| {
+                        let mut unit = units[u].lock().expect("unit claimed once");
+                        let (((idxs, bl), ls), g) = &mut *unit;
+                        for (j, &i) in idxs.iter().enumerate() {
+                            ls[j] = model_ref.train_sample(g, &prepared_ref[i], &mut bl[j]);
                         }
                     });
                 }

@@ -92,6 +92,7 @@ pub struct ExecCache {
     pricing: Pricing,
     threads: Option<usize>,
     par_min_rows: Option<usize>,
+    backend: Option<crate::par::ParBackend>,
     max_entries: usize,
     tracer: Tracer,
     metric_names: MetricNames,
@@ -105,6 +106,7 @@ impl ExecCache {
             pricing,
             threads: None,
             par_min_rows: None,
+            backend: None,
             max_entries: 4096,
             tracer: Tracer::disabled(),
             metric_names: MetricNames::default(),
@@ -137,6 +139,13 @@ impl ExecCache {
     /// [`Executor::with_par_min_rows`]).
     pub fn with_par_min_rows(mut self, min_rows: usize) -> ExecCache {
         self.par_min_rows = Some(min_rows);
+        self
+    }
+
+    /// Pin the executors' parallel thread source (see
+    /// [`Executor::with_par_backend`]); results are identical either way.
+    pub fn with_par_backend(mut self, backend: crate::par::ParBackend) -> ExecCache {
+        self.backend = Some(backend);
         self
     }
 
@@ -185,6 +194,23 @@ impl ExecCache {
         catalog: &Catalog,
         plan: &PlanNode,
     ) -> Result<(ExecResult, bool), EngineError> {
+        self.run_keyed_hit_dop(fingerprint, catalog, plan, None)
+    }
+
+    /// [`ExecCache::run_keyed_hit`] with a per-call degree-of-parallelism
+    /// hint for the miss path. `Some(d)` caps the executor at `d`
+    /// participating threads for *this* execution only — the serving layer
+    /// derives it from admission-controller inflight counts, so a lone
+    /// query fans out while a saturated server runs each query near-serial.
+    /// Results and reports are identical for every hint (chunk boundaries
+    /// never move), so hits and misses stay interchangeable.
+    pub fn run_keyed_hit_dop(
+        &self,
+        fingerprint: Fingerprint,
+        catalog: &Catalog,
+        plan: &PlanNode,
+        dop: Option<usize>,
+    ) -> Result<(ExecResult, bool), EngineError> {
         let key = (fingerprint, catalog.epoch());
         {
             let mut state = self.state.lock().expect("cache lock");
@@ -205,8 +231,17 @@ impl ExecCache {
         if let Some(t) = self.threads {
             exec = exec.with_threads(t);
         }
+        // The elastic hint caps (never raises) the configured thread count:
+        // the cache's pinned setting stays the fan-out ceiling.
+        if let Some(d) = dop {
+            let ceiling = self.threads.unwrap_or_else(crate::par::default_threads);
+            exec = exec.with_threads(d.clamp(1, ceiling.max(1)));
+        }
         if let Some(m) = self.par_min_rows {
             exec = exec.with_par_min_rows(m);
+        }
+        if let Some(b) = self.backend {
+            exec = exec.with_par_backend(b);
         }
         let result = exec.run(plan)?;
 
@@ -346,6 +381,16 @@ impl ShardedExecCache {
         self
     }
 
+    /// Pin the executors' parallel thread source on every shard.
+    pub fn with_par_backend(mut self, backend: crate::par::ParBackend) -> ShardedExecCache {
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|s| s.with_par_backend(backend))
+            .collect();
+        self
+    }
+
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
@@ -381,6 +426,19 @@ impl ShardedExecCache {
         plan: &PlanNode,
     ) -> Result<(ExecResult, bool), EngineError> {
         self.shards[self.shard_of(fingerprint)].run_keyed_hit(fingerprint, catalog, plan)
+    }
+
+    /// [`ShardedExecCache::run_keyed_hit`] with a per-call
+    /// degree-of-parallelism hint for the miss path (see
+    /// [`ExecCache::run_keyed_hit_dop`]).
+    pub fn run_keyed_hit_dop(
+        &self,
+        fingerprint: Fingerprint,
+        catalog: &Catalog,
+        plan: &PlanNode,
+        dop: Option<usize>,
+    ) -> Result<(ExecResult, bool), EngineError> {
+        self.shards[self.shard_of(fingerprint)].run_keyed_hit_dop(fingerprint, catalog, plan, dop)
     }
 
     /// Execute and return only the cost in dollars, cached.
@@ -484,6 +542,29 @@ mod tests {
         assert!(!hit);
         let (_, hit) = sharded.run_keyed_hit(fp, &c, &p).expect("warm");
         assert!(hit);
+    }
+
+    #[test]
+    fn dop_hint_changes_no_results_and_respects_the_ceiling() {
+        let c = catalog();
+        let p = plan();
+        let fp = Fingerprint::of(&p);
+        let serial = ExecCache::new(Pricing::paper_defaults())
+            .with_threads(1)
+            .run_keyed_hit_dop(fp, &c, &p, Some(1))
+            .expect("serial")
+            .0;
+        // A hint far above the pinned ceiling is clamped, and every hint
+        // yields the identical batch and report.
+        for hint in [None, Some(1), Some(2), Some(64)] {
+            let cache = ExecCache::new(Pricing::paper_defaults())
+                .with_threads(2)
+                .with_par_min_rows(0);
+            let (r, hit) = cache.run_keyed_hit_dop(fp, &c, &p, hint).expect("runs");
+            assert!(!hit);
+            assert_eq!(r.batch, serial.batch);
+            assert_eq!(r.report, serial.report);
+        }
     }
 
     #[test]

@@ -84,6 +84,16 @@ impl<'a> Executor<'a> {
         self
     }
 
+    /// Select the thread source for parallel chunks: the shared morsel
+    /// pool (default) or a fresh scoped worker set per query (the pre-pool
+    /// behavior, kept as the benchmark baseline). Both backends claim the
+    /// same chunk indices and fold results in the same order, so batches
+    /// and reports are bitwise identical — only scheduling cost differs.
+    pub fn with_par_backend(mut self, backend: par::ParBackend) -> Executor<'a> {
+        self.par.backend = backend;
+        self
+    }
+
     /// Override the serial→parallel row cutover (default
     /// [`par::PAR_MIN_ROWS`], or `AV_PAR_MIN_ROWS` from the environment).
     /// Batches below the cutover run on the calling thread even when
@@ -150,9 +160,11 @@ impl<'a> Executor<'a> {
         // every operator feeds with its *logical* output size, whether or
         // not the rows are materialized yet) rather than re-walking the
         // batch — `byte_size` on string columns is O(rows).
-        span.record_num("rows", sb.num_rows() as f64);
-        span.record_num("bytes", (meter.allocated_bytes() - bytes_before) as f64);
-        span.record_num("ops", meter.ops() - ops_before);
+        span.record_nums([
+            ("rows", sb.num_rows() as f64),
+            ("bytes", (meter.allocated_bytes() - bytes_before) as f64),
+            ("ops", meter.ops() - ops_before),
+        ]);
         Ok(sb)
     }
 
@@ -1278,38 +1290,31 @@ mod tests {
 
     #[test]
     fn parallel_executors_share_one_tracer_registry() {
-        // Registry concurrency: several threads each run traced (chunked,
-        // multi-threaded) executions into one shared tracer; the metrics
-        // registry must absorb all of them without losing updates.
-        let c = std::sync::Arc::new(catalog());
+        // Registry concurrency: several concurrent executions run traced
+        // (chunked, multi-threaded) into one shared tracer; the metrics
+        // registry must absorb all of them without losing updates. The
+        // concurrency itself comes from the shared morsel pool — engine
+        // code (tests included) no longer spawns raw threads.
+        let c = catalog();
         let tracer = Tracer::new();
         let plan = PlanBuilder::scan("orders", "o")
             .filter(Expr::col("o.cust").eq(Expr::int(3)))
             .build();
         let workers = 4;
         let runs_per_worker = 8;
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let c = c.clone();
-                let t = tracer.clone();
-                let p = plan.clone();
-                std::thread::spawn(move || {
-                    for _ in 0..runs_per_worker {
-                        let rows = Executor::new(&c, Pricing::paper_defaults())
-                            .with_threads(2)
-                            .with_tracer(t.clone())
-                            .run(&p)
-                            .expect("plan executes")
-                            .batch
-                            .num_rows();
-                        t.metrics().add("engine.rows_out", rows as u64);
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().expect("worker thread");
-        }
+        let pool = av_sched::Pool::new(workers);
+        pool.run(workers, workers, |_| {
+            for _ in 0..runs_per_worker {
+                let rows = Executor::new(&c, Pricing::paper_defaults())
+                    .with_threads(2)
+                    .with_tracer(tracer.clone())
+                    .run(&plan)
+                    .expect("plan executes")
+                    .batch
+                    .num_rows();
+                tracer.metrics().add("engine.rows_out", rows as u64);
+            }
+        });
         let total_runs = (workers * runs_per_worker) as u64;
         assert_eq!(tracer.metrics().counter("engine.rows_out"), 10 * total_runs);
         // Every run records a filter span and a scan span.

@@ -8,11 +8,18 @@
 //! in chunk order, which keeps [`crate::meter::ExecutionReport`]s identical
 //! between serial and parallel runs.
 //!
-//! Threads come from `std::thread::scope` — no external thread-pool
-//! dependency — and are only spawned when there is more than one chunk.
+//! Threads come from the shared [`av_sched`] morsel pool: persistent
+//! workers with per-worker deques and an injector, so a parallel query
+//! costs a ticket push and a condvar wake instead of a spawn/join cycle.
+//! `Par.threads` is the per-query degree of parallelism (the submitting
+//! thread plus up to `threads - 1` pool workers); the serving layer derives
+//! it from admission-controller inflight counts so concurrent queries
+//! don't oversubscribe the machine. The legacy per-query
+//! `std::thread::scope` fan-out survives only as
+//! [`ParBackend::ScopedSpawn`], the baseline half of the pool-vs-scoped
+//! benchmark comparison.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// Rows per chunk. Fixed so that chunk boundaries (and therefore f64
@@ -21,12 +28,23 @@ use std::sync::{Mutex, OnceLock};
 pub const CHUNK_ROWS: usize = 1024;
 
 /// Below this many rows the parallel path runs serially even when threads
-/// are available: `BENCH_exec.json` showed every micro op at 12–16k rows
-/// losing to serial (speedup 0.80–0.94×) because scoped-spawn plus result
-/// collection costs more than the work saved. Chunk boundaries are
-/// unchanged, so the cutover cannot affect results — only who computes
-/// them.
-pub const PAR_MIN_ROWS: usize = 32_768;
+/// are available. With per-query scoped spawning this sat at 32k rows —
+/// `BENCH_exec.json` showed every micro op at 12–16k rows losing to serial
+/// because spawn plus result collection cost more than the work saved. The
+/// shared pool replaces the spawn/join cycle with a ticket push onto
+/// already-running workers, which moves the break-even down to ~16k rows
+/// (re-measured by `exec_bench`'s spawn-overhead micro, which gates this
+/// constant). Chunk boundaries are unchanged, so the cutover cannot affect
+/// results — only who computes them.
+pub const PAR_MIN_ROWS: usize = 16_384;
+
+/// Parse an `AV_PAR_MIN_ROWS`-style override, falling back to
+/// [`PAR_MIN_ROWS`] when absent or malformed. Split out from
+/// [`par_min_rows_default`] so the policy is testable without touching the
+/// (process-global, unsound-to-mutate-in-tests) environment.
+fn parse_cutover(raw: Option<String>) -> usize {
+    raw.and_then(|v| v.parse().ok()).unwrap_or(PAR_MIN_ROWS)
+}
 
 /// The serial→parallel cutover used when none is configured explicitly:
 /// `AV_PAR_MIN_ROWS` from the environment, else [`PAR_MIN_ROWS`].
@@ -41,12 +59,19 @@ pub const PAR_MIN_ROWS: usize = 32_768;
 /// environment.
 pub fn par_min_rows_default() -> usize {
     static CUTOVER: OnceLock<usize> = OnceLock::new();
-    *CUTOVER.get_or_init(|| {
-        std::env::var("AV_PAR_MIN_ROWS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(PAR_MIN_ROWS)
-    })
+    *CUTOVER.get_or_init(|| parse_cutover(std::env::var("AV_PAR_MIN_ROWS").ok()))
+}
+
+/// Which thread source runs chunks above the cutover. Both backends claim
+/// chunk indices from one atomic counter and fold results in ascending
+/// chunk order, so they are bitwise interchangeable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParBackend {
+    /// The shared persistent morsel pool (`av-sched`). Default.
+    Pool,
+    /// A fresh `std::thread::scope` worker set per call — the pre-pool
+    /// behavior, kept as the benchmark baseline for paired comparisons.
+    ScopedSpawn,
 }
 
 /// Parallelism policy for one executor: worker count plus the row cutover
@@ -54,10 +79,13 @@ pub fn par_min_rows_default() -> usize {
 /// only on the row count, so every policy produces bit-identical results.
 #[derive(Debug, Clone, Copy)]
 pub struct Par {
-    /// Worker threads (1 = fully serial).
+    /// Degree of parallelism: caller plus up to `threads - 1` pool workers
+    /// (1 = fully serial).
     pub threads: usize,
-    /// Minimum rows before worker threads are spawned.
+    /// Minimum rows before pool workers are enlisted.
     pub min_rows: usize,
+    /// Thread source for the parallel path.
+    pub backend: ParBackend,
 }
 
 impl Par {
@@ -67,6 +95,7 @@ impl Par {
         Par {
             threads: default_threads(),
             min_rows: par_min_rows_default(),
+            backend: ParBackend::Pool,
         }
     }
 
@@ -75,6 +104,7 @@ impl Par {
         Par {
             threads: 1,
             min_rows: PAR_MIN_ROWS,
+            backend: ParBackend::Pool,
         }
     }
 }
@@ -85,13 +115,10 @@ impl Default for Par {
     }
 }
 
-/// Default executor thread count: one worker per available core, capped to
-/// keep scoped-spawn overhead bounded on very wide machines.
+/// Default executor thread count: the shared pool's worker census (one per
+/// available core, capped).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(16)
+    av_sched::default_workers()
 }
 
 /// Number of chunks needed to cover `rows`.
@@ -108,10 +135,11 @@ fn chunk_range(idx: usize, rows: usize) -> Range<usize> {
 /// ascending chunk order.
 ///
 /// With `par.threads <= 1`, a single chunk, or fewer than `par.min_rows`
-/// rows the chunks run sequentially on the calling thread; otherwise a
-/// scoped worker pool pulls chunk indices from an atomic counter. Either way
-/// the returned `Vec` is ordered by chunk index, so callers can concatenate
-/// or fold the results deterministically.
+/// rows the chunks run sequentially on the calling thread; otherwise chunk
+/// indices are claimed from an atomic counter by the caller plus pool
+/// workers (or scoped threads under [`ParBackend::ScopedSpawn`]). Results
+/// land in per-chunk slots and are folded by ascending index, so the
+/// returned `Vec` is ordered identically no matter who computed what.
 pub fn map_chunks<T, F>(rows: usize, par: Par, f: F) -> Vec<T>
 where
     T: Send,
@@ -122,40 +150,38 @@ where
         return (0..chunks).map(|i| f(i, chunk_range(i, rows))).collect();
     }
 
-    let next = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(chunks));
-    let workers = par.threads.min(chunks);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| {
-                let mut local: Vec<(usize, T)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= chunks {
-                        break;
-                    }
-                    local.push((i, f(i, chunk_range(i, rows))));
-                }
-                if !local.is_empty() {
-                    collected.lock().expect("worker panicked").extend(local);
-                }
-            });
-        }
-    });
-
-    let mut out = collected.into_inner().expect("worker panicked");
-    out.sort_unstable_by_key(|(i, _)| *i);
-    out.into_iter().map(|(_, t)| t).collect()
+    let slots: Vec<Mutex<Option<T>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
+    let body = |i: usize| {
+        let value = f(i, chunk_range(i, rows));
+        *slots[i].lock().expect("chunk slot poisoned") = Some(value);
+    };
+    match par.backend {
+        ParBackend::Pool => av_sched::global().run(chunks, par.threads, body),
+        ParBackend::ScopedSpawn => av_sched::Pool::run_scoped(chunks, par.threads, body),
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("chunk slot poisoned")
+                .expect("every chunk index is claimed exactly once")
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     /// Policy with `threads` workers and no serial cutover, so small test
-    /// row counts still exercise the worker pool.
+    /// row counts still exercise the pool.
     fn eager(threads: usize) -> Par {
-        Par { threads, min_rows: 0 }
+        Par {
+            threads,
+            min_rows: 0,
+            backend: ParBackend::Pool,
+        }
     }
 
     #[test]
@@ -192,14 +218,31 @@ mod tests {
     }
 
     #[test]
+    fn scoped_backend_matches_pool_backend() {
+        let rows = 5 * CHUNK_ROWS + 3;
+        let pool: Vec<u64> = map_chunks(rows, eager(4), |_, r| r.map(|x| x as u64).sum());
+        let scoped: Vec<u64> = map_chunks(
+            rows,
+            Par {
+                threads: 4,
+                min_rows: 0,
+                backend: ParBackend::ScopedSpawn,
+            },
+            |_, r| r.map(|x| x as u64).sum(),
+        );
+        assert_eq!(pool, scoped);
+    }
+
+    #[test]
     fn small_batches_stay_on_the_calling_thread() {
-        // Below the cutover no worker threads spawn, so every chunk runs on
-        // the caller — observable via thread ids.
+        // Below the cutover no pool workers are enlisted, so every chunk
+        // runs on the caller — observable via thread ids.
         let caller = std::thread::current().id();
         let rows = PAR_MIN_ROWS - 1;
         let par = Par {
             threads: 8,
             min_rows: PAR_MIN_ROWS,
+            backend: ParBackend::Pool,
         };
         let ids: Vec<std::thread::ThreadId> =
             map_chunks(rows, par, |_, _| std::thread::current().id());
@@ -214,9 +257,15 @@ mod tests {
             for rows in [PAR_MIN_ROWS - 1, PAR_MIN_ROWS, PAR_MIN_ROWS + 1] {
                 let serial: Vec<u64> =
                     map_chunks(rows, Par::serial(), |_, r| r.map(|x| x as u64).sum());
-                let par: Vec<u64> = map_chunks(rows, Par { threads: 4, min_rows }, |_, r| {
-                    r.map(|x| x as u64).sum()
-                });
+                let par: Vec<u64> = map_chunks(
+                    rows,
+                    Par {
+                        threads: 4,
+                        min_rows,
+                        backend: ParBackend::Pool,
+                    },
+                    |_, r| r.map(|x| x as u64).sum(),
+                );
                 assert_eq!(serial, par);
             }
         }
@@ -231,13 +280,32 @@ mod tests {
     }
 
     #[test]
+    fn cutover_parsing_handles_absent_and_malformed_values() {
+        assert_eq!(parse_cutover(None), PAR_MIN_ROWS);
+        assert_eq!(parse_cutover(Some("1".into())), 1);
+        assert_eq!(parse_cutover(Some("65536".into())), 65_536);
+        assert_eq!(parse_cutover(Some("not-a-number".into())), PAR_MIN_ROWS);
+        assert_eq!(parse_cutover(Some("".into())), PAR_MIN_ROWS);
+    }
+
+    #[test]
     fn cutover_env_is_read_once_and_cached() {
-        // The first call pins the cutover for the life of the process;
-        // later env mutations must not leak into new executors.
-        let first = par_min_rows_default();
-        std::env::set_var("AV_PAR_MIN_ROWS", "1");
-        assert_eq!(par_min_rows_default(), first, "cutover must be cached");
-        std::env::remove_var("AV_PAR_MIN_ROWS");
-        assert_eq!(par_min_rows_default(), first);
+        // Exercise the OnceLock caching shape with an *injected* source
+        // instead of `std::env::set_var` (mutating the process environment
+        // from a threaded test harness is unsound). The init closure must
+        // run exactly once: a later "env change" is never observed.
+        let cache: OnceLock<usize> = OnceLock::new();
+        let reads = AtomicUsize::new(0);
+        let read_source = |raw: Option<&str>| {
+            reads.fetch_add(1, Ordering::SeqCst);
+            parse_cutover(raw.map(String::from))
+        };
+        let first = *cache.get_or_init(|| read_source(None));
+        assert_eq!(first, PAR_MIN_ROWS);
+        let second = *cache.get_or_init(|| read_source(Some("1")));
+        assert_eq!(second, first, "cutover must be cached");
+        assert_eq!(reads.load(Ordering::SeqCst), 1, "source read exactly once");
+        // The real process-wide default is likewise stable across calls.
+        assert_eq!(par_min_rows_default(), par_min_rows_default());
     }
 }

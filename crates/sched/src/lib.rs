@@ -1,0 +1,34 @@
+//! av-sched — shared work-stealing morsel scheduler.
+//!
+//! One process-wide pool of persistent workers replaces the per-query
+//! `std::thread::scope` fan-outs that previously burned a spawn/join cycle
+//! on every parallel query, minibatch, and dry-run. The design follows the
+//! morsel-driven execution model (Leis et al., SIGMOD'14) as specialized by
+//! this workspace's determinism contract:
+//!
+//! - **Tasks are indices, not closures.** A job is one closure over
+//!   `0..total`; chunk boundaries are decided by the caller (`CHUNK_ROWS`
+//!   in av-engine) and never by the scheduler, so results folded in
+//!   ascending index order are bitwise identical at any worker count.
+//! - **Submitters participate.** `Pool::run` drains its own claim counter
+//!   and blocks on a completion latch, so a saturated pool degrades to
+//!   caller-runs-everything instead of deadlocking, and `dop = 1` is
+//!   exactly the serial path.
+//! - **Elastic degree-of-parallelism.** `dop` is per-job: the serving layer
+//!   passes a hint derived from admission-controller inflight counts, so a
+//!   lone query fans out while 64 concurrent clients run near-serial
+//!   instead of oversubscribing every core 64×.
+//!
+//! The crate denies unsafe code except for the single lifetime-erasure
+//! module ([`task`]) that lets borrowed closures ride on `'static` workers;
+//! see that module for the soundness argument. Raw `thread::spawn` /
+//! `thread::scope` elsewhere in the workspace libraries is rejected by
+//! av-analyze's `raw-spawn` lint — this crate is the allowlisted home for
+//! thread creation.
+
+#![deny(unsafe_code)]
+
+mod pool;
+mod task;
+
+pub use pool::{default_workers, global, Pool, PoolStats};

@@ -1,0 +1,58 @@
+//! Lifetime erasure for borrowed morsel jobs.
+//!
+//! The pool's workers are persistent (`'static`) threads, but the closures
+//! submitted by [`crate::Pool::run`] borrow caller stack data — chunk result
+//! slots, shared column references, gradient buffers. Bridging the two
+//! requires erasing the closure's lifetime, exactly as rayon's and
+//! crossbeam's scope internals do. This module is the **only** unsafe code
+//! in the crate (the workspace-wide determinism lint pins the allowlist to
+//! this file); everything it exposes is safe because the soundness
+//! obligation is discharged structurally by the scheduler:
+//!
+//! **Invariant.** An [`ErasedTask`] created from `&'a dyn Fn(usize)` is only
+//! ever *invoked* while the `Pool::run` call that created it is still
+//! blocked on the job's completion latch. `run` does not return until
+//! `done == total`, and workers never invoke a task after claiming an index
+//! `>= total`, so no call can outlive `'a`. Workers may *hold* the dangling
+//! pointer inside a stale ticket after the job completes — that is fine;
+//! raw pointers are only unsound to dereference, and the claim counter
+//! guarantees they never are again.
+
+#![allow(unsafe_code)]
+
+/// A `'static`-erased `&dyn Fn(usize) + Sync` morsel body. See the module
+/// docs for the invariant that makes [`ErasedTask::call`] sound.
+pub(crate) struct ErasedTask {
+    ptr: *const (dyn Fn(usize) + Sync + 'static),
+}
+
+// Safety: the referent is `Sync` (shared `&` calls from many threads are
+// allowed) and is kept alive by the blocked `Pool::run` caller for as long
+// as any call can happen (module invariant above).
+unsafe impl Send for ErasedTask {}
+unsafe impl Sync for ErasedTask {}
+
+impl ErasedTask {
+    /// Erase the borrow's lifetime. Callers inside this crate must uphold
+    /// the module invariant: do not return from the submitting frame until
+    /// the job's completion latch has tripped.
+    pub(crate) fn erase<'a>(f: &'a (dyn Fn(usize) + Sync + 'a)) -> ErasedTask {
+        let ptr = f as *const (dyn Fn(usize) + Sync + 'a);
+        // Safety: only extends the lifetime marker; validity is enforced by
+        // the completion latch (module invariant).
+        let ptr = unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + 'a),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(ptr)
+        };
+        ErasedTask { ptr }
+    }
+
+    /// Invoke the erased closure with a claimed task index.
+    pub(crate) fn call(&self, index: usize) {
+        // Safety: module invariant — the submitting `Pool::run` frame is
+        // still alive, so the referent is too.
+        unsafe { (*self.ptr)(index) }
+    }
+}

@@ -13,7 +13,19 @@ use av_analyze::Verdict;
 use av_engine::{Catalog, MaterializedView};
 use av_online::route_through_views;
 use av_plan::{Fingerprint, PlanRef};
-use std::sync::{Arc, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Independent locks for the route-memo table. Routing is read-mostly and
+/// fingerprint-keyed, so a handful of shards removes lock contention the
+/// same way `ShardedExecCache` does for results.
+const ROUTE_MEMO_SHARDS: usize = 8;
+
+/// Memoized routes per shard; a deployment serves a bounded working set of
+/// distinct plans, so overflow simply stops memoizing (correctness is
+/// unaffected — `route` recomputes).
+const ROUTE_MEMO_CAP_PER_SHARD: usize = 4096;
 
 /// What the preflight gate actually did, per verdict: how many sample
 /// queries routed through a view, how many rewrites the static prover
@@ -47,6 +59,16 @@ pub struct Deployment {
     /// sorted by the first element for lock-free binary-search lookup on
     /// the read path. Feeds the estimator-residual telemetry stream.
     estimates: Vec<(Fingerprint, f64, Fingerprint)>,
+    /// Memoized `route` results (routed plan, subtree hits, routed
+    /// fingerprint) keyed by the *original* plan's fingerprint. Sound
+    /// because the deployment is immutable: the catalog and view set are
+    /// frozen, so a plan's rewrite can never change within one epoch — a
+    /// swap publishes a fresh deployment with an empty memo. Turns the
+    /// per-request tree rewrite + rehash into a hash lookup on the warm
+    /// path.
+    route_memo: Vec<Mutex<HashMap<u64, (PlanRef, usize, Fingerprint)>>>,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
 }
 
 impl Deployment {
@@ -63,6 +85,11 @@ impl Deployment {
             catalog,
             views,
             estimates: Vec::new(),
+            route_memo: (0..ROUTE_MEMO_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
         }
     }
 
@@ -123,6 +150,43 @@ impl Deployment {
         let refs: Vec<(Fingerprint, &MaterializedView)> =
             self.views.iter().map(|(fp, v)| (*fp, v)).collect();
         route_through_views(&self.catalog, &refs, plan)
+    }
+
+    /// [`Deployment::route`] memoized on the submitted plan's fingerprint,
+    /// also caching the routed plan's own fingerprint (the result-cache
+    /// key). The snapshot is frozen, so a memoized rewrite is exact for
+    /// the life of this deployment; the serving hot path uses this to
+    /// avoid re-walking and re-hashing the plan tree on every request for
+    /// the same query.
+    pub fn route_memo(&self, plan_fp: Fingerprint, plan: &PlanRef) -> (PlanRef, usize, Fingerprint) {
+        let shard = &self.route_memo[(plan_fp.0 % ROUTE_MEMO_SHARDS as u64) as usize];
+        if let Some((routed, hits, routed_fp)) =
+            shard.lock().expect("route memo poisoned").get(&plan_fp.0)
+        {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return (routed.clone(), *hits, *routed_fp);
+        }
+        self.memo_misses.fetch_add(1, Ordering::Relaxed);
+        let (routed, hits) = self.route(plan);
+        let routed_fp = if hits == 0 {
+            plan_fp
+        } else {
+            Fingerprint::of(&routed)
+        };
+        let mut memo = shard.lock().expect("route memo poisoned");
+        if memo.len() < ROUTE_MEMO_CAP_PER_SHARD {
+            memo.insert(plan_fp.0, (routed.clone(), hits, routed_fp));
+        }
+        (routed, hits, routed_fp)
+    }
+
+    /// `(hits, misses)` of the route memo since this deployment was
+    /// published — serving telemetry for the warm-path rewrite saving.
+    pub fn route_memo_stats(&self) -> (u64, u64) {
+        (
+            self.memo_hits.load(Ordering::Relaxed),
+            self.memo_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Preflight the snapshot before it may be published: every view's
@@ -277,6 +341,27 @@ mod tests {
         assert_eq!(hits, 1);
         assert_ne!(Fingerprint::of(&routed), Fingerprint::of(&query));
         dep.validate_with(&[query]).expect("validates");
+    }
+
+    #[test]
+    fn route_memo_matches_route_and_counts_hits() {
+        let (dep, sub) = deployment_with_view();
+        let query = PlanBuilder::from_plan(sub).count_star(&[], "c").build();
+        let fp = Fingerprint::of(&query);
+        let (direct, direct_hits) = dep.route(&query);
+        let (cold, cold_hits, cold_fp) = dep.route_memo(fp, &query);
+        let (warm, warm_hits, warm_fp) = dep.route_memo(fp, &query);
+        assert_eq!(Fingerprint::of(&direct), Fingerprint::of(&cold));
+        assert_eq!(Fingerprint::of(&direct), Fingerprint::of(&warm));
+        assert_eq!(cold_fp, Fingerprint::of(&direct), "memoized routed fp");
+        assert_eq!(warm_fp, cold_fp);
+        assert_eq!(direct_hits, cold_hits);
+        assert_eq!(direct_hits, warm_hits);
+        assert_eq!(dep.route_memo_stats(), (1, 1), "one miss then one hit");
+        // An unrouted plan memoizes its own fingerprint as the cache key.
+        let (_, none_hits, none_fp) = dep.route_memo(cold_fp, &cold);
+        assert_eq!(none_hits, 0);
+        assert_eq!(none_fp, cold_fp);
     }
 
     #[test]

@@ -43,6 +43,16 @@ pub struct ServeConfig {
     pub exec_threads: Option<usize>,
     /// Parallel-cutover row floor override (None = engine default).
     pub par_min_rows: Option<usize>,
+    /// Derive each query's degree of parallelism from the admission
+    /// controller's global inflight count: a lone query fans out across
+    /// the shared pool, 64 concurrent clients each run near-serial instead
+    /// of oversubscribing every core 64×. Results are identical either
+    /// way; only scheduling changes.
+    pub elastic_dop: bool,
+    /// Thread source for parallel execution on cache misses: the shared
+    /// morsel pool (default) or legacy per-query scoped spawning, kept so
+    /// `serve_bench` can run paired pool-vs-scoped comparisons.
+    pub exec_backend: av_engine::par::ParBackend,
     pub admission: AdmissionConfig,
     pub lifecycle: LifecycleConfig,
     pub selector: OnlineSelector,
@@ -63,6 +73,8 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             exec_threads: None,
             par_min_rows: None,
+            elastic_dop: true,
+            exec_backend: av_engine::par::ParBackend::Pool,
             admission: AdmissionConfig::default(),
             lifecycle: LifecycleConfig::default(),
             selector: OnlineSelector::default(),
@@ -70,6 +82,16 @@ impl Default for ServeConfig {
             obs: ObsConfig::default(),
         }
     }
+}
+
+/// The elastic degree-of-parallelism policy: split `cores` workers evenly
+/// across `inflight` concurrent queries, never below 1. One inflight query
+/// gets the whole pool; at or past `cores` concurrent queries everyone runs
+/// serial — inter-query parallelism replaces intra-query parallelism, so
+/// the machine is never oversubscribed `inflight ×` like per-query scoped
+/// spawning was.
+pub fn elastic_dop(cores: usize, inflight: usize) -> usize {
+    (cores.max(1) / inflight.max(1)).max(1)
 }
 
 /// Everything that can go wrong serving one request.
@@ -184,6 +206,7 @@ impl ViewServer {
         if let Some(m) = config.par_min_rows {
             cache = cache.with_par_min_rows(m);
         }
+        cache = cache.with_par_backend(config.exec_backend);
         // Request latencies are microseconds; the default 2^-20..2^30 bounds
         // waste half their buckets below 1, so pin a µs-suited log2 range
         // (1µs .. ~67s) for the serving latency series.
@@ -247,12 +270,25 @@ impl ViewServer {
         };
         let t_adm = self.tracer.now_nanos();
         let deployment = self.cell.load();
+        // Elastic degree of parallelism: split the pool's workers across
+        // the queries currently inflight. Read *after* admission so this
+        // request counts itself (the hint is always >= 1).
+        let dop = if self.config.elastic_dop {
+            let cores = self
+                .config
+                .exec_threads
+                .unwrap_or_else(av_engine::par::default_threads);
+            let hint = elastic_dop(cores, self.admission.total_inflight());
+            metrics.observe("serve.dop", hint as f64);
+            Some(hint)
+        } else {
+            None
+        };
         let tracer = self.tracer.clone();
         let outcome = tracer.time("serve.request", || {
-            let (routed, hits) = deployment.route(plan);
-            let routed_fp = Fingerprint::of(&routed);
+            let (routed, hits, routed_fp) = deployment.route_memo(plan_fp, plan);
             self.cache
-                .run_keyed_hit(routed_fp, deployment.catalog(), &routed)
+                .run_keyed_hit_dop(routed_fp, deployment.catalog(), &routed, dop)
                 .map(|(result, cache_hit)| (result, cache_hit, hits, routed_fp))
         });
         let t1 = self.tracer.now_nanos();
@@ -563,11 +599,40 @@ impl ViewServer {
 
     /// Snapshot of the whole telemetry layer (the `serve stats` payload).
     pub fn stats_snapshot(&self) -> av_obs::ObsStats {
+        self.publish_pool_metrics();
         self.obs.stats()
     }
 
-    /// Prometheus text exposition: metrics registry + SLO + residual series.
+    /// The shared morsel pool's scheduler counters.
+    pub fn pool_stats(&self) -> av_sched::PoolStats {
+        av_sched::global().stats()
+    }
+
+    /// Fold the scheduler's counters (queue depth, steals, active workers,
+    /// drain latency) and the current deployment's route-memo counters into
+    /// the metrics registry as `sched.*` / `serve.route_memo_*` gauges, so
+    /// they ride every Prometheus scrape and stats snapshot.
+    pub fn publish_pool_metrics(&self) {
+        let metrics = self.tracer.metrics();
+        let s = self.pool_stats();
+        metrics.set_gauge("sched.workers", s.workers as f64);
+        metrics.set_gauge("sched.queue_depth", s.queue_depth as f64);
+        metrics.set_gauge("sched.active_workers", s.active_workers as f64);
+        metrics.set_gauge("sched.steals", s.steals as f64);
+        metrics.set_gauge("sched.jobs", s.jobs as f64);
+        metrics.set_gauge("sched.tasks", s.tasks as f64);
+        metrics.set_gauge("sched.busy_nanos", s.busy_nanos as f64);
+        metrics.set_gauge("sched.drain_nanos_p50", s.drain_nanos_p50 as f64);
+        metrics.set_gauge("sched.drain_nanos_p95", s.drain_nanos_p95 as f64);
+        let (memo_hits, memo_misses) = self.cell.load().route_memo_stats();
+        metrics.set_gauge("serve.route_memo_hits", memo_hits as f64);
+        metrics.set_gauge("serve.route_memo_misses", memo_misses as f64);
+    }
+
+    /// Prometheus text exposition: metrics registry + SLO + residual series,
+    /// including the scheduler's `sched.*` gauges.
     pub fn prometheus_text(&self) -> String {
+        self.publish_pool_metrics();
         self.obs.prometheus(&self.tracer.metrics().snapshot())
     }
 }
@@ -626,6 +691,43 @@ mod tests {
             2 * plans.len() as u64
         );
         assert_eq!(server.metrics().counter("serve.swaps"), 1);
+    }
+
+    #[test]
+    fn elastic_dop_policy_shares_the_pool() {
+        // One query owns the machine; at saturation everyone runs serial.
+        assert_eq!(elastic_dop(8, 1), 8);
+        assert_eq!(elastic_dop(8, 2), 4);
+        assert_eq!(elastic_dop(8, 3), 2);
+        assert_eq!(elastic_dop(8, 8), 1);
+        assert_eq!(elastic_dop(8, 64), 1);
+        // Degenerate inputs never return 0.
+        assert_eq!(elastic_dop(1, 64), 1);
+        assert_eq!(elastic_dop(0, 0), 1);
+    }
+
+    #[test]
+    fn pool_metrics_ride_the_prometheus_export() {
+        let w = mini(75);
+        let plans = w.plans();
+        let server = server_for(&w);
+        for p in &plans {
+            server.execute("t", p).expect("serves");
+        }
+        let text = server.prometheus_text();
+        for gauge in [
+            "sched_workers",
+            "sched_queue_depth",
+            "sched_active_workers",
+            "sched_steals",
+            "serve_route_memo_hits",
+        ] {
+            assert!(text.contains(gauge), "missing {gauge} in:\n{text}");
+        }
+        // Elastic DOP is on by default and the route memo absorbed the
+        // repeat routing work.
+        let (hits, misses) = server.current().route_memo_stats();
+        assert_eq!(hits + misses, plans.len() as u64);
     }
 
     #[test]
